@@ -1,0 +1,70 @@
+//! E6 — running-time scaling of the three algorithms and the greedy baseline.
+//!
+//! Paper claims: `single-gen` O(Δ·|T|), `single-nod` O((Δ log Δ + |C|)·|T|),
+//! `multiple-bin` O(|T|²). The groups below time each algorithm on growing
+//! random trees; plotting time against |T| should show the corresponding
+//! near-linear (resp. quadratic) growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::{binary_instance, kary_instance};
+use rp_core::{baselines, multiple_bin, single_gen, single_nod};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_single_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_single_gen");
+    for clients in [256usize, 1024, 4096] {
+        let inst = kary_instance(clients, 4, Some(0.7), 0xE6);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| single_gen(black_box(inst)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_nod(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_single_nod");
+    for clients in [256usize, 1024, 4096] {
+        let inst = kary_instance(clients, 4, None, 0xE6 + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| single_nod(black_box(inst)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiple_bin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_multiple_bin");
+    for clients in [256usize, 1024, 4096] {
+        let inst = binary_instance(clients, Some(0.7), 0xE6 + 2);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| multiple_bin(black_box(inst)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiple_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_multiple_greedy");
+    for clients in [256usize, 1024, 4096] {
+        let inst = kary_instance(clients, 4, Some(0.7), 0xE6 + 3);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| baselines::multiple_greedy(black_box(inst)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_single_gen, bench_single_nod, bench_multiple_bin, bench_multiple_greedy
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E3 / E5 / E9 — exact solvers and the NP-hardness reduction gadgets.
+//!
+//! Times the branch-and-bound exact solvers (used as the optimality reference
+//! in E3/E4) and the end-to-end gadget decision used by E5 and E9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::binary_instance;
+use rp_core::multiple_bin;
+use rp_instances::gadgets::{three_partition_gadget, two_partition_gadget};
+use rp_tree::Policy;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_exact_multiple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_exact_multiple");
+    for clients in [6usize, 8, 10] {
+        let inst = binary_instance(clients, Some(0.7), 0xE3);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| rp_exact::optimal_replica_count(black_box(inst), Policy::Multiple))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_exact_single");
+    for clients in [6usize, 8, 10] {
+        let inst = binary_instance(clients, Some(0.7), 0xE4);
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| rp_exact::optimal_replica_count(black_box(inst), Policy::Single))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiple_bin_vs_exact(c: &mut Criterion) {
+    // The polynomial algorithm against the exponential reference on the same
+    // instance — the gap in time is the point of Theorem 6.
+    let inst = binary_instance(10, Some(0.7), 0xE3E3);
+    let mut group = c.benchmark_group("e3_algorithm_vs_exact");
+    group.bench_function("multiple_bin_poly", |b| {
+        b.iter(|| multiple_bin(black_box(&inst)).expect("feasible"))
+    });
+    group.bench_function("exact_branch_and_bound", |b| {
+        b.iter(|| rp_exact::optimal_replica_count(black_box(&inst), Policy::Multiple))
+    });
+    group.finish();
+}
+
+fn bench_gadget_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_e9_gadgets");
+    // I2: 3-Partition YES instance (two triples of 24).
+    let items = [7u64, 8, 9, 9, 9, 6];
+    let gadget_i2 = three_partition_gadget(&items, 24);
+    group.bench_function("i2_threshold_decision", |b| {
+        b.iter(|| {
+            rp_exact::feasible_within(
+                black_box(&gadget_i2.instance),
+                Policy::Single,
+                gadget_i2.threshold,
+            )
+        })
+    });
+    // I4: 2-Partition YES instance.
+    let gadget_i4 = two_partition_gadget(&[3, 5, 4, 2, 6, 2]);
+    group.bench_function("i4_optimum", |b| {
+        b.iter(|| rp_exact::optimal_replica_count(black_box(&gadget_i4.instance), Policy::Single))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_exact_multiple, bench_exact_single, bench_multiple_bin_vs_exact, bench_gadget_decisions
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E1 / E2 — the worst-case families of Fig. 3 and Fig. 4.
+//!
+//! Times the algorithms on the tightness constructions (the ratio tables are
+//! produced by `rp experiment e1` / `e2`; see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_core::{single_gen, single_nod};
+use rp_instances::worst_case::{single_gen_tight, single_nod_tight};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_fig3_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fig3_single_gen");
+    for (m, delta) in [(8usize, 2usize), (16, 3), (32, 5)] {
+        let tight = single_gen_tight(m, delta);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_d{delta}")),
+            &tight.instance,
+            |b, inst| b.iter(|| single_gen(black_box(inst)).expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig3_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fig3_build");
+    for m in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| single_gen_tight(black_box(m), 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_fig4_single_nod");
+    for k in [16usize, 64, 256] {
+        let tight = single_nod_tight(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &tight.instance, |b, inst| {
+            b.iter(|| single_nod(black_box(inst)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig3_family, bench_fig3_construction, bench_fig4_family
+}
+criterion_main!(benches);

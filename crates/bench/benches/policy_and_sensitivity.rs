@@ -1,0 +1,56 @@
+//! E7 / E8 — Single vs Multiple policy and sensitivity to `W` / `dmax`.
+//!
+//! Times the per-instance work of the policy-comparison experiments (the
+//! replica-count tables themselves are produced by `rp experiment e7` / `e8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::binary_instance;
+use rp_core::{baselines, bounds, multiple_bin, single_gen};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_policy_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_policy_comparison");
+    for dmax in [None, Some(0.7), Some(0.4)] {
+        let inst = binary_instance(512, dmax, 0xE7);
+        let label = dmax.map_or("nod".to_string(), |f| format!("dmax{:.0}", f * 100.0));
+        group.bench_with_input(BenchmarkId::new("single_gen", &label), &inst, |b, inst| {
+            b.iter(|| single_gen(black_box(inst)).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("multiple_bin", &label), &inst, |b, inst| {
+            b.iter(|| multiple_bin(black_box(inst)).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("multiple_greedy", &label), &inst, |b, inst| {
+            b.iter(|| baselines::multiple_greedy(black_box(inst)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_lower_bounds");
+    for clients in [256usize, 1024] {
+        let inst = binary_instance(clients, Some(0.6), 0xE8);
+        group.bench_with_input(BenchmarkId::new("combined", clients), &inst, |b, inst| {
+            b.iter(|| bounds::combined_lower_bound(black_box(inst)))
+        });
+        group.bench_with_input(BenchmarkId::new("disjoint_paths", clients), &inst, |b, inst| {
+            b.iter(|| bounds::disjoint_paths_lower_bound(black_box(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_policy_comparison, bench_lower_bounds
+}
+criterion_main!(benches);

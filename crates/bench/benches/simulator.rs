@@ -1,0 +1,57 @@
+//! Simulator throughput: how fast the request-serving simulator replays
+//! traffic over a placement (with and without failure injection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::binary_instance;
+use rp_core::multiple_bin;
+use rp_sim::{simulate, Burst, Failure, SimConfig};
+use rp_tree::NodeId;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_steady_state");
+    for clients in [64usize, 256] {
+        let inst = binary_instance(clients, Some(0.7), 0x51);
+        let sol = multiple_bin(&inst).expect("feasible");
+        let cfg = SimConfig::new(200);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &(inst, sol, cfg),
+            |b, (inst, sol, cfg)| b.iter(|| simulate(black_box(inst), black_box(sol), cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_with_disruptions(c: &mut Criterion) {
+    let inst = binary_instance(128, Some(0.7), 0x52);
+    let sol = multiple_bin(&inst).expect("feasible");
+    let replicas = sol.replicas();
+    let cfg = SimConfig::new(200)
+        .with_burst(Burst { from_tick: 50, to_tick: 100, factor: 2.0 })
+        .with_failure(Failure {
+            server: replicas.first().copied().unwrap_or(NodeId(0)),
+            from_tick: 100,
+            to_tick: 150,
+        });
+    let mut group = c.benchmark_group("sim_disruptions");
+    group.bench_function("burst_and_failure", |b| {
+        b.iter(|| simulate(black_box(&inst), black_box(&sol), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_steady_state, bench_with_disruptions
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! # rp-bench — shared helpers for the Criterion benchmarks
+//!
+//! The benchmark binaries in `benches/` time the algorithms, the exact
+//! solvers, the reduction gadgets and the simulator; the *tables* of the
+//! paper (ratios, optimality rates, policy comparisons) are produced by
+//! `rp-harness` / `rp experiment` and recorded in `EXPERIMENTS.md`. One bench
+//! target exists per experiment group:
+//!
+//! | bench target | experiments |
+//! |---|---|
+//! | `algorithms_scaling` | E6 (complexity claims) |
+//! | `figures` | E1, E2 (Fig. 3 and Fig. 4 families) |
+//! | `exact_and_reductions` | E3, E5, E9 (exact solvers and gadgets) |
+//! | `policy_and_sensitivity` | E7, E8 |
+//! | `simulator` | simulator throughput |
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
+use rp_instances::{EdgeDist, RequestDist};
+use rp_tree::Instance;
+
+/// Deterministic random binary-tree instance used across benches.
+pub fn binary_instance(clients: usize, dmax_fraction: Option<f64>, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = random_binary_tree(
+        clients,
+        &EdgeDist::Uniform { lo: 1, hi: 3 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut rng,
+    );
+    wrap_instance(tree, 3.0, dmax_fraction)
+}
+
+/// Deterministic random k-ary-tree instance used across benches.
+pub fn kary_instance(clients: usize, arity: usize, dmax_fraction: Option<f64>, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = random_kary_tree(
+        clients,
+        arity,
+        &EdgeDist::Uniform { lo: 1, hi: 3 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut rng,
+    );
+    wrap_instance(tree, 3.0, dmax_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_deterministic() {
+        let a = binary_instance(32, Some(0.7), 9);
+        let b = binary_instance(32, Some(0.7), 9);
+        assert_eq!(a.capacity(), b.capacity());
+        assert_eq!(a.tree().len(), b.tree().len());
+        let k = kary_instance(32, 4, None, 9);
+        assert!(k.tree().arity() <= 4);
+    }
+}

@@ -1,0 +1,345 @@
+//! Subcommand implementations. Every command returns the text to print, so
+//! the commands are unit-testable without spawning processes.
+
+use crate::args::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::Algorithm;
+use rp_harness::Effort;
+use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
+use rp_instances::worst_case::{single_gen_tight, single_nod_tight};
+use rp_instances::{EdgeDist, RequestDist};
+use rp_sim::{Burst, Failure, SimConfig};
+use rp_tree::{io, validate, Instance, NodeId, Policy, Solution};
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: rp <command> [options]
+
+commands:
+  gen         generate an instance
+              --kind binary|kary|fig3|fig4  --clients N  [--arity K] [--m M] [--delta D]
+              [--requests-max R] [--edge-max E] [--capacity-factor F] [--dmax-fraction F]
+              [--seed S] [--out FILE]
+  solve       run an algorithm on an instance
+              --instance FILE  --algorithm single-gen|single-nod|multiple-bin|clients-only|multiple-greedy
+              [--out FILE]
+  exact       compute the exact optimum (small instances)
+              --instance FILE  --policy single|multiple
+  validate    check a solution file against an instance
+              --instance FILE  --solution FILE  --policy single|multiple
+  simulate    replay request traffic over a solution
+              --instance FILE  --solution FILE  [--ticks N] [--fail NODE:FROM:TO]... [--burst FROM:TO:FACTOR]
+  experiment  run a paper experiment (e1..e9 or all)
+              <id>  [--full] [--csv]
+";
+
+/// Dispatches a parsed command line and returns the output to print.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "solve" => cmd_solve(&args),
+        "exact" => cmd_exact(&args),
+        "validate" => cmd_validate(&args),
+        "simulate" => cmd_simulate(&args),
+        "experiment" => cmd_experiment(&args),
+        "" | "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_instance(path: &str) -> Result<Instance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_solution(path: &str) -> Result<Solution, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    io::parse_solution(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn write_or_return(out: Option<&str>, content: String) -> Result<String, String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, &content).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("wrote {path}\n"))
+        }
+        None => Ok(content),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<Policy, String> {
+    match name {
+        "single" => Ok(Policy::Single),
+        "multiple" => Ok(Policy::Multiple),
+        other => Err(format!("unknown policy `{other}` (use single or multiple)")),
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<String, String> {
+    let kind = args.get("kind").unwrap_or("binary");
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let requests = RequestDist::Uniform { lo: 1, hi: args.get_or("requests-max", 9)? };
+    let edge = EdgeDist::Uniform { lo: 1, hi: args.get_or("edge-max", 3)? };
+    let capacity_factor: f64 = args.get_or("capacity-factor", 3.0)?;
+    let dmax_fraction: Option<f64> = match args.get("dmax-fraction") {
+        Some(raw) => {
+            Some(raw.parse().map_err(|_| format!("invalid --dmax-fraction `{raw}`"))?)
+        }
+        None => None,
+    };
+
+    let instance = match kind {
+        "binary" => {
+            let clients: usize = args.get_or("clients", 32)?;
+            wrap_instance(random_binary_tree(clients, &edge, &requests, &mut rng), capacity_factor, dmax_fraction)
+        }
+        "kary" => {
+            let clients: usize = args.get_or("clients", 32)?;
+            let arity: usize = args.get_or("arity", 3)?;
+            wrap_instance(
+                random_kary_tree(clients, arity, &edge, &requests, &mut rng),
+                capacity_factor,
+                dmax_fraction,
+            )
+        }
+        "fig3" => {
+            let m: usize = args.get_or("m", 4)?;
+            let delta: usize = args.get_or("delta", 3)?;
+            single_gen_tight(m, delta).instance
+        }
+        "fig4" => {
+            let k: usize = args.get_or("m", 8)?;
+            single_nod_tight(k).instance
+        }
+        other => return Err(format!("unknown instance kind `{other}`")),
+    };
+    write_or_return(args.get("out"), io::write_instance(&instance))
+}
+
+fn cmd_solve(args: &Args) -> Result<String, String> {
+    let instance = load_instance(&args.require::<String>("instance")?)?;
+    let name: String = args.require("algorithm")?;
+    let algorithm =
+        Algorithm::from_name(&name).ok_or_else(|| format!("unknown algorithm `{name}`"))?;
+    let solution = rp_core::solve(&instance, algorithm).map_err(|e| e.to_string())?;
+    let stats = validate(&instance, algorithm.policy(), &solution).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "algorithm: {}\npolicy: {}\nreplicas: {}\nmax load: {}\navg utilisation: {:.3}\nmax distance: {}\n",
+        algorithm.name(),
+        algorithm.policy(),
+        stats.replica_count,
+        stats.max_load,
+        stats.avg_utilisation,
+        stats.max_distance,
+    ));
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, io::write_solution(&solution))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            out.push_str(&format!("solution written to {path}\n"));
+        }
+        None => out.push_str(&io::write_solution(&solution)),
+    }
+    Ok(out)
+}
+
+fn cmd_exact(args: &Args) -> Result<String, String> {
+    let instance = load_instance(&args.require::<String>("instance")?)?;
+    let policy = parse_policy(&args.require::<String>("policy")?)?;
+    match rp_exact::optimal_solution(&instance, policy) {
+        Some(solution) => {
+            let stats = validate(&instance, policy, &solution).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "policy: {policy}\noptimal replicas: {}\n{}",
+                stats.replica_count,
+                io::write_solution(&solution)
+            ))
+        }
+        None => Ok(format!("policy: {policy}\ninfeasible\n")),
+    }
+}
+
+fn cmd_validate(args: &Args) -> Result<String, String> {
+    let instance = load_instance(&args.require::<String>("instance")?)?;
+    let solution = load_solution(&args.require::<String>("solution")?)?;
+    let policy = parse_policy(&args.require::<String>("policy")?)?;
+    match validate(&instance, policy, &solution) {
+        Ok(stats) => Ok(format!(
+            "valid\nreplicas: {}\nmax load: {}\nmax distance: {}\n",
+            stats.replica_count, stats.max_load, stats.max_distance
+        )),
+        Err(e) => Ok(format!("invalid: {e}\n")),
+    }
+}
+
+fn parse_failure(raw: &str) -> Result<Failure, String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("--fail expects NODE:FROM:TO, got `{raw}`"));
+    }
+    Ok(Failure {
+        server: NodeId(parts[0].parse().map_err(|_| format!("invalid node `{}`", parts[0]))?),
+        from_tick: parts[1].parse().map_err(|_| format!("invalid tick `{}`", parts[1]))?,
+        to_tick: parts[2].parse().map_err(|_| format!("invalid tick `{}`", parts[2]))?,
+    })
+}
+
+fn parse_burst(raw: &str) -> Result<Burst, String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("--burst expects FROM:TO:FACTOR, got `{raw}`"));
+    }
+    Ok(Burst {
+        from_tick: parts[0].parse().map_err(|_| format!("invalid tick `{}`", parts[0]))?,
+        to_tick: parts[1].parse().map_err(|_| format!("invalid tick `{}`", parts[1]))?,
+        factor: parts[2].parse().map_err(|_| format!("invalid factor `{}`", parts[2]))?,
+    })
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let instance = load_instance(&args.require::<String>("instance")?)?;
+    let solution = load_solution(&args.require::<String>("solution")?)?;
+    let mut config = SimConfig::new(args.get_or("ticks", 1000)?);
+    for raw in args.get_all("fail") {
+        config = config.with_failure(parse_failure(raw)?);
+    }
+    if let Some(raw) = args.get("burst") {
+        config = config.with_burst(parse_burst(raw)?);
+    }
+    let report = rp_sim::simulate(&instance, &solution, &config);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ticks: {}\nissued: {}\nserved: {}\nrerouted: {}\ndropped: {}\navailability: {:.4}\nmean latency: {:.3}\nmax latency: {}\nmean utilisation: {:.3}\n",
+        report.ticks,
+        report.issued,
+        report.served,
+        report.rerouted,
+        report.dropped,
+        report.availability(),
+        report.mean_latency(),
+        report.max_latency,
+        report.mean_utilisation(),
+    ));
+    out.push_str("replica loads:\n");
+    for r in report.replicas() {
+        out.push_str(&format!(
+            "  {}: served {} peak {} utilisation {:.3}\n",
+            r.node, r.total_served, r.peak_load, r.mean_utilisation
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_experiment(args: &Args) -> Result<String, String> {
+    let id = args
+        .positional
+        .first()
+        .cloned()
+        .or_else(|| args.get("id").map(|s| s.to_string()))
+        .unwrap_or_else(|| "all".to_string());
+    let effort = if args.has_flag("full") { Effort::Full } else { Effort::Quick };
+    let tables = rp_harness::run_by_name(&id, effort)
+        .ok_or_else(|| format!("unknown experiment `{id}` (use e1..e9 or all)"))?;
+    let mut out = String::new();
+    for table in tables {
+        if args.has_flag("csv") {
+            out.push_str(&table.to_csv());
+            out.push('\n');
+        } else {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, String> {
+        dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&["help"]).unwrap().contains("usage"));
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn gen_solve_exact_validate_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join(format!("rp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.txt");
+        let sol = dir.join("sol.txt");
+        let inst_s = inst.to_str().unwrap();
+        let sol_s = sol.to_str().unwrap();
+
+        let out = run(&[
+            "gen", "--kind", "binary", "--clients", "8", "--seed", "3", "--dmax-fraction", "0.8",
+            "--out", inst_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let out = run(&[
+            "solve", "--instance", inst_s, "--algorithm", "multiple-bin", "--out", sol_s,
+        ])
+        .unwrap();
+        assert!(out.contains("replicas:"));
+
+        let out = run(&["validate", "--instance", inst_s, "--solution", sol_s, "--policy", "multiple"])
+            .unwrap();
+        assert!(out.starts_with("valid"));
+
+        let out = run(&["exact", "--instance", inst_s, "--policy", "multiple"]).unwrap();
+        assert!(out.contains("optimal replicas:"));
+
+        let out = run(&[
+            "simulate", "--instance", inst_s, "--solution", sol_s, "--ticks", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("availability: 1.0000"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_fig3_and_fig4() {
+        let out = run(&["gen", "--kind", "fig3", "--m", "2", "--delta", "3"]).unwrap();
+        assert!(out.contains("capacity"));
+        let out = run(&["gen", "--kind", "fig4", "--m", "4"]).unwrap();
+        assert!(out.contains("dmax none"));
+    }
+
+    #[test]
+    fn experiment_quick_markdown_and_csv() {
+        let md = run(&["experiment", "e2"]).unwrap();
+        assert!(md.contains("### E2"));
+        let csv = run(&["experiment", "e2", "--csv"]).unwrap();
+        assert!(csv.lines().next().unwrap().starts_with("K,"));
+        assert!(run(&["experiment", "e99"]).is_err());
+    }
+
+    #[test]
+    fn parse_failure_and_burst_specs() {
+        let f = parse_failure("3:10:20").unwrap();
+        assert_eq!(f.server, NodeId(3));
+        assert_eq!((f.from_tick, f.to_tick), (10, 20));
+        assert!(parse_failure("3:10").is_err());
+        let b = parse_burst("5:9:2.5").unwrap();
+        assert!((b.factor - 2.5).abs() < 1e-9);
+        assert!(parse_burst("oops").is_err());
+    }
+
+    #[test]
+    fn solve_rejects_unknown_algorithm() {
+        let err = run(&["solve", "--instance", "/nonexistent", "--algorithm", "magic"]);
+        assert!(err.is_err());
+    }
+}

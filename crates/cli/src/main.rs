@@ -1,0 +1,31 @@
+//! `rp` — command-line interface for the replica placement reproduction.
+//!
+//! ```text
+//! rp gen --kind binary --clients 32 --capacity-factor 3 --dmax-fraction 0.7 --seed 1 --out inst.txt
+//! rp solve --instance inst.txt --algorithm single-gen
+//! rp exact --instance inst.txt --policy multiple
+//! rp validate --instance inst.txt --solution sol.txt --policy single
+//! rp simulate --instance inst.txt --solution sol.txt --ticks 1000 --fail 3:100:200 --burst 50:80:2.0
+//! rp experiment e1 --full --csv
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

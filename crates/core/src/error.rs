@@ -1,0 +1,67 @@
+//! Errors returned by the placement algorithms.
+
+use rp_tree::NodeId;
+use std::fmt;
+
+/// Reasons an algorithm cannot produce a solution for an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// A client issues more requests than the capacity `W`, so it can never
+    /// be served by a single replica. The Single-policy algorithms (and
+    /// `multiple-bin`, whose optimality proof needs `r_i ≤ W`) refuse such
+    /// instances.
+    ClientExceedsCapacity {
+        /// The offending client.
+        client: NodeId,
+        /// Its number of requests.
+        requests: u64,
+        /// The instance capacity.
+        capacity: u64,
+    },
+    /// `multiple-bin` only handles binary trees (Multiple-Bin); the instance
+    /// has a node with more than two children.
+    NotBinary {
+        /// Arity found in the instance.
+        arity: usize,
+    },
+    /// A client cannot be served even with a replica on every node of its
+    /// path (only possible under the Multiple policy when `r_i` exceeds the
+    /// combined capacity of the whole path).
+    ClientUnservable {
+        /// The offending client.
+        client: NodeId,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::ClientExceedsCapacity { client, requests, capacity } => write!(
+                f,
+                "client {client} issues {requests} requests, above the capacity {capacity}"
+            ),
+            SolveError::NotBinary { arity } => {
+                write!(f, "multiple-bin requires a binary tree, found arity {arity}")
+            }
+            SolveError::ClientUnservable { client } => {
+                write!(f, "client {client} cannot be served even by its whole root path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let e = SolveError::ClientExceedsCapacity { client: NodeId(4), requests: 12, capacity: 7 };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains('7'));
+        assert!(SolveError::NotBinary { arity: 5 }.to_string().contains('5'));
+        assert!(SolveError::ClientUnservable { client: NodeId(1) }.to_string().contains("n1"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Post-optimisation of feasible solutions (extension).
+//!
+//! The paper's conclusion sketches a direction for closing the gap between
+//! the 3/2 inapproximability bound and the factor-2 algorithm: *"we rather
+//! envision to push servers towards the root of the tree, whenever
+//! possible"*. This module implements that idea as a local-search
+//! post-pass usable after any of the algorithms:
+//!
+//! * [`eliminate_replicas`] repeatedly tries to close a replica by moving its
+//!   load onto the remaining replicas (whole clients under the Single policy,
+//!   arbitrary splits under Multiple), preferring the least-loaded replica as
+//!   the elimination candidate;
+//! * [`improve`] runs the elimination pass until a fixed point is reached.
+//!
+//! The pass never increases the replica count and never produces an
+//! infeasible solution (every move is checked against ancestry, distance and
+//! capacity before being committed). It carries no worst-case guarantee — it
+//! is the ablation the experiments use to quantify how far simple local
+//! search can push the greedy algorithms towards the optimum.
+
+use rp_tree::{Instance, NodeId, Policy, Requests, Solution};
+use std::collections::BTreeMap;
+
+/// Runs [`eliminate_replicas`] until no further replica can be removed and
+/// returns the improved solution.
+pub fn improve(instance: &Instance, policy: Policy, solution: &Solution) -> Solution {
+    let mut current = solution.clone();
+    loop {
+        let improved = eliminate_replicas(instance, policy, &current);
+        if improved.replica_count() >= current.replica_count() {
+            return current;
+        }
+        current = improved;
+    }
+}
+
+/// Tries to remove replicas one at a time (least loaded first) by re-routing
+/// their assigned requests onto other replicas of the solution. Returns the
+/// first strictly better solution found, or a clone of the input if no
+/// replica can be eliminated.
+pub fn eliminate_replicas(instance: &Instance, policy: Policy, solution: &Solution) -> Solution {
+    let loads = solution.loads();
+    // Candidates for elimination, least loaded first (cheapest to re-route);
+    // idle forced replicas can always be dropped.
+    let mut replicas: Vec<(NodeId, Requests)> = solution
+        .replicas()
+        .into_iter()
+        .map(|r| (r, loads.get(&r).copied().unwrap_or(0)))
+        .collect();
+    replicas.sort_by_key(|&(_, load)| load);
+
+    for &(victim, load) in &replicas {
+        if load == 0 {
+            // An idle replica contributes to the objective but serves nobody.
+            let mut improved = rebuild_without(solution, victim);
+            improved = improve_noop_guard(improved, solution);
+            if improved.replica_count() < solution.replica_count() {
+                return improved;
+            }
+            continue;
+        }
+        if let Some(better) = try_eliminate(instance, policy, solution, victim) {
+            return better;
+        }
+    }
+    solution.clone()
+}
+
+/// Rebuilds `solution` with every fragment except those served by `victim`
+/// and without forcing `victim` as a replica.
+fn rebuild_without(solution: &Solution, victim: NodeId) -> Solution {
+    let mut out = Solution::new();
+    for f in solution.fragments() {
+        if f.server != victim {
+            out.assign(f.client, f.server, f.amount);
+        }
+    }
+    for r in solution.replicas() {
+        if r != victim && solution.load(r) == 0 {
+            out.force_replica(r);
+        }
+    }
+    out
+}
+
+fn improve_noop_guard(candidate: Solution, original: &Solution) -> Solution {
+    if candidate.replica_count() < original.replica_count() {
+        candidate
+    } else {
+        original.clone()
+    }
+}
+
+/// Attempts to close `victim` by moving its fragments onto the other replicas
+/// of the solution. Returns the re-routed solution if every fragment can be
+/// placed, `None` otherwise.
+fn try_eliminate(
+    instance: &Instance,
+    policy: Policy,
+    solution: &Solution,
+    victim: NodeId,
+) -> Option<Solution> {
+    let tree = instance.tree();
+    let capacity = instance.capacity();
+
+    // Remaining capacity of every other replica.
+    let mut spare: BTreeMap<NodeId, Requests> = BTreeMap::new();
+    for replica in solution.replicas() {
+        if replica != victim {
+            spare.insert(replica, capacity - solution.load(replica));
+        }
+    }
+    if spare.is_empty() {
+        return None;
+    }
+
+    // Fragments to re-route, largest first (hardest to place).
+    let mut moves: Vec<(NodeId, Requests)> = solution
+        .fragments()
+        .filter(|f| f.server == victim)
+        .map(|f| (f.client, f.amount))
+        .collect();
+    moves.sort_by_key(|&(_, amount)| std::cmp::Reverse(amount));
+
+    let mut base = rebuild_without(solution, victim);
+
+    for (client, amount) in moves {
+        // Eligible targets: replicas on the client's root path within dmax.
+        let mut targets: Vec<NodeId> = instance
+            .eligible_servers(client)
+            .into_iter()
+            .filter(|n| *n != victim && spare.contains_key(n))
+            .collect();
+        // Prefer targets that are already serving this client (no policy
+        // impact), then the ones with the most spare capacity.
+        targets.sort_by_key(|n| {
+            let already = solution.fragments().any(|f| f.client == client && f.server == *n);
+            (if already { 0u8 } else { 1u8 }, std::cmp::Reverse(spare[n]))
+        });
+        match policy {
+            Policy::Single => {
+                // The whole remaining amount must land on one server, and that
+                // server must be the client's unique server overall — which it
+                // is, because under Single the victim held the client's whole
+                // assignment.
+                let target = targets.iter().copied().find(|n| spare[n] >= amount)?;
+                *spare.get_mut(&target).unwrap() -= amount;
+                base.assign(client, target, amount);
+            }
+            Policy::Multiple => {
+                let mut remaining = amount;
+                for target in targets {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = remaining.min(spare[&target]);
+                    if take > 0 {
+                        *spare.get_mut(&target).unwrap() -= take;
+                        base.assign(client, target, take);
+                        remaining -= take;
+                    }
+                }
+                if remaining > 0 {
+                    return None;
+                }
+            }
+        }
+        let _ = tree;
+    }
+    debug_assert!(base.replica_count() < solution.replica_count());
+    Some(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
+    use rp_instances::worst_case::single_gen_tight;
+    use rp_instances::{EdgeDist, RequestDist};
+    use rp_tree::{validate, TreeBuilder};
+
+    #[test]
+    fn removes_idle_forced_replicas() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let c = b.add_client(root, 1, 3);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        let mut sol = Solution::new();
+        sol.assign(c, root, 3);
+        sol.force_replica(c); // an idle replica
+        assert_eq!(sol.replica_count(), 2);
+        let better = improve(&inst, Policy::Single, &sol);
+        assert_eq!(better.replica_count(), 1);
+        validate(&inst, Policy::Single, &better).unwrap();
+    }
+
+    #[test]
+    fn merges_underloaded_replicas_single_policy() {
+        // Two clients of 3 each served locally although the root could take both.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let c1 = b.add_client(root, 1, 3);
+        let c2 = b.add_client(root, 1, 3);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        let mut sol = Solution::new();
+        sol.assign(c1, c1, 3);
+        sol.assign(c2, root, 3);
+        let better = improve(&inst, Policy::Single, &sol);
+        let stats = validate(&inst, Policy::Single, &better).unwrap();
+        assert_eq!(stats.replica_count, 1);
+    }
+
+    #[test]
+    fn respects_distance_constraints_when_rerouting() {
+        // The far client cannot be moved to the root, so both replicas stay.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let far = b.add_client(root, 9, 3);
+        let near = b.add_client(root, 1, 3);
+        let inst = Instance::new(b.freeze().unwrap(), 10, Some(5)).unwrap();
+        let mut sol = Solution::new();
+        sol.assign(far, far, 3);
+        sol.assign(near, root, 3);
+        let better = improve(&inst, Policy::Single, &sol);
+        let stats = validate(&inst, Policy::Single, &better).unwrap();
+        assert_eq!(stats.replica_count, 2);
+    }
+
+    #[test]
+    fn splits_across_replicas_under_multiple_policy() {
+        // A victim with 6 requests can be split over two half-full replicas
+        // only under the Multiple policy.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        let c1 = b.add_client(n1, 1, 6);
+        let c2 = b.add_client(n1, 1, 7);
+        let c3 = b.add_client(n1, 1, 7);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        let mut sol = Solution::new();
+        sol.assign(c1, c1, 6); // victim candidate: load 6
+        sol.assign(c2, n1, 7);
+        sol.assign(c3, root, 7);
+        // Single policy: neither n1 (spare 3) nor root (spare 3) can take all 6.
+        let single = improve(&inst, Policy::Single, &sol);
+        assert_eq!(single.replica_count(), 3);
+        // Multiple policy: split 3 + 3.
+        let multiple = improve(&inst, Policy::Multiple, &sol);
+        let stats = validate(&inst, Policy::Multiple, &multiple).unwrap();
+        assert_eq!(stats.replica_count, 2);
+    }
+
+    #[test]
+    fn improves_single_gen_on_the_fig3_family() {
+        // single-gen places m(Δ+1) replicas on Im; the local search must not
+        // make it worse, and typically recovers part of the gap to m+1.
+        for (m, delta) in [(2usize, 2usize), (3, 3)] {
+            let tight = single_gen_tight(m, delta);
+            let sol = crate::single_gen(&tight.instance).unwrap();
+            let before = sol.replica_count();
+            let better = improve(&tight.instance, Policy::Single, &sol);
+            let stats = validate(&tight.instance, Policy::Single, &better).unwrap();
+            assert!(stats.replica_count <= before);
+            assert!(stats.replica_count as u64 >= tight.optimal_replicas);
+        }
+    }
+
+    #[test]
+    fn never_worse_and_always_feasible_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let arity = 2 + trial % 3;
+            let tree = random_kary_tree(
+                12,
+                arity,
+                &EdgeDist::Uniform { lo: 1, hi: 3 },
+                &RequestDist::Uniform { lo: 1, hi: 9 },
+                &mut rng,
+            );
+            let inst = wrap_instance(tree, 2.5, Some(0.7));
+            let sol = crate::single_gen(&inst).unwrap();
+            let better = improve(&inst, Policy::Single, &sol);
+            let stats = validate(&inst, Policy::Single, &better).unwrap();
+            assert!(stats.replica_count <= sol.replica_count());
+        }
+    }
+
+    #[test]
+    fn cannot_improve_an_already_optimal_multiple_bin_solution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let tree = random_binary_tree(
+            10,
+            &EdgeDist::Constant(1),
+            &RequestDist::Uniform { lo: 1, hi: 9 },
+            &mut rng,
+        );
+        let inst = wrap_instance(tree, 2.0, None);
+        let sol = crate::multiple_bin(&inst).unwrap();
+        let opt = rp_exact::optimal_replica_count(&inst, Policy::Multiple).unwrap();
+        let better = improve(&inst, Policy::Multiple, &sol);
+        let stats = validate(&inst, Policy::Multiple, &better).unwrap();
+        // Already optimal without distance constraints (Theorem 6): the pass
+        // must return something no better than the optimum and no worse than
+        // the input.
+        assert_eq!(stats.replica_count as u64, opt);
+    }
+}

@@ -1,0 +1,320 @@
+//! Algorithm 1 of the paper: `single-gen`, a (Δ+1)-approximation for the
+//! Single policy with distance constraints (Δ-approximation without them).
+//!
+//! The algorithm is a single bottom-up sweep. Each call on a node `j`
+//! returns the requests of `subtree(j)` that still have to be processed at
+//! `j` or above, together with the remaining distance allowance of the most
+//! constrained of them. Replicas are placed greedily in three situations
+//! (following the paper's step numbering):
+//!
+//! 1. the pending requests of a child cannot travel over the edge to `j`
+//!    without violating `dmax` → a replica is placed **on that child**;
+//! 2. the pending requests of all children together exceed `W` → a replica
+//!    is placed on **every child that still has pending requests**, so that
+//!    nothing is forwarded to `j`;
+//! 3. at the root, any remaining requests are absorbed by a replica on the
+//!    root itself.
+//!
+//! Because the paper's pseudo-code only tracks request *counts*, this
+//! implementation additionally carries the identity of the pending clients so
+//! that a complete, checkable [`Solution`] is produced. A whole client's
+//! requests always travel together, so the result honours the Single policy.
+
+use crate::error::SolveError;
+use rp_tree::{Dist, Instance, NodeId, Requests, Solution, Tree};
+
+/// Pending requests of one client, bubbling up the tree.
+#[derive(Debug, Clone)]
+struct PendingClient {
+    client: NodeId,
+    requests: Requests,
+}
+
+/// Result of the recursive call on one node: the pending clients that must be
+/// served at this node or above, and the distance allowance left for the most
+/// constrained of them (measured from this node).
+#[derive(Debug, Clone)]
+struct PendingSet {
+    clients: Vec<PendingClient>,
+    total: Requests,
+    /// Remaining allowance; `None` encodes "unconstrained" (no distance
+    /// constraint on the instance, or no pending requests).
+    allowance: Option<Dist>,
+}
+
+impl PendingSet {
+    fn empty(dmax: Option<Dist>) -> Self {
+        PendingSet { clients: Vec::new(), total: 0, allowance: dmax }
+    }
+}
+
+/// Runs Algorithm 1 (`single-gen`) and returns its placement and assignment.
+///
+/// # Errors
+///
+/// Returns [`SolveError::ClientExceedsCapacity`] if some client issues more
+/// than `W` requests — the Single problem has no solution in that case.
+pub fn single_gen(instance: &Instance) -> Result<Solution, SolveError> {
+    let tree = instance.tree();
+    let w = instance.capacity();
+    for &c in tree.clients() {
+        let r = tree.requests(c);
+        if r > w {
+            return Err(SolveError::ClientExceedsCapacity { client: c, requests: r, capacity: w });
+        }
+    }
+    let mut solution = Solution::new();
+    let result = visit(tree, instance, tree.root(), &mut solution);
+    // The root call always absorbs everything (step 3a of the paper).
+    debug_assert!(result.clients.is_empty());
+    debug_assert_eq!(result.total, 0);
+    Ok(solution)
+}
+
+/// Places a replica at `node` serving every pending client of `set`.
+fn place(solution: &mut Solution, node: NodeId, set: &mut PendingSet, dmax: Option<Dist>) {
+    for pc in set.clients.drain(..) {
+        solution.assign(pc.client, node, pc.requests);
+    }
+    set.total = 0;
+    set.allowance = dmax;
+}
+
+fn visit(tree: &Tree, instance: &Instance, j: NodeId, solution: &mut Solution) -> PendingSet {
+    let dmax = instance.dmax();
+    let w = instance.capacity();
+
+    if tree.is_client(j) {
+        let r = tree.requests(j);
+        if r == 0 {
+            return PendingSet::empty(dmax);
+        }
+        return PendingSet {
+            clients: vec![PendingClient { client: j, requests: r }],
+            total: r,
+            allowance: dmax,
+        };
+    }
+
+    let mut child_sets: Vec<PendingSet> = Vec::with_capacity(tree.children(j).len());
+    for &child in tree.children(j) {
+        let mut set = visit(tree, instance, child, solution);
+        let edge = tree.edge(child);
+        // Step 1: if the child's pending requests cannot travel over the edge
+        // to `j`, place a replica on the child.
+        let blocked = match set.allowance {
+            Some(allow) => edge > allow && set.total > 0,
+            None => false,
+        };
+        if blocked {
+            place(solution, child, &mut set, dmax);
+        } else if let Some(allow) = set.allowance {
+            set.allowance = Some(allow.saturating_sub(edge));
+        }
+        child_sets.push(set);
+    }
+
+    let total: u128 = child_sets.iter().map(|s| s.total as u128).sum();
+
+    if total > w as u128 {
+        // Step 2: too many pending requests; close every child that still
+        // has pending requests so that nothing reaches `j`.
+        for (idx, set) in child_sets.iter_mut().enumerate() {
+            if set.total > 0 {
+                let child = tree.children(j)[idx];
+                place(solution, child, set, dmax);
+            }
+        }
+        return PendingSet::empty(dmax);
+    }
+
+    // Step 3: the pending requests fit within one server.
+    let allowance = child_sets
+        .iter()
+        .filter_map(|s| s.allowance)
+        .min()
+        .or(dmax)
+        .filter(|_| dmax.is_some());
+    let mut merged = PendingSet {
+        clients: child_sets.into_iter().flat_map(|s| s.clients).collect(),
+        total: total as Requests,
+        allowance,
+    };
+    if j == tree.root() {
+        // Step 3a: the root absorbs whatever remains.
+        if merged.total > 0 {
+            place(solution, j, &mut merged, dmax);
+        }
+        return PendingSet::empty(dmax);
+    }
+    // Step 3b: forward to the parent.
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_instances::worst_case::single_gen_tight;
+    use rp_tree::{validate, Policy, TreeBuilder};
+
+    fn count(instance: &Instance) -> usize {
+        let sol = single_gen(instance).expect("feasible");
+        let stats = validate(instance, Policy::Single, &sol).expect("single-gen must be feasible");
+        stats.replica_count
+    }
+
+    #[test]
+    fn single_client_served_at_root_without_constraints() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        b.add_client(n1, 1, 5);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        let sol = single_gen(&inst).unwrap();
+        assert!(sol.is_replica(rp_tree::NodeId(0)));
+        assert_eq!(sol.replica_count(), 1);
+    }
+
+    #[test]
+    fn capacity_overflow_splits_children() {
+        // Three clients of 6 under one internal node, W = 10: their sum (18)
+        // exceeds W, so step 2 places a replica on each client.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        for _ in 0..3 {
+            b.add_client(n1, 1, 6);
+        }
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        assert_eq!(count(&inst), 3);
+    }
+
+    #[test]
+    fn distance_constraint_places_replica_on_child() {
+        // The client sits 6 away from its parent but dmax = 5.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        let c = b.add_client(n1, 6, 4);
+        let inst = Instance::new(b.freeze().unwrap(), 10, Some(5)).unwrap();
+        let sol = single_gen(&inst).unwrap();
+        validate(&inst, Policy::Single, &sol).unwrap();
+        assert!(sol.is_replica(c));
+        assert_eq!(sol.replica_count(), 1);
+    }
+
+    #[test]
+    fn distance_allowance_accumulates_along_path() {
+        // Chain with total distance 6 from the client to the root, dmax = 5:
+        // the requests must stop strictly below the root.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 3);
+        let n2 = b.add_internal(n1, 2);
+        b.add_client(n2, 1, 4);
+        let inst = Instance::new(b.freeze().unwrap(), 10, Some(5)).unwrap();
+        let sol = single_gen(&inst).unwrap();
+        let stats = validate(&inst, Policy::Single, &sol).unwrap();
+        assert_eq!(stats.replica_count, 1);
+        assert!(stats.max_distance <= 5);
+        // The replica must be n1 or below (distance from client to root is 6).
+        assert!(!sol.is_replica(root));
+    }
+
+    #[test]
+    fn zero_request_clients_add_no_replicas() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        b.add_client(n1, 1, 0);
+        b.add_client(n1, 1, 3);
+        let inst = Instance::new(b.freeze().unwrap(), 10, Some(10)).unwrap();
+        assert_eq!(count(&inst), 1);
+    }
+
+    #[test]
+    fn rejects_clients_larger_than_capacity() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let c = b.add_client(root, 1, 15);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        assert_eq!(
+            single_gen(&inst).unwrap_err(),
+            SolveError::ClientExceedsCapacity { client: c, requests: 15, capacity: 10 }
+        );
+    }
+
+    #[test]
+    fn empty_tree_needs_no_replicas() {
+        let inst = Instance::new(TreeBuilder::new().freeze().unwrap(), 5, None).unwrap();
+        assert_eq!(count(&inst), 0);
+    }
+
+    #[test]
+    fn fig3_instance_reaches_the_predicted_count() {
+        // Theorem 3 tightness: on `Im` the algorithm places exactly m(Δ+1)
+        // replicas (the paper's trace, Section 3.3).
+        for (m, delta) in [(1usize, 2usize), (2, 2), (3, 2), (2, 3), (2, 4), (3, 5)] {
+            let tight = single_gen_tight(m, delta);
+            let sol = single_gen(&tight.instance).expect("feasible");
+            let stats = validate(&tight.instance, Policy::Single, &sol).expect("feasible");
+            assert_eq!(
+                stats.replica_count as u64, tight.predicted_algorithm_replicas,
+                "m={m} delta={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn never_worse_than_delta_plus_one_times_optimal_on_small_instances() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rp_instances::random::{random_kary_tree, wrap_instance};
+        use rp_instances::{EdgeDist, RequestDist};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..12 {
+            let arity = 2 + (trial % 3);
+            let tree = random_kary_tree(
+                7,
+                arity,
+                &EdgeDist::Uniform { lo: 1, hi: 3 },
+                &RequestDist::Uniform { lo: 1, hi: 9 },
+                &mut rng,
+            );
+            let delta = tree.arity() as u64;
+            let inst = wrap_instance(tree, 2.0, Some(0.75));
+            let algo = count(&inst) as u64;
+            let opt = rp_exact::optimal_replica_count(&inst, Policy::Single)
+                .expect("instance is feasible by construction");
+            assert!(
+                algo <= (delta + 1) * opt,
+                "trial {trial}: algo {algo} > (Δ+1)·opt = {}",
+                (delta + 1) * opt
+            );
+        }
+    }
+
+    #[test]
+    fn without_distance_constraints_never_worse_than_delta_times_optimal() {
+        // Corollary 1: Δ-approximation for Single-NoD.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rp_instances::random::{random_kary_tree, wrap_instance};
+        use rp_instances::{EdgeDist, RequestDist};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..12 {
+            let tree = random_kary_tree(
+                7,
+                3,
+                &EdgeDist::Constant(1),
+                &RequestDist::Uniform { lo: 1, hi: 9 },
+                &mut rng,
+            );
+            let delta = tree.arity() as u64;
+            let inst = wrap_instance(tree, 2.5, None);
+            let algo = count(&inst) as u64;
+            let opt = rp_exact::optimal_replica_count(&inst, Policy::Single).expect("feasible");
+            assert!(algo <= delta * opt, "trial {trial}: algo {algo} > Δ·opt = {}", delta * opt);
+        }
+    }
+}

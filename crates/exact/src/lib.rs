@@ -1,0 +1,101 @@
+//! # rp-exact — exact optimal solvers for replica placement
+//!
+//! The approximation guarantees of the paper's algorithms (Theorems 3, 4 and
+//! 6) are only meaningful against the true optimum. This crate computes that
+//! optimum exactly on small instances, with implementations that are entirely
+//! independent of the heuristics in `rp-core`:
+//!
+//! * [`single`] — exact solver for the **Single** policy: iterative-deepening
+//!   branch-and-bound over whole-client assignments;
+//! * [`multiple`] — exact solver for the **Multiple** policy: replica sets are
+//!   enumerated by increasing cardinality, and feasibility of a fixed set is
+//!   decided with a max-flow computation;
+//! * [`flow`] — the Dinic max-flow implementation used by the Multiple
+//!   feasibility check (a small, self-contained network-flow substrate).
+//!
+//! Both solvers are exponential in the worst case (the problems are NP-hard,
+//! Theorems 1 and 5); they are intended for instances of a few dozen nodes,
+//! which is all the optimality experiments need.
+//!
+//! ```
+//! use rp_tree::{Instance, Policy, TreeBuilder};
+//! use rp_exact::optimal_replica_count;
+//!
+//! let mut b = TreeBuilder::new();
+//! let root = b.root();
+//! let c1 = b.add_client(root, 1, 4);
+//! let c2 = b.add_client(root, 1, 5);
+//! let _ = (c1, c2);
+//! let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+//! assert_eq!(optimal_replica_count(&inst, Policy::Single), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod multiple;
+pub mod single;
+
+use rp_tree::{Instance, Policy, Solution};
+
+/// Upper bound on the number of tree nodes accepted by the exact solvers.
+///
+/// Beyond this size the search space makes exhaustive optimisation
+/// impractical; callers should fall back to lower bounds instead.
+pub const MAX_EXACT_NODES: usize = 64;
+
+/// Computes an optimal solution for `instance` under `policy`.
+///
+/// Returns `None` when the instance is infeasible under the policy (for the
+/// Single policy this happens when some client issues more than `W`
+/// requests; for Multiple when even splitting over the whole eligible path
+/// cannot cover a client).
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_EXACT_NODES`] nodes.
+pub fn optimal_solution(instance: &Instance, policy: Policy) -> Option<Solution> {
+    assert!(
+        instance.tree().len() <= MAX_EXACT_NODES,
+        "exact solver limited to {MAX_EXACT_NODES} nodes, got {}",
+        instance.tree().len()
+    );
+    match policy {
+        Policy::Single => single::solve(instance),
+        Policy::Multiple => multiple::solve(instance),
+    }
+}
+
+/// Convenience wrapper returning only the optimal number of replicas.
+pub fn optimal_replica_count(instance: &Instance, policy: Policy) -> Option<u64> {
+    optimal_solution(instance, policy).map(|s| s.replica_count() as u64)
+}
+
+/// Checks whether `instance` admits *any* feasible solution with at most
+/// `budget` replicas under `policy` (used by the NP-hardness reduction
+/// experiments, which only need the YES/NO answer at a threshold).
+pub fn feasible_within(instance: &Instance, policy: Policy, budget: u64) -> bool {
+    match policy {
+        Policy::Single => single::solve_within(instance, budget).is_some(),
+        Policy::Multiple => multiple::solve_within(instance, budget).is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    #[test]
+    #[should_panic(expected = "exact solver limited")]
+    fn oversized_instances_are_rejected() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        for _ in 0..80 {
+            b.add_client(root, 1, 1);
+        }
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        let _ = optimal_solution(&inst, Policy::Single);
+    }
+}

@@ -1,0 +1,355 @@
+//! Exact solver for the Multiple policy.
+//!
+//! Replica sets are enumerated by increasing cardinality over the *useful*
+//! candidate nodes (nodes that can serve at least one client within `dmax`).
+//! For a fixed replica set, feasibility — can every client's requests be
+//! split over its eligible replicas without exceeding any capacity? — is a
+//! bipartite transportation problem solved with the Dinic max-flow
+//! implementation of [`crate::flow`]. The first cardinality admitting a
+//! feasible set is optimal.
+
+use crate::flow::{FlowNetwork, INF};
+use rp_tree::{Instance, NodeId, Solution};
+use std::collections::HashMap;
+
+/// Finds an optimal Multiple-policy solution, or `None` if the instance is
+/// infeasible (some client cannot be fully served even by opening every
+/// eligible server on its path).
+pub fn solve(instance: &Instance) -> Option<Solution> {
+    let prepared = Prepared::build(instance)?;
+    if prepared.clients.is_empty() {
+        return Some(Solution::new());
+    }
+    let lb = instance.request_volume_lower_bound().max(1);
+    let ub = prepared.candidates.len() as u64;
+    for budget in lb..=ub {
+        if let Some(sol) = prepared.search_cardinality(budget as usize) {
+            return Some(sol);
+        }
+    }
+    None
+}
+
+/// Finds a feasible Multiple-policy solution with at most `budget` replicas,
+/// or `None` if none exists within that budget.
+pub fn solve_within(instance: &Instance, budget: u64) -> Option<Solution> {
+    let prepared = Prepared::build(instance)?;
+    if prepared.clients.is_empty() {
+        return Some(Solution::new());
+    }
+    let lb = instance.request_volume_lower_bound().max(1);
+    let ub = (prepared.candidates.len() as u64).min(budget);
+    for k in lb..=ub {
+        if let Some(sol) = prepared.search_cardinality(k as usize) {
+            return Some(sol);
+        }
+    }
+    None
+}
+
+/// Preprocessed view of an instance: clients with positive requests, the
+/// candidate replica locations, and the client ↔ candidate eligibility lists.
+struct Prepared<'a> {
+    instance: &'a Instance,
+    /// Clients with at least one request.
+    clients: Vec<NodeId>,
+    /// Requests of each client (parallel to `clients`).
+    demands: Vec<u64>,
+    /// Candidate servers (serve at least one client within `dmax`).
+    candidates: Vec<NodeId>,
+    /// For each client index, the indices (into `candidates`) it can use.
+    eligible: Vec<Vec<usize>>,
+    /// Candidate indices that must be open in every feasible solution: a
+    /// client needing `⌈r_i / W⌉` servers with exactly that many eligible
+    /// locations forces all of them (this is what makes gadget instances with
+    /// a huge client — Fig. 5 — tractable for the enumeration).
+    forced: Vec<usize>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Builds the preprocessed view; returns `None` if some client cannot be
+    /// fully served even with every eligible server open.
+    fn build(instance: &'a Instance) -> Option<Self> {
+        let tree = instance.tree();
+        let mut clients = Vec::new();
+        let mut demands = Vec::new();
+        let mut candidate_index: HashMap<NodeId, usize> = HashMap::new();
+        let mut candidates: Vec<NodeId> = Vec::new();
+        let mut eligible: Vec<Vec<usize>> = Vec::new();
+
+        for &c in tree.clients() {
+            let r = tree.requests(c);
+            if r == 0 {
+                continue;
+            }
+            let servers = instance.eligible_servers(c);
+            // Feasibility of this client in isolation: its whole path open.
+            let path_capacity = (servers.len() as u128) * instance.capacity() as u128;
+            if (r as u128) > path_capacity {
+                return None;
+            }
+            let mut elig = Vec::with_capacity(servers.len());
+            for s in servers {
+                let idx = *candidate_index.entry(s).or_insert_with(|| {
+                    candidates.push(s);
+                    candidates.len() - 1
+                });
+                elig.push(idx);
+            }
+            clients.push(c);
+            demands.push(r);
+            eligible.push(elig);
+        }
+        // Forced candidates: a client whose request volume needs every one of
+        // its eligible servers pins them all.
+        let w = instance.capacity();
+        let mut forced: Vec<usize> = Vec::new();
+        for (ci, elig) in eligible.iter().enumerate() {
+            let required = demands[ci].div_ceil(w) as usize;
+            if required == elig.len() {
+                forced.extend(elig.iter().copied());
+            }
+        }
+        forced.sort_unstable();
+        forced.dedup();
+        Some(Prepared { instance, clients, demands, candidates, eligible, forced })
+    }
+
+    /// Searches for a feasible replica set of exactly `k` candidates.
+    fn search_cardinality(&self, k: usize) -> Option<Solution> {
+        if k > self.candidates.len() || k < self.forced.len() {
+            return None;
+        }
+        let free: Vec<usize> =
+            (0..self.candidates.len()).filter(|i| !self.forced.contains(i)).collect();
+        let remaining = k - self.forced.len();
+        let mut chosen: Vec<usize> = self.forced.clone();
+        self.enumerate(&free, 0, remaining, &mut chosen)
+    }
+
+    fn enumerate(
+        &self,
+        free: &[usize],
+        start: usize,
+        remaining: usize,
+        chosen: &mut Vec<usize>,
+    ) -> Option<Solution> {
+        if remaining == 0 {
+            return self.check_feasible(chosen);
+        }
+        if free.len() - start < remaining {
+            return None;
+        }
+        for pos in start..free.len() {
+            chosen.push(free[pos]);
+            if let Some(sol) = self.enumerate(free, pos + 1, remaining - 1, chosen) {
+                return Some(sol);
+            }
+            chosen.pop();
+        }
+        None
+    }
+
+    /// Max-flow feasibility for a fixed replica set, returning the induced
+    /// assignment when feasible.
+    fn check_feasible(&self, chosen: &[usize]) -> Option<Solution> {
+        let w = self.instance.capacity();
+        let chosen_set: Vec<bool> = {
+            let mut v = vec![false; self.candidates.len()];
+            for &i in chosen {
+                v[i] = true;
+            }
+            v
+        };
+        // Cheap necessary conditions before building the flow network:
+        // every client needs at least one open eligible server, and enough
+        // aggregate eligible capacity.
+        for (ci, elig) in self.eligible.iter().enumerate() {
+            let open: u64 = elig.iter().filter(|&&i| chosen_set[i]).count() as u64;
+            if open == 0 || open.saturating_mul(w) < self.demands[ci] {
+                return None;
+            }
+        }
+
+        // Nodes: 0 = source, 1..=clients = client nodes, then chosen servers, then sink.
+        let n_clients = self.clients.len();
+        let n_servers = chosen.len();
+        let source = 0usize;
+        let sink = 1 + n_clients + n_servers;
+        let mut net = FlowNetwork::new(sink + 1);
+        let server_offset = 1 + n_clients;
+        let chosen_pos: HashMap<usize, usize> =
+            chosen.iter().enumerate().map(|(pos, &cand)| (cand, pos)).collect();
+
+        let mut demand_total: u64 = 0;
+        let mut client_server_edges = Vec::new();
+        for ci in 0..n_clients {
+            net.add_edge(source, 1 + ci, self.demands[ci]);
+            demand_total = demand_total.saturating_add(self.demands[ci]);
+            for &cand in &self.eligible[ci] {
+                if let Some(&pos) = chosen_pos.get(&cand) {
+                    let handle = net.add_edge(1 + ci, server_offset + pos, INF);
+                    client_server_edges.push((ci, cand, handle));
+                }
+            }
+        }
+        for pos in 0..n_servers {
+            net.add_edge(server_offset + pos, sink, w);
+        }
+        let flow = net.max_flow(source, sink);
+        if flow < demand_total {
+            return None;
+        }
+        let mut sol = Solution::new();
+        for (ci, cand, handle) in client_server_edges {
+            let amount = net.flow_on(handle);
+            if amount > 0 {
+                sol.assign(self.clients[ci], self.candidates[cand], amount);
+            }
+        }
+        Some(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::{validate, Policy, TreeBuilder};
+
+    fn check(instance: &Instance, expected: Option<u64>) {
+        let sol = solve(instance);
+        match (sol, expected) {
+            (Some(s), Some(k)) => {
+                let stats =
+                    validate(instance, Policy::Multiple, &s).expect("exact must be feasible");
+                assert_eq!(stats.replica_count as u64, k);
+            }
+            (None, None) => {}
+            (got, want) => panic!("expected {want:?}, got {:?}", got.map(|s| s.replica_count())),
+        }
+    }
+
+    #[test]
+    fn splitting_beats_single_policy() {
+        // Two clients of 6 under the root, W = 10: Multiple can split one
+        // client between the root and itself? No — a client's servers must be
+        // on its own path; the root plus one client replica suffices:
+        // root serves 6 + 4, the second client serves its remaining 2 → 2.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        b.add_client(root, 1, 6);
+        b.add_client(root, 1, 6);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        check(&inst, Some(2));
+        // Single policy on the same instance also needs 2, but via whole
+        // assignments (root + one client).
+        assert_eq!(crate::single::solve(&inst).unwrap().replica_count(), 2);
+    }
+
+    #[test]
+    fn splitting_required_when_client_exceeds_capacity() {
+        // One client with 25 requests, W = 10: needs 3 servers on its path.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        b.add_client(n1, 1, 25);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        check(&inst, Some(3));
+        // The Single policy is infeasible here.
+        assert!(crate::single::solve(&inst).is_none());
+    }
+
+    #[test]
+    fn infeasible_when_path_is_too_short() {
+        // Client with 25 requests but only itself and the root eligible → 20 < 25.
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        b.add_client(root, 1, 25);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        check(&inst, None);
+    }
+
+    #[test]
+    fn distance_constraints_restrict_candidates() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 4);
+        b.add_client(n1, 4, 12);
+        let tree = b.freeze().unwrap();
+        // dmax = 4: only the client itself and n1 are usable → 2 servers.
+        let inst = Instance::new(tree.clone(), 10, Some(4)).unwrap();
+        check(&inst, Some(2));
+        // dmax = 8: the root becomes usable but 2 servers are still optimal.
+        let inst = Instance::new(tree.clone(), 10, Some(8)).unwrap();
+        check(&inst, Some(2));
+        // dmax = 3: even the parent is out of reach and 12 > W locally.
+        let inst = Instance::new(tree, 10, Some(3)).unwrap();
+        check(&inst, None);
+    }
+
+    #[test]
+    fn volume_bound_is_tight_on_balanced_instances() {
+        // 4 clients of 5 under one internal node, W = 10 → 2 replicas suffice
+        // (the internal node and the root absorb 10 each).
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        for _ in 0..4 {
+            b.add_client(n1, 1, 5);
+        }
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        check(&inst, Some(2));
+    }
+
+    #[test]
+    fn zero_request_instance_needs_no_replicas() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        b.add_client(root, 1, 0);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        check(&inst, Some(0));
+    }
+
+    #[test]
+    fn solve_within_budget_bounds() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        for _ in 0..5 {
+            b.add_client(n1, 1, 4);
+        }
+        // 20 requests, W = 7 → volume bound says 3, but a client replica can
+        // only absorb its own 4 requests: n1 + root + one client = 18 < 20,
+        // so the optimum is 4 (n1, root and two client replicas).
+        let inst = Instance::new(b.freeze().unwrap(), 7, None).unwrap();
+        assert!(solve_within(&inst, 2).is_none());
+        assert!(solve_within(&inst, 3).is_none());
+        let sol = solve_within(&inst, 4).expect("4 replicas suffice");
+        let stats = validate(&inst, Policy::Multiple, &sol).unwrap();
+        assert_eq!(stats.replica_count, 4);
+    }
+
+    #[test]
+    fn multiple_never_needs_more_than_single() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rp_instances::random::{random_binary_tree, wrap_instance};
+        use rp_instances::{EdgeDist, RequestDist};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..8 {
+            let tree = random_binary_tree(
+                6,
+                &EdgeDist::Uniform { lo: 1, hi: 2 },
+                &RequestDist::Uniform { lo: 1, hi: 9 },
+                &mut rng,
+            );
+            let inst = wrap_instance(tree, 2.0, Some(0.7));
+            let single = crate::single::solve(&inst).map(|s| s.replica_count());
+            let multiple = solve(&inst).map(|s| s.replica_count());
+            let (Some(s), Some(m)) = (single, multiple) else {
+                panic!("both policies should be feasible when r_i ≤ W");
+            };
+            assert!(m <= s, "Multiple ({m}) must never need more replicas than Single ({s})");
+        }
+    }
+}

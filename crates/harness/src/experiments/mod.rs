@@ -1,0 +1,14 @@
+//! One module per group of experiments; see the crate docs for the mapping
+//! from experiment ids to the paper's figures and theorems.
+
+mod optimality;
+mod policy;
+mod reductions;
+mod scaling;
+mod tightness;
+
+pub use optimality::{e3_multiple_bin_optimality, e4_random_ratio};
+pub use policy::{e7_policy_comparison, e8_sensitivity};
+pub use reductions::{e5_reductions, e9_inapproximability};
+pub use scaling::e6_scaling;
+pub use tightness::{e1_single_gen_tightness, e2_single_nod_tightness};

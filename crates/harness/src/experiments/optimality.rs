@@ -1,0 +1,211 @@
+//! E3 and E4: optimality of `multiple-bin` (Theorem 6) and the observed
+//! approximation quality of the Single-policy algorithms (Theorems 3 & 4,
+//! Corollary 1) on random instances.
+
+use crate::parallel::{par_map, trial_seed};
+use crate::report::{fmt_f, Table};
+use crate::stats::Summary;
+use crate::Effort;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::{bounds, multiple_bin, single_gen, single_nod};
+use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
+use rp_instances::{EdgeDist, RequestDist};
+use rp_tree::{validate, Instance, Policy};
+
+const BASE_SEED: u64 = 0x5EED_0003;
+
+/// E3 / Theorem 6: `multiple-bin` versus the exact optimum on random binary
+/// trees, with and without distance constraints.
+///
+/// The paper proves optimality when every client satisfies `r_i ≤ W`. The
+/// reproduction confirms it for the NoD case and measures, for the
+/// distance-constrained case, how often the algorithm (as specified in the
+/// research report) matches the optimum — a boundary case was found where it
+/// uses one extra replica (see the note attached to the table).
+pub fn e3_multiple_bin_optimality(effort: Effort) -> Table {
+    let trials = effort.pick(8, 60);
+    let clients_options: Vec<usize> = effort.pick(vec![6, 8], vec![8, 10, 12]);
+    let configs: Vec<(usize, Option<f64>)> = clients_options
+        .iter()
+        .flat_map(|&c| [(c, None), (c, Some(0.7))])
+        .collect();
+
+    let mut table = Table::new(
+        "E3 (Theorem 6) — multiple-bin vs exact optimum on random binary trees",
+        &["clients", "dmax", "trials", "optimal matches", "mean gap", "max gap"],
+    );
+    for (clients, dmax_fraction) in configs {
+        let results = par_map(trials, |t| {
+            let seed = trial_seed(BASE_SEED, t + clients * 1000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = random_binary_tree(
+                clients,
+                &EdgeDist::Uniform { lo: 1, hi: 3 },
+                &RequestDist::Uniform { lo: 1, hi: 9 },
+                &mut rng,
+            );
+            let inst = wrap_instance(tree, 2.0, dmax_fraction);
+            let sol = multiple_bin(&inst).expect("binary, r_i ≤ W");
+            let stats = validate(&inst, Policy::Multiple, &sol).expect("must be feasible");
+            let opt = rp_exact::optimal_replica_count(&inst, Policy::Multiple)
+                .expect("feasible since r_i ≤ W");
+            let algo = stats.replica_count as u64;
+            assert!(algo >= opt, "an algorithm cannot beat the exact optimum");
+            (algo - opt) as f64
+        });
+        let gaps = Summary::of(&results);
+        let matches = results.iter().filter(|g| **g == 0.0).count();
+        table.push_row(vec![
+            clients.to_string(),
+            dmax_fraction.map_or("none".to_string(), |f| format!("{:.0}% of depth", f * 100.0)),
+            trials.to_string(),
+            format!("{matches}/{trials}"),
+            fmt_f(gaps.mean, 3),
+            fmt_f(gaps.max, 0),
+        ]);
+    }
+    table.push_note(
+        "Paper expectation: gap 0 everywhere (Theorem 6). Reproduction finding: the gap is 0 on \
+         every NoD instance, but with distance constraints rare boundary instances occur where \
+         the algorithm of the research report uses one extra replica, because a capacity-forced \
+         replica may absorb requests that could still have travelled higher while the strict \
+         counting argument of the proof needs strictly more than (|serv(k)|-1)·W stuck requests.",
+    );
+    table
+}
+
+fn ratio_against_reference(inst: &Instance, algo: u64, exact_cap: usize) -> (f64, &'static str) {
+    if inst.tree().len() <= exact_cap {
+        let opt = rp_exact::optimal_replica_count(inst, Policy::Single)
+            .expect("instances are feasible by construction");
+        (algo as f64 / opt.max(1) as f64, "exact")
+    } else {
+        let lb = bounds::combined_lower_bound(inst).max(1);
+        (algo as f64 / lb as f64, "lower bound")
+    }
+}
+
+/// E4 / Theorems 3 & 4, Corollary 1: observed approximation ratios of
+/// `single-gen` and `single-nod` on random trees of arity 2–4, with and
+/// without distance constraints, against the exact optimum (small instances)
+/// or the combined lower bound (larger ones).
+pub fn e4_random_ratio(effort: Effort) -> Table {
+    let trials = effort.pick(6, 40);
+    let clients = effort.pick(7, 40);
+    let exact_cap = effort.pick(15, 15);
+    let arities: Vec<usize> = effort.pick(vec![2, 3], vec![2, 3, 4]);
+
+    let mut table = Table::new(
+        "E4 (Theorems 3/4, Corollary 1) — observed approximation ratios on random trees",
+        &["Δ", "dmax", "algorithm", "mean ratio", "max ratio", "proven bound", "reference"],
+    );
+    for &arity in &arities {
+        for dmax_fraction in [None, Some(0.7)] {
+            let per_trial = par_map(trials, |t| {
+                let seed = trial_seed(BASE_SEED ^ 0xE4, t + arity * 7919);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tree = random_kary_tree(
+                    clients,
+                    arity,
+                    &EdgeDist::Uniform { lo: 1, hi: 3 },
+                    &RequestDist::Uniform { lo: 1, hi: 9 },
+                    &mut rng,
+                );
+                let delta = tree.arity();
+                let inst = wrap_instance(tree, 2.0, dmax_fraction);
+                let gen_count = {
+                    let sol = single_gen(&inst).expect("feasible");
+                    validate(&inst, Policy::Single, &sol).expect("feasible").replica_count as u64
+                };
+                // single-nod is only defined without distance constraints.
+                let nod_count = if dmax_fraction.is_none() {
+                    let sol = single_nod(&inst).expect("feasible");
+                    Some(
+                        validate(&inst, Policy::Single, &sol).expect("feasible").replica_count
+                            as u64,
+                    )
+                } else {
+                    None
+                };
+                let (gen_ratio, reference) = ratio_against_reference(&inst, gen_count, exact_cap);
+                let nod_ratio =
+                    nod_count.map(|c| ratio_against_reference(&inst, c, exact_cap).0);
+                (delta, gen_ratio, nod_ratio, reference)
+            });
+            let reference = per_trial.first().map(|r| r.3).unwrap_or("exact");
+            let delta_max = per_trial.iter().map(|r| r.0).max().unwrap_or(arity);
+            let gen_ratios: Vec<f64> = per_trial.iter().map(|r| r.1).collect();
+            let gen = Summary::of(&gen_ratios);
+            let dmax_label =
+                dmax_fraction.map_or("none".to_string(), |f| format!("{:.0}% of depth", f * 100.0));
+            let gen_bound =
+                if dmax_fraction.is_none() { delta_max } else { delta_max + 1 };
+            table.push_row(vec![
+                arity.to_string(),
+                dmax_label.clone(),
+                "single-gen".to_string(),
+                fmt_f(gen.mean, 3),
+                fmt_f(gen.max, 3),
+                gen_bound.to_string(),
+                reference.to_string(),
+            ]);
+            if dmax_fraction.is_none() {
+                let nod_ratios: Vec<f64> =
+                    per_trial.iter().filter_map(|r| r.2).collect();
+                let nod = Summary::of(&nod_ratios);
+                table.push_row(vec![
+                    arity.to_string(),
+                    dmax_label,
+                    "single-nod".to_string(),
+                    fmt_f(nod.mean, 3),
+                    fmt_f(nod.max, 3),
+                    "2".to_string(),
+                    reference.to_string(),
+                ]);
+            }
+        }
+    }
+    table.push_note(
+        "Paper expectation: single-gen stays within Δ+1 (Δ without distance constraints, \
+         Corollary 1) and single-nod within 2 of the optimum; on random instances both are far \
+         below their worst-case bounds.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_gaps_are_small_and_nod_case_is_exact() {
+        let table = e3_multiple_bin_optimality(Effort::Quick);
+        assert!(!table.is_empty());
+        for row in &table.rows {
+            let max_gap: f64 = row[5].parse().unwrap();
+            assert!(max_gap <= 1.0, "gap must never exceed one replica on these sizes");
+            if row[1] == "none" {
+                assert_eq!(row[4], "0.000", "NoD instances must match the optimum exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn e4_ratios_respect_proven_bounds() {
+        let table = e4_random_ratio(Effort::Quick);
+        assert!(!table.is_empty());
+        for row in &table.rows {
+            let max_ratio: f64 = row[4].parse().unwrap();
+            let bound: f64 = row[5].parse().unwrap();
+            // Ratios vs the exact optimum must respect the proven bounds.
+            if row[6] == "exact" {
+                assert!(
+                    max_ratio <= bound + 1e-9,
+                    "{} exceeded its bound: {max_ratio} > {bound}",
+                    row[2]
+                );
+            }
+        }
+    }
+}

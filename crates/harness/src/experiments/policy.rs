@@ -1,0 +1,202 @@
+//! E7 and E8: Single vs Multiple policy, and sensitivity to the capacity `W`
+//! and the distance bound `dmax`.
+//!
+//! The paper's framework section motivates the Multiple policy by the extra
+//! freedom of splitting a client's requests; these experiments quantify how
+//! many replicas that freedom saves on random binary trees (E7), and how both
+//! policies react when the capacity and the distance budget are tightened
+//! (E8).
+
+use crate::parallel::{par_map, trial_seed};
+use crate::report::{fmt_f, Table};
+use crate::stats::Summary;
+use crate::Effort;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::{baselines, bounds, multiple_bin, single_gen};
+use rp_instances::random::{random_binary_tree, wrap_instance};
+use rp_instances::{EdgeDist, RequestDist};
+use rp_tree::{validate, Policy};
+
+const BASE_SEED: u64 = 0x5EED_0007;
+
+/// E7: replicas used by the Single and Multiple policies on random binary
+/// trees as the distance constraint tightens.
+pub fn e7_policy_comparison(effort: Effort) -> Table {
+    let trials = effort.pick(8, 50);
+    let clients = effort.pick(24, 200);
+    let dmax_fractions: Vec<Option<f64>> =
+        vec![None, Some(0.9), Some(0.7), Some(0.5), Some(0.4)];
+
+    let mut table = Table::new(
+        "E7 — Single vs Multiple policy on random binary trees",
+        &[
+            "dmax",
+            "volume LB",
+            "combined LB",
+            "multiple-bin",
+            "multiple-greedy",
+            "single-gen",
+            "clients-only",
+            "multiple saves vs single",
+        ],
+    );
+    for dmax_fraction in dmax_fractions {
+        let rows = par_map(trials, |t| {
+            let seed = trial_seed(BASE_SEED, t);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = random_binary_tree(
+                clients,
+                &EdgeDist::Uniform { lo: 1, hi: 3 },
+                &RequestDist::Uniform { lo: 1, hi: 9 },
+                &mut rng,
+            );
+            let inst = wrap_instance(tree, 3.0, dmax_fraction);
+            let volume_lb = bounds::volume_lower_bound(&inst) as f64;
+            let combined_lb = bounds::combined_lower_bound(&inst) as f64;
+            let run = |sol: rp_tree::Solution, policy: Policy| -> f64 {
+                validate(&inst, policy, &sol).expect("must be feasible").replica_count as f64
+            };
+            let multiple = run(multiple_bin(&inst).expect("feasible"), Policy::Multiple);
+            let greedy =
+                run(baselines::multiple_greedy(&inst).expect("feasible"), Policy::Multiple);
+            let single = run(single_gen(&inst).expect("feasible"), Policy::Single);
+            let clients_only =
+                run(baselines::clients_only(&inst).expect("feasible"), Policy::Single);
+            (volume_lb, combined_lb, multiple, greedy, single, clients_only)
+        });
+        let col = |f: fn(&(f64, f64, f64, f64, f64, f64)) -> f64| -> Summary {
+            Summary::of(&rows.iter().map(f).collect::<Vec<_>>())
+        };
+        let volume = col(|r| r.0);
+        let combined = col(|r| r.1);
+        let multiple = col(|r| r.2);
+        let greedy = col(|r| r.3);
+        let single = col(|r| r.4);
+        let clients_only = col(|r| r.5);
+        let saving = if single.mean > 0.0 {
+            100.0 * (single.mean - multiple.mean) / single.mean
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            dmax_label(dmax_fraction),
+            volume.fmt_mean(),
+            combined.fmt_mean(),
+            multiple.fmt_mean(),
+            greedy.fmt_mean(),
+            single.fmt_mean(),
+            clients_only.fmt_mean(),
+            format!("{saving:.1}%"),
+        ]);
+    }
+    table.push_note(
+        "Expected shape: Multiple ≤ Single ≤ clients-only everywhere; the gap between the \
+         policies widens as dmax tightens, because the Single policy cannot split a client whose \
+         nearby servers are almost full, while the Multiple policy tops them up exactly.",
+    );
+    table
+}
+
+/// E8: sensitivity of both policies to the capacity (expressed as average
+/// clients per server) and to `dmax`.
+pub fn e8_sensitivity(effort: Effort) -> Table {
+    let trials = effort.pick(6, 40);
+    let clients = effort.pick(24, 150);
+    let load_factors: Vec<f64> = effort.pick(vec![1.5, 3.0, 6.0], vec![1.5, 2.0, 3.0, 4.0, 6.0, 8.0]);
+    let dmax_fractions: Vec<Option<f64>> = vec![None, Some(0.6)];
+
+    let mut table = Table::new(
+        "E8 — sensitivity to the capacity W and to dmax",
+        &["clients per server (W/avg r)", "dmax", "volume LB", "multiple-bin", "single-gen", "utilisation (multiple)"],
+    );
+    for &load in &load_factors {
+        for &dmax_fraction in &dmax_fractions {
+            let rows = par_map(trials, |t| {
+                let seed = trial_seed(BASE_SEED ^ 0xE8, t);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tree = random_binary_tree(
+                    clients,
+                    &EdgeDist::Uniform { lo: 1, hi: 3 },
+                    &RequestDist::Uniform { lo: 1, hi: 9 },
+                    &mut rng,
+                );
+                let inst = wrap_instance(tree, load, dmax_fraction);
+                let volume_lb = bounds::volume_lower_bound(&inst) as f64;
+                let multiple_sol = multiple_bin(&inst).expect("feasible");
+                let multiple_stats =
+                    validate(&inst, Policy::Multiple, &multiple_sol).expect("feasible");
+                let single_sol = single_gen(&inst).expect("feasible");
+                let single_stats = validate(&inst, Policy::Single, &single_sol).expect("feasible");
+                (
+                    volume_lb,
+                    multiple_stats.replica_count as f64,
+                    single_stats.replica_count as f64,
+                    multiple_stats.avg_utilisation,
+                )
+            });
+            let volume = Summary::of(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+            let multiple = Summary::of(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+            let single = Summary::of(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+            let util = Summary::of(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
+            table.push_row(vec![
+                format!("{load:.1}"),
+                dmax_label(dmax_fraction),
+                volume.fmt_mean(),
+                multiple.fmt_mean(),
+                single.fmt_mean(),
+                fmt_f(util.mean, 3),
+            ]);
+        }
+    }
+    table.push_note(
+        "Expected shape: larger capacities (more clients per server) reduce the replica count \
+         roughly inversely until the distance constraint, not the capacity, becomes the \
+         bottleneck; at that point adding capacity no longer helps and utilisation drops.",
+    );
+    table
+}
+
+fn dmax_label(fraction: Option<f64>) -> String {
+    fraction.map_or("none".to_string(), |f| format!("{:.0}% of depth", f * 100.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_policy_ordering_holds() {
+        let table = e7_policy_comparison(Effort::Quick);
+        for row in &table.rows {
+            let lb: f64 = row[2].parse().unwrap();
+            let multiple: f64 = row[3].parse().unwrap();
+            let greedy: f64 = row[4].parse().unwrap();
+            let single: f64 = row[5].parse().unwrap();
+            let clients_only: f64 = row[6].parse().unwrap();
+            assert!(lb <= multiple + 1e-9);
+            assert!(multiple <= greedy + 1e-9, "multiple-bin must not lose to the greedy");
+            assert!(multiple <= single + 1e-9, "Multiple policy must not need more than Single");
+            assert!(single <= clients_only + 1e-9);
+        }
+    }
+
+    #[test]
+    fn e8_more_capacity_never_hurts() {
+        let table = e8_sensitivity(Effort::Quick);
+        // For a fixed dmax setting, the mean multiple-bin count must be
+        // non-increasing in the load factor.
+        for dmax in ["none", "60% of depth"] {
+            let counts: Vec<f64> = table
+                .rows
+                .iter()
+                .filter(|r| r[1] == dmax)
+                .map(|r| r[3].parse().unwrap())
+                .collect();
+            assert!(!counts.is_empty());
+            for w in counts.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "replica count must not grow with capacity: {counts:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! E6: complexity / scaling measurements.
+//!
+//! The paper states the following running times: `single-gen` in `O(Δ·|T|)`,
+//! `single-nod` in `O((Δ log Δ + |C|)·|T|)` and `multiple-bin` in `O(|T|²)`.
+//! This experiment measures wall-clock time on growing random trees and
+//! reports the time normalised by the predicted asymptotic term, which should
+//! stay roughly constant when the bound is the right order of magnitude.
+//! (Criterion benches in `crates/bench` provide the statistically rigorous
+//! timing; this table is the quick, human-readable view.)
+
+use crate::parallel::trial_seed;
+use crate::report::{fmt_f, Table};
+use crate::Effort;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::{baselines, multiple_bin, single_gen, single_nod};
+use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
+use rp_instances::{EdgeDist, RequestDist};
+use rp_tree::Instance;
+use std::time::Instant;
+
+const BASE_SEED: u64 = 0x5EED_0006;
+
+fn time_ms<F: FnMut()>(mut f: F, repeats: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / repeats as f64
+}
+
+fn binary_instance(clients: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = random_binary_tree(
+        clients,
+        &EdgeDist::Uniform { lo: 1, hi: 3 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut rng,
+    );
+    wrap_instance(tree, 4.0, Some(0.7))
+}
+
+fn kary_instance(clients: usize, arity: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = random_kary_tree(
+        clients,
+        arity,
+        &EdgeDist::Uniform { lo: 1, hi: 3 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut rng,
+    );
+    wrap_instance(tree, 4.0, Some(0.7))
+}
+
+/// E6: wall-clock scaling of the three algorithms (plus the greedy Multiple
+/// baseline) on growing random trees.
+pub fn e6_scaling(effort: Effort) -> Table {
+    let sizes: Vec<usize> = effort.pick(vec![128, 256, 512], vec![512, 2048, 8192, 32768]);
+    let repeats = effort.pick(3, 10);
+    let arity = 4;
+
+    let mut table = Table::new(
+        "E6 — running-time scaling of the algorithms",
+        &["algorithm", "clients", "tree nodes", "time (ms)", "time / predicted term (µs)"],
+    );
+
+    for (i, &clients) in sizes.iter().enumerate() {
+        let seed = trial_seed(BASE_SEED, i);
+        // single-gen and single-nod on Δ=4 trees.
+        let inst = kary_instance(clients, arity, seed);
+        let n = inst.tree().len() as f64;
+        let delta = inst.tree().arity() as f64;
+        let c = inst.tree().client_count() as f64;
+
+        let t_gen = time_ms(|| drop(single_gen(&inst).expect("feasible")), repeats);
+        table.push_row(vec![
+            "single-gen".into(),
+            clients.to_string(),
+            inst.tree().len().to_string(),
+            fmt_f(t_gen, 3),
+            fmt_f(t_gen * 1000.0 / (delta * n), 4),
+        ]);
+
+        let t_nod = time_ms(|| drop(single_nod(&inst).expect("feasible")), repeats);
+        table.push_row(vec![
+            "single-nod".into(),
+            clients.to_string(),
+            inst.tree().len().to_string(),
+            fmt_f(t_nod, 3),
+            fmt_f(t_nod * 1000.0 / ((delta * delta.log2().max(1.0) + c) * n), 4),
+        ]);
+
+        let t_greedy =
+            time_ms(|| drop(baselines::multiple_greedy(&inst).expect("feasible")), repeats);
+        table.push_row(vec![
+            "multiple-greedy".into(),
+            clients.to_string(),
+            inst.tree().len().to_string(),
+            fmt_f(t_greedy, 3),
+            fmt_f(t_greedy * 1000.0 / (c * n), 4),
+        ]);
+
+        // multiple-bin on binary trees.
+        let bin_inst = binary_instance(clients, seed ^ 0xBEEF);
+        let bn = bin_inst.tree().len() as f64;
+        let t_bin = time_ms(|| drop(multiple_bin(&bin_inst).expect("feasible")), repeats);
+        table.push_row(vec![
+            "multiple-bin".into(),
+            clients.to_string(),
+            bin_inst.tree().len().to_string(),
+            fmt_f(t_bin, 3),
+            fmt_f(t_bin * 1000.0 / (bn * bn / 1000.0), 4),
+        ]);
+    }
+    table.push_note(
+        "Paper expectation: single-gen is O(Δ·|T|), single-nod is O((Δ log Δ + |C|)·|T|), \
+         multiple-bin is O(|T|²) (the last column normalises the measured time by the predicted \
+         term — it should stay of the same order of magnitude as |T| grows; multiple-bin's \
+         normalisation uses |T|²/1000 so the numbers stay readable).",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_produces_rows_for_every_algorithm_and_size() {
+        let table = e6_scaling(Effort::Quick);
+        // 4 algorithms × 3 sizes.
+        assert_eq!(table.len(), 12);
+        for row in &table.rows {
+            let ms: f64 = row[3].parse().unwrap();
+            assert!(ms >= 0.0);
+            let nodes: usize = row[2].parse().unwrap();
+            assert!(nodes > 0);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! E1 and E2: the tightness constructions of Fig. 3 and Fig. 4.
+//!
+//! These experiments regenerate the two worst-case families of the paper and
+//! measure the approximation ratio actually reached by the algorithms,
+//! checking it converges to the proven bounds (Δ+1 for `single-gen`, 2 for
+//! `single-nod`).
+
+use crate::parallel::par_map;
+use crate::report::{fmt_f, Table};
+use crate::Effort;
+use rp_core::{single_gen, single_nod};
+use rp_instances::worst_case::{single_gen_tight, single_nod_tight};
+use rp_tree::{validate, Policy};
+
+/// E1 / Fig. 3: ratio of `single-gen` on the family `Im(m, Δ)`.
+///
+/// For each arity Δ and block count m, the table reports the number of
+/// replicas placed by the algorithm, the known optimum `m + 1`, the measured
+/// ratio, and the asymptotic bound `Δ + 1` the ratio approaches as `m → ∞`.
+/// For small instances the optimum is additionally confirmed with the exact
+/// solver.
+pub fn e1_single_gen_tightness(effort: Effort) -> Table {
+    let deltas: Vec<usize> = effort.pick(vec![2, 3], vec![2, 3, 4, 5]);
+    let ms: Vec<usize> = effort.pick(vec![1, 2, 4, 8], vec![1, 2, 4, 8, 16, 32]);
+    let exact_cap = effort.pick(14, 24); // max tree size for the exact cross-check
+
+    let mut table = Table::new(
+        "E1 (Fig. 3) — tightness of the (Δ+1)-approximation of single-gen",
+        &["Δ", "m", "single-gen replicas", "optimal replicas", "ratio", "bound Δ+1", "optimum certified"],
+    );
+    let cases: Vec<(usize, usize)> =
+        deltas.iter().flat_map(|&d| ms.iter().map(move |&m| (d, m))).collect();
+    let rows = par_map(cases.len(), |i| {
+        let (delta, m) = cases[i];
+        let tight = single_gen_tight(m, delta);
+        let sol = single_gen(&tight.instance).expect("Im instances satisfy r_i ≤ W");
+        let stats =
+            validate(&tight.instance, Policy::Single, &sol).expect("single-gen must be feasible");
+        let algo = stats.replica_count as u64;
+        let opt = tight.optimal_replicas;
+        let certified = if tight.instance.tree().len() <= exact_cap {
+            let exact = rp_exact::optimal_replica_count(&tight.instance, Policy::Single)
+                .expect("Im instances are feasible");
+            assert_eq!(exact, opt, "the paper's optimum for Im must match the exact solver");
+            "exact"
+        } else {
+            "analytic"
+        };
+        vec![
+            delta.to_string(),
+            m.to_string(),
+            algo.to_string(),
+            opt.to_string(),
+            fmt_f(algo as f64 / opt as f64, 3),
+            (delta + 1).to_string(),
+            certified.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+    table.push_note(
+        "Paper expectation: |R_algo| = m(Δ+1) and |R_opt| = m+1, so the ratio m(Δ+1)/(m+1) \
+         approaches Δ+1 as m grows — the (Δ+1) factor of Theorem 3 cannot be improved.",
+    );
+    table
+}
+
+/// E2 / Fig. 4: ratio of `single-nod` on the Fig. 4 family.
+pub fn e2_single_nod_tightness(effort: Effort) -> Table {
+    let ks: Vec<usize> = effort.pick(vec![1, 2, 4, 8, 16], vec![1, 2, 4, 8, 16, 32, 64]);
+    let exact_cap = effort.pick(16, 22);
+
+    let mut table = Table::new(
+        "E2 (Fig. 4) — tightness of the 2-approximation of single-nod",
+        &["K", "single-nod replicas", "optimal replicas", "ratio", "bound", "optimum certified"],
+    );
+    let rows = par_map(ks.len(), |i| {
+        let k = ks[i];
+        let tight = single_nod_tight(k);
+        let sol = single_nod(&tight.instance).expect("Fig. 4 instances satisfy r_i ≤ W");
+        let stats =
+            validate(&tight.instance, Policy::Single, &sol).expect("single-nod must be feasible");
+        let algo = stats.replica_count as u64;
+        let opt = tight.optimal_replicas;
+        let certified = if tight.instance.tree().len() <= exact_cap {
+            let exact = rp_exact::optimal_replica_count(&tight.instance, Policy::Single)
+                .expect("Fig. 4 instances are feasible");
+            assert_eq!(exact, opt);
+            "exact"
+        } else {
+            "analytic"
+        };
+        vec![
+            k.to_string(),
+            algo.to_string(),
+            opt.to_string(),
+            fmt_f(algo as f64 / opt as f64, 3),
+            "2".to_string(),
+            certified.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+    table.push_note(
+        "Paper expectation: |R_algo| = 2K and |R_opt| = K+1, so the ratio 2K/(K+1) approaches 2 \
+         as K grows — the factor 2 of Theorem 4 cannot be improved.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_ratios_stay_below_bound_and_increase_with_m() {
+        let table = e1_single_gen_tightness(Effort::Quick);
+        assert!(!table.is_empty());
+        // group rows by Δ and check monotone ratios bounded by Δ+1
+        for delta in [2usize, 3] {
+            let ratios: Vec<f64> = table
+                .rows
+                .iter()
+                .filter(|r| r[0] == delta.to_string())
+                .map(|r| r[4].parse::<f64>().unwrap())
+                .collect();
+            assert!(!ratios.is_empty());
+            for w in ratios.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "ratio must not decrease with m");
+            }
+            for r in &ratios {
+                assert!(*r <= (delta + 1) as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn e2_ratios_approach_two() {
+        let table = e2_single_nod_tightness(Effort::Quick);
+        let ratios: Vec<f64> = table.rows.iter().map(|r| r[3].parse::<f64>().unwrap()).collect();
+        assert!(ratios.iter().all(|r| *r <= 2.0 + 1e-9));
+        assert!(*ratios.last().unwrap() > 1.8, "ratio should approach 2 for the largest K");
+    }
+}

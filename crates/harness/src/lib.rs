@@ -1,0 +1,107 @@
+//! # rp-harness — parallel experiment harness
+//!
+//! Reproduces every figure and theorem-level claim of the paper as a
+//! self-contained *experiment* that generates workloads, runs the algorithms
+//! (and the exact solvers / lower bounds they are compared against), and
+//! renders the result as a Markdown/CSV table. `EXPERIMENTS.md` at the
+//! workspace root records the output of each experiment next to the paper's
+//! expectation.
+//!
+//! | Experiment | Paper artefact |
+//! |---|---|
+//! | [`experiments::e1_single_gen_tightness`] | Fig. 3 — tightness of the Δ+1 ratio of `single-gen` |
+//! | [`experiments::e2_single_nod_tightness`] | Fig. 4 — tightness of the factor-2 ratio of `single-nod` |
+//! | [`experiments::e3_multiple_bin_optimality`] | Theorem 6 — optimality of `multiple-bin` |
+//! | [`experiments::e4_random_ratio`] | Theorems 3 & 4, Corollary 1 — observed approximation quality |
+//! | [`experiments::e5_reductions`] | Theorems 1 & 5 — NP-hardness reduction gadgets |
+//! | [`experiments::e6_scaling`] | Complexity claims `O(Δ·|T|)`, `O((Δ log Δ + |C|)·|T|)`, `O(|T|²)` |
+//! | [`experiments::e7_policy_comparison`] | Single vs Multiple policy |
+//! | [`experiments::e8_sensitivity`] | Sensitivity to `W` and `dmax` |
+//! | [`experiments::e9_inapproximability`] | Theorem 2 — (3/2 − ε) inapproximability gadget |
+//!
+//! Independent trials are distributed over a crossbeam worker pool
+//! ([`parallel::par_map`]) with one deterministic RNG seed per trial, so the
+//! results do not depend on the number of worker threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod report;
+pub mod stats;
+
+pub use report::Table;
+pub use stats::Summary;
+
+/// Effort level of an experiment run: `Quick` keeps instance sizes and trial
+/// counts small enough for CI / unit tests; `Full` matches the numbers
+/// reported in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small sizes, a handful of trials (seconds).
+    Quick,
+    /// The sizes used to produce `EXPERIMENTS.md` (minutes).
+    Full,
+}
+
+impl Effort {
+    /// Scales a pair `(quick, full)` by the effort level.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+}
+
+/// Runs every experiment at the given effort level and returns all tables in
+/// experiment order. This is what `rp experiment all` and the bench harness
+/// call.
+pub fn run_all(effort: Effort) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.push(experiments::e1_single_gen_tightness(effort));
+    tables.push(experiments::e2_single_nod_tightness(effort));
+    tables.push(experiments::e3_multiple_bin_optimality(effort));
+    tables.push(experiments::e4_random_ratio(effort));
+    tables.push(experiments::e5_reductions(effort));
+    tables.push(experiments::e6_scaling(effort));
+    tables.push(experiments::e7_policy_comparison(effort));
+    tables.push(experiments::e8_sensitivity(effort));
+    tables.push(experiments::e9_inapproximability(effort));
+    tables
+}
+
+/// Looks up an experiment by its identifier (`e1` … `e9`, or `all`).
+pub fn run_by_name(name: &str, effort: Effort) -> Option<Vec<Table>> {
+    let single = |t: Table| Some(vec![t]);
+    match name {
+        "e1" => single(experiments::e1_single_gen_tightness(effort)),
+        "e2" => single(experiments::e2_single_nod_tightness(effort)),
+        "e3" => single(experiments::e3_multiple_bin_optimality(effort)),
+        "e4" => single(experiments::e4_random_ratio(effort)),
+        "e5" => single(experiments::e5_reductions(effort)),
+        "e6" => single(experiments::e6_scaling(effort)),
+        "e7" => single(experiments::e7_policy_comparison(effort)),
+        "e8" => single(experiments::e8_sensitivity(effort)),
+        "e9" => single(experiments::e9_inapproximability(effort)),
+        "all" => Some(run_all(effort)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_pick() {
+        assert_eq!(Effort::Quick.pick(1, 10), 1);
+        assert_eq!(Effort::Full.pick(1, 10), 10);
+    }
+
+    #[test]
+    fn unknown_experiment_name() {
+        assert!(run_by_name("e42", Effort::Quick).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Tabular reports rendered as Markdown or CSV.
+//!
+//! Every experiment produces one [`Table`]; `EXPERIMENTS.md` embeds the
+//! Markdown rendering, and the CLI can emit CSV for external plotting.
+
+/// A simple column-oriented table with a title and free-form notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (experiment id and paper artefact).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must have as many cells as there are headers.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes displayed below the table (interpretation,
+    /// paper-vs-measured discussion).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the number of columns of `{}`",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a free-form note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for note in &self.notes {
+                out.push_str(&format!("> {note}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, one line per row; cells
+    /// containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a float with the given number of decimals (table helper).
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0 — smoke", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        t.push_row(vec!["2".into(), "plain".into()]);
+        t.push_note("a note");
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### E0 — smoke"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | x,y |"));
+        assert!(md.contains("> a note"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes_commas() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,\"x,y\"");
+        assert_eq!(lines[2], "2,plain");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert!(!sample().is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Descriptive statistics over experiment trials.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 for `n ≤ 1`).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (average of the middle two for even `n`).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample; returns the all-zero summary for an
+    /// empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0, p95: 0.0 };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics require finite values"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let p95_idx = (((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1;
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+            p95: sorted[p95_idx],
+        }
+    }
+
+    /// Half-width of the 95% confidence interval around the mean under a
+    /// normal approximation (1.96 σ / √n); 0 for `n ≤ 1`.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n <= 1 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Renders the mean with two decimal places (convenience for tables).
+    pub fn fmt_mean(&self) -> String {
+        format!("{:.2}", self.mean)
+    }
+}
+
+/// Mean of a sample (0 for an empty one); convenience used by experiments
+/// that do not need the full summary.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[4.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 4.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.p95, 4.5);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        // Sample std dev of this classic sample is ~2.138.
+        assert!((s.std_dev - 2.1381).abs() < 1e-3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-9);
+        assert_eq!(s.p95, 9.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_percentile() {
+        let s = Summary::of(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p95, 3.0);
+        assert!((mean(&[1.0, 3.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

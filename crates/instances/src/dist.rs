@@ -1,0 +1,217 @@
+//! Request and edge-length distributions.
+//!
+//! Client request counts in CDN/VoD workloads are typically heavy-tailed, so
+//! besides the constant and uniform distributions used by the paper's
+//! constructions we provide a Zipf-like sampler (implemented by inverse-CDF
+//! over a finite support to stay within the pre-approved dependency set).
+
+use rand::Rng;
+
+/// Distribution of client request counts `r_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestDist {
+    /// Every client issues exactly this many requests.
+    Constant(u64),
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Smallest possible request count.
+        lo: u64,
+        /// Largest possible request count.
+        hi: u64,
+    },
+    /// Zipf-like distribution over `{1, …, max}` with exponent `s`:
+    /// `P(k) ∝ 1 / k^s`. Larger `s` concentrates the mass on small values.
+    Zipf {
+        /// Largest possible request count.
+        max: u64,
+        /// Exponent of the power law (`s ≥ 0`).
+        exponent: f64,
+    },
+}
+
+impl RequestDist {
+    /// Samples one request count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            RequestDist::Constant(v) => v,
+            RequestDist::Uniform { lo, hi } => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            RequestDist::Zipf { max, exponent } => sample_zipf(rng, max, exponent),
+        }
+    }
+
+    /// Expected value of the distribution (used to size capacities in
+    /// experiments).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            RequestDist::Constant(v) => v as f64,
+            RequestDist::Uniform { lo, hi } => (lo as f64 + hi as f64) / 2.0,
+            RequestDist::Zipf { max, exponent } => {
+                let max = max.max(1);
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for k in 1..=max {
+                    let w = 1.0 / (k as f64).powf(exponent);
+                    num += k as f64 * w;
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+
+    /// Largest value the distribution can produce.
+    pub fn max_value(&self) -> u64 {
+        match *self {
+            RequestDist::Constant(v) => v,
+            RequestDist::Uniform { lo, hi } => hi.max(lo),
+            RequestDist::Zipf { max, .. } => max.max(1),
+        }
+    }
+}
+
+/// Distribution of edge lengths `δ_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeDist {
+    /// Every edge has this length.
+    Constant(u64),
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Smallest possible edge length.
+        lo: u64,
+        /// Largest possible edge length.
+        hi: u64,
+    },
+}
+
+impl EdgeDist {
+    /// Samples one edge length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            EdgeDist::Constant(v) => v,
+            EdgeDist::Uniform { lo, hi } => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+        }
+    }
+
+    /// Largest value the distribution can produce.
+    pub fn max_value(&self) -> u64 {
+        match *self {
+            EdgeDist::Constant(v) => v,
+            EdgeDist::Uniform { lo, hi } => hi.max(lo),
+        }
+    }
+}
+
+/// Samples from a Zipf-like law on `{1, …, max}` with exponent `s` by
+/// inverting the cumulative distribution with a linear scan (supports are
+/// small in our workloads, so this is plenty fast and keeps dependencies
+/// minimal).
+fn sample_zipf<R: Rng + ?Sized>(rng: &mut R, max: u64, s: f64) -> u64 {
+    let max = max.max(1);
+    let norm: f64 = (1..=max).map(|k| 1.0 / (k as f64).powf(s)).sum();
+    let mut u = rng.gen_range(0.0..1.0) * norm;
+    for k in 1..=max {
+        let w = 1.0 / (k as f64).powf(s);
+        if u < w {
+            return k;
+        }
+        u -= w;
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(RequestDist::Constant(7).sample(&mut rng), 7);
+        assert_eq!(EdgeDist::Constant(3).sample(&mut rng), 3);
+        assert_eq!(RequestDist::Constant(7).mean(), 7.0);
+        assert_eq!(RequestDist::Constant(7).max_value(), 7);
+        assert_eq!(EdgeDist::Constant(3).max_value(), 3);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = RequestDist::Uniform { lo: 3, hi: 9 };
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            assert!((3..=9).contains(&v));
+        }
+        let e = EdgeDist::Uniform { lo: 1, hi: 4 };
+        for _ in 0..200 {
+            let v = e.sample(&mut rng);
+            assert!((1..=4).contains(&v));
+        }
+        assert_eq!(d.mean(), 6.0);
+    }
+
+    #[test]
+    fn degenerate_uniform_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = RequestDist::Uniform { lo: 5, hi: 5 };
+        assert_eq!(d.sample(&mut rng), 5);
+        let e = EdgeDist::Uniform { lo: 2, hi: 2 };
+        assert_eq!(e.sample(&mut rng), 2);
+    }
+
+    #[test]
+    fn zipf_stays_in_support_and_skews_small() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = RequestDist::Zipf { max: 50, exponent: 1.2 };
+        let mut ones = 0;
+        let mut big = 0;
+        for _ in 0..2000 {
+            let v = d.sample(&mut rng);
+            assert!((1..=50).contains(&v));
+            if v == 1 {
+                ones += 1;
+            }
+            if v > 25 {
+                big += 1;
+            }
+        }
+        // With exponent 1.2, value 1 is far more likely than the upper half.
+        assert!(ones > big, "ones={ones} big={big}");
+        assert!(d.mean() > 1.0 && d.mean() < 25.0);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = RequestDist::Zipf { max: 10, exponent: 0.0 };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(d.sample(&mut rng));
+        }
+        assert!(seen.len() >= 8, "expected broad coverage, saw {seen:?}");
+        assert!((d.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = RequestDist::Zipf { max: 100, exponent: 1.0 };
+        let a: Vec<u64> =
+            (0..20).scan(StdRng::seed_from_u64(42), |r, _| Some(d.sample(r))).collect();
+        let b: Vec<u64> =
+            (0..20).scan(StdRng::seed_from_u64(42), |r, _| Some(d.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic tree families.
+//!
+//! These shapes appear repeatedly in the paper's constructions and make good
+//! unit-test fixtures: stars (one level of clients under the root), chains
+//! with a single client at the bottom, caterpillars (a spine of internal
+//! nodes, each with one client) and balanced k-ary trees with clients at the
+//! leaves.
+
+use rp_tree::{NodeId, Tree, TreeBuilder};
+
+/// A star: the root with `client_requests.len()` client children, all at edge
+/// length `edge`.
+pub fn star(client_requests: &[u64], edge: u64) -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    for &r in client_requests {
+        b.add_client(root, edge, r);
+    }
+    b.freeze().expect("star construction is always valid")
+}
+
+/// A chain of `depth` internal nodes below the root with a single client of
+/// `requests` requests at the bottom; every edge has length `edge`.
+pub fn chain(depth: usize, edge: u64, requests: u64) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut parent = b.root();
+    for _ in 0..depth {
+        parent = b.add_internal(parent, edge);
+    }
+    b.add_client(parent, edge, requests);
+    b.freeze().expect("chain construction is always valid")
+}
+
+/// A caterpillar: a spine of internal nodes below the root, each carrying one
+/// client leaf. `client_requests[i]` is attached to the `i`-th spine node.
+/// Spine edges have length `spine_edge`, client edges `client_edge`.
+pub fn caterpillar(client_requests: &[u64], spine_edge: u64, client_edge: u64) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut spine = b.root();
+    for &r in client_requests {
+        spine = b.add_internal(spine, spine_edge);
+        b.add_client(spine, client_edge, r);
+    }
+    b.freeze().expect("caterpillar construction is always valid")
+}
+
+/// A balanced `arity`-ary tree of internal nodes with `levels` levels below
+/// the root; every bottom-level internal node carries `clients_per_leaf`
+/// clients of `requests` requests. All edges have length `edge`.
+///
+/// `levels = 0` degenerates to a star with `clients_per_leaf` clients.
+pub fn balanced(
+    arity: usize,
+    levels: usize,
+    clients_per_leaf: usize,
+    requests: u64,
+    edge: u64,
+) -> Tree {
+    assert!(arity >= 1, "arity must be at least 1");
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root()];
+    for _ in 0..levels {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for &p in &frontier {
+            for _ in 0..arity {
+                next.push(b.add_internal(p, edge));
+            }
+        }
+        frontier = next;
+    }
+    for &p in &frontier {
+        for _ in 0..clients_per_leaf {
+            b.add_client(p, edge, requests);
+        }
+    }
+    b.freeze().expect("balanced construction is always valid")
+}
+
+/// Attaches `clients` binary-caterpillar style below `parent`: internal nodes
+/// each carrying one client, except the last internal node which carries the
+/// final two clients. Keeps the subtree binary regardless of the number of
+/// clients. Returns the ids of the created clients in order.
+///
+/// Used by the NP-hardness gadgets, which must produce *binary* trees while
+/// hanging an arbitrary number of clients under a single ancestor.
+pub fn attach_binary_comb(
+    b: &mut TreeBuilder,
+    parent: NodeId,
+    client_requests: &[u64],
+    edge: u64,
+) -> Vec<NodeId> {
+    let mut clients = Vec::with_capacity(client_requests.len());
+    match client_requests {
+        [] => {}
+        [only] => {
+            clients.push(b.add_client(parent, edge, *only));
+        }
+        _ => {
+            let mut anchor = parent;
+            let n = client_requests.len();
+            for (idx, &r) in client_requests.iter().enumerate() {
+                if idx + 2 < n {
+                    clients.push(b.add_client(anchor, edge, r));
+                    anchor = b.add_internal(anchor, edge);
+                } else if idx + 2 == n {
+                    clients.push(b.add_client(anchor, edge, r));
+                } else {
+                    // last client shares `anchor` with the previous one
+                    clients.push(b.add_client(anchor, edge, r));
+                }
+            }
+        }
+    }
+    clients
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let t = star(&[1, 2, 3], 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.client_count(), 3);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.total_requests(), 6);
+        for &c in t.clients() {
+            assert_eq!(t.parent(c), Some(t.root()));
+            assert_eq!(t.edge(c), 4);
+        }
+    }
+
+    #[test]
+    fn chain_shape() {
+        let t = chain(3, 2, 9);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.client_count(), 1);
+        assert_eq!(t.arity(), 1);
+        let c = t.clients()[0];
+        assert_eq!(t.dist_to_root(c), 8);
+        assert_eq!(t.requests(c), 9);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(&[5, 6, 7], 1, 2);
+        assert_eq!(t.client_count(), 3);
+        assert_eq!(t.len(), 7);
+        assert!(t.is_binary());
+        // client i sits at spine depth i+1 (spine edge 1) plus its own edge 2
+        let dists: Vec<u64> = t.clients().iter().map(|c| t.dist_to_root(*c)).collect();
+        assert_eq!(dists, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn balanced_shape_and_counts() {
+        let t = balanced(2, 3, 2, 5, 1);
+        // 1 + 2 + 4 + 8 internal, 8*2 clients
+        assert_eq!(t.len(), 15 + 16);
+        assert_eq!(t.client_count(), 16);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.total_requests(), 80);
+        assert!(t.clients().iter().all(|c| t.depth(*c) == 4));
+    }
+
+    #[test]
+    fn balanced_zero_levels_is_star() {
+        let t = balanced(3, 0, 4, 1, 2);
+        assert_eq!(t.client_count(), 4);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn binary_comb_keeps_tree_binary() {
+        for n in 0..8usize {
+            let reqs: Vec<u64> = (1..=n as u64).collect();
+            let mut b = TreeBuilder::new();
+            let root = b.root();
+            let anchor = b.add_internal(root, 1);
+            let clients = attach_binary_comb(&mut b, anchor, &reqs, 1);
+            let t = b.freeze().unwrap();
+            assert_eq!(clients.len(), n);
+            assert!(t.is_binary(), "comb with {n} clients must stay binary");
+            assert_eq!(t.client_count(), n);
+            // every client is a descendant of the anchor
+            for &c in &clients {
+                assert!(t.is_ancestor_or_self(anchor, c));
+            }
+            // requests preserved in order
+            let got: Vec<u64> = clients.iter().map(|c| t.requests(*c)).collect();
+            assert_eq!(got, reqs);
+        }
+    }
+}

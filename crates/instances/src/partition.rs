@@ -1,0 +1,311 @@
+//! Source instances of the partition problems used by the reductions.
+//!
+//! The NP-hardness experiments (E5) need YES and NO instances of 3-Partition
+//! and 2-Partition-Equal that are small enough to be certified by brute
+//! force. This module provides random generators plus exhaustive reference
+//! checkers; instances are labelled YES/NO by the checker, never assumed.
+
+use rand::Rng;
+
+/// A 3-Partition source instance: `3m` positive integers and the bin size
+/// `B`, with `Σ a = m·B` and (for well-formed instances)
+/// `B/4 < a_i < B/2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreePartitionInstance {
+    /// The `3m` items.
+    pub items: Vec<u64>,
+    /// The bin size `B`.
+    pub bin: u64,
+}
+
+impl ThreePartitionInstance {
+    /// Number of triples `m`.
+    pub fn triples(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// Whether the instance satisfies the strict 3-Partition bounds
+    /// `B/4 < a_i < B/2` (these guarantee any bin of sum `B` holds exactly
+    /// three items, which the reduction's backward direction relies on).
+    pub fn bounds_hold(&self) -> bool {
+        self.items.iter().all(|&a| 4 * a > self.bin && 2 * a < self.bin)
+    }
+}
+
+/// Generates a YES instance of 3-Partition with `m` triples: items are drawn
+/// triple by triple so that each triple sums to `B`, then shuffled.
+///
+/// The bin size is `4·base`, with items in the open interval
+/// `(base, 2·base)`; `base ≥ 5` keeps enough slack for the sampling.
+pub fn three_partition_yes<R: Rng + ?Sized>(
+    m: usize,
+    base: u64,
+    rng: &mut R,
+) -> ThreePartitionInstance {
+    assert!(m >= 1);
+    assert!(base >= 5, "base must be at least 5 to leave room for the strict bounds");
+    let bin = 4 * base;
+    let mut items = Vec::with_capacity(3 * m);
+    for _ in 0..m {
+        // Pick a1, a2 in (base, 2·base) such that a3 = bin - a1 - a2 also is.
+        loop {
+            let a1 = rng.gen_range(base + 1..2 * base);
+            let a2 = rng.gen_range(base + 1..2 * base);
+            let rest = bin - a1 - a2;
+            if rest > base && rest < 2 * base {
+                items.extend_from_slice(&[a1, a2, rest]);
+                break;
+            }
+        }
+    }
+    // Fisher–Yates shuffle so that triples are not adjacent in the input.
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+    ThreePartitionInstance { items, bin }
+}
+
+/// Exhaustive solver for small 3-Partition instances; returns one valid
+/// partition into triples (as indices) if any exists.
+///
+/// Complexity is exponential in `m`; intended for `m ≤ 4`.
+pub fn solve_three_partition(inst: &ThreePartitionInstance) -> Option<Vec<[usize; 3]>> {
+    let n = inst.items.len();
+    if !n.is_multiple_of(3) {
+        return None;
+    }
+    let total: u128 = inst.items.iter().map(|&x| x as u128).sum();
+    if total != (n as u128 / 3) * inst.bin as u128 {
+        return None;
+    }
+    let mut used = vec![false; n];
+    let mut out = Vec::new();
+    if backtrack_triples(inst, &mut used, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn backtrack_triples(
+    inst: &ThreePartitionInstance,
+    used: &mut [bool],
+    out: &mut Vec<[usize; 3]>,
+) -> bool {
+    let n = inst.items.len();
+    let first = match used.iter().position(|&u| !u) {
+        Some(i) => i,
+        None => return true,
+    };
+    used[first] = true;
+    for j in first + 1..n {
+        if used[j] || inst.items[first] + inst.items[j] >= inst.bin {
+            continue;
+        }
+        used[j] = true;
+        for k in j + 1..n {
+            if used[k] || inst.items[first] + inst.items[j] + inst.items[k] != inst.bin {
+                continue;
+            }
+            used[k] = true;
+            out.push([first, j, k]);
+            if backtrack_triples(inst, used, out) {
+                return true;
+            }
+            out.pop();
+            used[k] = false;
+        }
+        used[j] = false;
+    }
+    used[first] = false;
+    false
+}
+
+/// A 2-Partition(-Equal) source instance: `2m` positive integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPartitionInstance {
+    /// The `2m` items.
+    pub items: Vec<u64>,
+}
+
+impl TwoPartitionInstance {
+    /// Sum of all items.
+    pub fn total(&self) -> u64 {
+        self.items.iter().sum()
+    }
+
+    /// Half of the total, when the total is even.
+    pub fn half(&self) -> Option<u64> {
+        let t = self.total();
+        t.is_multiple_of(2).then_some(t / 2)
+    }
+}
+
+/// Generates a YES instance of 2-Partition-Equal with `2m` items: a half of
+/// `m` items is drawn from a narrow range around `base` and mirrored, so the
+/// two copies form an equal-cardinality, equal-sum partition.
+///
+/// Items stay within `[base, base + base/4]`, so for `m ≥ 3` every item is at
+/// most `S/4` and the instance is compatible with the `I6` gadget (whose
+/// `b_j = S/2 − 2a_j` must remain non-negative).
+pub fn two_partition_equal_yes<R: Rng + ?Sized>(
+    m: usize,
+    base: u64,
+    rng: &mut R,
+) -> TwoPartitionInstance {
+    assert!(m >= 2, "need at least 4 items for a meaningful instance");
+    assert!(base >= 4);
+    let hi = base + base / 4;
+    let half_a: Vec<u64> = (0..m).map(|_| rng.gen_range(base..=hi)).collect();
+    let mut items = half_a.clone();
+    items.extend_from_slice(&half_a);
+    // Fisher–Yates shuffle so the two copies are interleaved in the input.
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+    let inst = TwoPartitionInstance { items };
+    debug_assert!(inst.half().is_some());
+    inst
+}
+
+/// Generates an unlabelled 2-Partition-Equal instance with `2m` items drawn
+/// uniformly from `[base, base + base/4]`, adjusting one item by one if
+/// needed so that the total is even. Use [`solve_two_partition_equal`] to
+/// label it YES or NO.
+pub fn two_partition_equal_random<R: Rng + ?Sized>(
+    m: usize,
+    base: u64,
+    rng: &mut R,
+) -> TwoPartitionInstance {
+    assert!(m >= 2);
+    assert!(base >= 4);
+    let hi = base + base / 4;
+    let mut items: Vec<u64> = (0..2 * m).map(|_| rng.gen_range(base..=hi)).collect();
+    let total: u64 = items.iter().sum();
+    if total % 2 == 1 {
+        // Nudge one item while staying inside the sampling range.
+        if items[0] < hi {
+            items[0] += 1;
+        } else {
+            items[0] -= 1;
+        }
+    }
+    TwoPartitionInstance { items }
+}
+
+/// Exhaustive solver for 2-Partition-Equal: finds a subset of exactly half
+/// the items whose sum is half the total. Returns the chosen indices.
+///
+/// Complexity `O(2^n)`; intended for `n ≤ 24`.
+pub fn solve_two_partition_equal(inst: &TwoPartitionInstance) -> Option<Vec<usize>> {
+    let n = inst.items.len();
+    if !n.is_multiple_of(2) {
+        return None;
+    }
+    let half_sum = inst.half()?;
+    let target_count = n / 2;
+    for mask in 0u64..(1u64 << n) {
+        if (mask.count_ones() as usize) != target_count {
+            continue;
+        }
+        let sum: u64 = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| inst.items[i]).sum();
+        if sum == half_sum {
+            return Some((0..n).filter(|&i| mask & (1 << i) != 0).collect());
+        }
+    }
+    None
+}
+
+/// Exhaustive solver for plain 2-Partition (no cardinality constraint).
+pub fn solve_two_partition(inst: &TwoPartitionInstance) -> Option<Vec<usize>> {
+    let n = inst.items.len();
+    let half_sum = inst.half()?;
+    for mask in 0u64..(1u64 << n) {
+        let sum: u64 = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| inst.items[i]).sum();
+        if sum == half_sum {
+            return Some((0..n).filter(|&i| mask & (1 << i) != 0).collect());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yes_three_partition_instances_are_solvable_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for m in 1..=3 {
+            let inst = three_partition_yes(m, 10, &mut rng);
+            assert_eq!(inst.items.len(), 3 * m);
+            assert_eq!(inst.triples(), m);
+            assert!(inst.bounds_hold(), "items {:?} bin {}", inst.items, inst.bin);
+            let solution = solve_three_partition(&inst).expect("generated YES instance");
+            assert_eq!(solution.len(), m);
+            for triple in solution {
+                let s: u64 = triple.iter().map(|&i| inst.items[i]).sum();
+                assert_eq!(s, inst.bin);
+            }
+        }
+    }
+
+    #[test]
+    fn three_partition_no_instance_detected() {
+        // 6 items, bin 20, sum = 40, but no triple sums to 20:
+        // possible triples from {10,10,10,4,3,3}: 30, 24, 23, 17, 16, 10.
+        let inst = ThreePartitionInstance { items: vec![10, 10, 10, 4, 3, 3], bin: 20 };
+        assert!(solve_three_partition(&inst).is_none());
+    }
+
+    #[test]
+    fn three_partition_rejects_inconsistent_totals() {
+        let inst = ThreePartitionInstance { items: vec![1, 2, 3], bin: 100 };
+        assert!(solve_three_partition(&inst).is_none());
+    }
+
+    #[test]
+    fn yes_two_partition_equal_instances_are_solvable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for m in 2..=4 {
+            let inst = two_partition_equal_yes(m, 8, &mut rng);
+            assert_eq!(inst.items.len(), 2 * m);
+            assert_eq!(inst.total() % 2, 0);
+            let idx = solve_two_partition_equal(&inst).expect("generated YES instance");
+            assert_eq!(idx.len(), m);
+            let s: u64 = idx.iter().map(|&i| inst.items[i]).sum();
+            assert_eq!(s, inst.total() / 2);
+        }
+    }
+
+    #[test]
+    fn two_partition_equal_no_instance_detected() {
+        // {1, 1, 1, 5}: total 8, half 4, but no 2-element subset sums to 4.
+        let inst = TwoPartitionInstance { items: vec![1, 1, 1, 5] };
+        assert!(solve_two_partition_equal(&inst).is_none());
+        // Plain 2-Partition is also infeasible here (no subset sums to 4).
+        assert!(solve_two_partition(&inst).is_none());
+    }
+
+    #[test]
+    fn plain_two_partition_distinguishes_cardinality() {
+        // {3, 3, 3, 1, 1, 1}: total 12; {3,3} sums to 6 with 2 items (not 3),
+        // but {3, 1, 1, 1} sums to 6 → plain YES; equal-cardinality also YES
+        // via {3, 2…} — check with the solvers rather than by hand.
+        let inst = TwoPartitionInstance { items: vec![3, 3, 3, 1, 1, 1] };
+        assert!(solve_two_partition(&inst).is_some());
+        assert!(solve_two_partition_equal(&inst).is_none());
+    }
+
+    #[test]
+    fn odd_totals_are_never_solvable() {
+        let inst = TwoPartitionInstance { items: vec![1, 2, 4] };
+        assert_eq!(inst.half(), None);
+        assert!(solve_two_partition(&inst).is_none());
+        assert!(solve_two_partition_equal(&inst).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Tight worst-case families from the paper.
+//!
+//! * [`single_gen_tight`] builds the family `Im` of Fig. 3, on which
+//!   Algorithm 1 (`single-gen`) places `m·(Δ+1)` replicas while the optimum
+//!   is `m+1`, showing the Δ+1 approximation factor is not improvable.
+//! * [`single_nod_tight`] builds the Fig. 4 family, on which Algorithm 2
+//!   (`single-nod`) places `2K` replicas while the optimum is `K+1`.
+//!
+//! Both constructors return the instance together with the analytically-known
+//! optimal value and the value the paper predicts for the algorithm, so the
+//! experiments can check the measured ratio against the closed form.
+
+use rp_tree::{Instance, NodeId, Solution, TreeBuilder};
+
+/// A worst-case instance together with its analytically known values.
+#[derive(Debug, Clone)]
+pub struct TightInstance {
+    /// The constructed instance.
+    pub instance: Instance,
+    /// The optimal number of replicas, known from the paper's analysis.
+    pub optimal_replicas: u64,
+    /// The number of replicas the paper predicts the algorithm under test
+    /// will place on this instance.
+    pub predicted_algorithm_replicas: u64,
+    /// A feasible optimal solution witnessing `optimal_replicas` (used by the
+    /// tests to certify the claimed optimum really is achievable).
+    pub optimal_witness: Solution,
+}
+
+impl TightInstance {
+    /// The approximation ratio the paper predicts on this instance.
+    pub fn predicted_ratio(&self) -> f64 {
+        self.predicted_algorithm_replicas as f64 / self.optimal_replicas as f64
+    }
+}
+
+/// Builds the instance `Im` of Fig. 3 of the paper, parameterised by the
+/// number of blocks `m ≥ 1` and the arity `delta ≥ 2`.
+///
+/// Structure of block `A_i` (blocks are chained; `A_1` hangs below the root
+/// `n_0`, `A_m` is the deepest):
+///
+/// ```text
+/// n_{i,1} ── c_{i,Δ}   (edge dmax, Δ-1 requests)
+///        └── n_{i,2} ── c_{i,1} … c_{i,Δ-2}   (edge 1, 1 request each)
+///                   ├── c_{i,Δ-1}             (edge 1, mΔ requests)
+///                   └── n_{i,3} ── c_{i,Δ+1}  (edge 1, 2 requests)
+///                              └── n_{i+1,1}  (edge 1, next block; absent for i = m)
+/// ```
+///
+/// with `W = mΔ + Δ - 1` and `dmax = 4m`. The optimal solution uses the
+/// `m + 1` servers `{n_0} ∪ {n_{i,1}}`; `single-gen` places `m(Δ+1)` servers.
+pub fn single_gen_tight(m: usize, delta: usize) -> TightInstance {
+    assert!(m >= 1, "need at least one block");
+    assert!(delta >= 2, "the construction needs arity at least 2");
+    let m64 = m as u64;
+    let d64 = delta as u64;
+    let capacity = m64 * d64 + d64 - 1; // W = mΔ + Δ - 1
+    let dmax = 4 * m64;
+
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    let mut witness = Solution::new();
+    let mut attach = root; // parent of the next block's n_{i,1}
+
+    for _ in 0..m {
+        let n1 = b.add_internal(attach, 1);
+        // c_{i,Δ}: only n_{i,1} (or itself) may serve it.
+        let c_delta = b.add_client(n1, dmax, d64 - 1);
+        let n2 = b.add_internal(n1, 1);
+        // Δ-2 unit clients c_{i,1} … c_{i,Δ-2}.
+        let mut unit_clients = Vec::new();
+        for _ in 0..delta.saturating_sub(2) {
+            unit_clients.push(b.add_client(n2, 1, 1));
+        }
+        // c_{i,Δ-1} with mΔ requests.
+        let c_heavy = b.add_client(n2, 1, m64 * d64);
+        let n3 = b.add_internal(n2, 1);
+        // c_{i,Δ+1} with 2 requests.
+        let c_tail = b.add_client(n3, 1, 2);
+
+        // Optimal witness: n_{i,1} serves c_{i,Δ} and c_{i,Δ-1} (exactly W);
+        // the root serves the unit clients and c_{i,Δ+1}.
+        witness.assign(c_delta, n1, d64 - 1);
+        witness.assign(c_heavy, n1, m64 * d64);
+        for &u in &unit_clients {
+            witness.assign(u, root, 1);
+        }
+        witness.assign(c_tail, root, 2);
+
+        attach = n3;
+    }
+
+    let tree = b.freeze().expect("Fig. 3 construction is a valid tree");
+    let instance = Instance::new(tree, capacity, Some(dmax)).expect("capacity is positive");
+    TightInstance {
+        instance,
+        optimal_replicas: m64 + 1,
+        predicted_algorithm_replicas: m64 * (d64 + 1),
+        optimal_witness: witness,
+    }
+}
+
+/// Builds the Fig. 4 family on which `single-nod` reaches its approximation
+/// ratio of 2, parameterised by `k ≥ 1` (the paper's `K`, also the capacity).
+///
+/// The root has `k` internal children `n_1 … n_k`; each `n_i` has two client
+/// children, one issuing `k` requests and one issuing a single request, with
+/// `W = k` and no distance constraint. `single-nod` places 2 servers per
+/// `n_i` (2K total); the optimum serves each heavy client at `n_i` and all
+/// unit clients at the root (K+1 servers).
+pub fn single_nod_tight(k: usize) -> TightInstance {
+    assert!(k >= 1, "need at least one branch");
+    let k64 = k as u64;
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    let mut witness = Solution::new();
+    for _ in 0..k {
+        let ni = b.add_internal(root, 1);
+        let heavy = b.add_client(ni, 1, k64);
+        let unit = b.add_client(ni, 1, 1);
+        witness.assign(heavy, ni, k64);
+        witness.assign(unit, root, 1);
+    }
+    let tree = b.freeze().expect("Fig. 4 construction is a valid tree");
+    let instance = Instance::new(tree, k64, None).expect("capacity is positive");
+    TightInstance {
+        instance,
+        optimal_replicas: k64 + 1,
+        predicted_algorithm_replicas: 2 * k64,
+        optimal_witness: witness,
+    }
+}
+
+/// Returns the node ids of the spine nodes `n_{i,1}` of a
+/// [`single_gen_tight`] instance, in block order (`i = 1 … m`). Useful for
+/// tests that want to inspect where the algorithms place replicas.
+pub fn single_gen_tight_block_heads(m: usize, delta: usize) -> Vec<NodeId> {
+    // Ids are assigned deterministically by construction order:
+    // each block contributes 1 (n1) + 1 (cΔ) + 1 (n2) + (Δ-2) units + 1 (cΔ-1)
+    // + 1 (n3) + 1 (cΔ+1) = Δ + 4 nodes; the root is id 0.
+    let block = delta + 4;
+    (0..m).map(|i| NodeId((1 + i * block) as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::{validate, Policy};
+
+    #[test]
+    fn fig3_structure_matches_paper() {
+        for (m, delta) in [(1usize, 2usize), (2, 2), (3, 3), (2, 5)] {
+            let t = single_gen_tight(m, delta);
+            let tree = t.instance.tree();
+            // node count: root + m blocks of (Δ + 4) nodes
+            assert_eq!(tree.len(), 1 + m * (delta + 4));
+            // clients per block: Δ + 1
+            assert_eq!(tree.client_count(), m * (delta + 1));
+            assert_eq!(tree.arity(), delta.max(2));
+            assert_eq!(t.instance.capacity(), (m * delta + delta - 1) as u64);
+            assert_eq!(t.instance.dmax(), Some(4 * m as u64));
+            // per-block request total = mΔ + 2Δ - 1  (paper, proof of tightness)
+            let expected_total = (m * (m * delta + 2 * delta - 1)) as u128;
+            assert_eq!(tree.total_requests(), expected_total);
+        }
+    }
+
+    #[test]
+    fn fig3_optimal_witness_is_feasible_single() {
+        for (m, delta) in [(1usize, 2usize), (3, 2), (2, 4)] {
+            let t = single_gen_tight(m, delta);
+            let stats = validate(&t.instance, Policy::Single, &t.optimal_witness)
+                .expect("the paper's optimal solution must be feasible");
+            assert_eq!(stats.replica_count as u64, t.optimal_replicas);
+        }
+    }
+
+    #[test]
+    fn fig3_block_heads_are_internal_spine_nodes() {
+        let m = 3;
+        let delta = 3;
+        let t = single_gen_tight(m, delta);
+        let heads = single_gen_tight_block_heads(m, delta);
+        assert_eq!(heads.len(), m);
+        for h in heads {
+            assert!(!t.instance.tree().is_client(h));
+            // each head has exactly two children: c_{i,Δ} and n_{i,2}
+            assert_eq!(t.instance.tree().children(h).len(), 2);
+        }
+    }
+
+    #[test]
+    fn fig3_predicted_ratio_tends_to_delta_plus_one() {
+        let delta = 3usize;
+        let r_small = single_gen_tight(1, delta).predicted_ratio();
+        let r_large = single_gen_tight(50, delta).predicted_ratio();
+        assert!(r_large > r_small);
+        assert!(r_large <= (delta + 1) as f64);
+        assert!((delta as f64 + 1.0) - r_large < 0.1);
+    }
+
+    #[test]
+    fn fig4_structure_and_witness() {
+        for k in [1usize, 2, 5, 16] {
+            let t = single_nod_tight(k);
+            let tree = t.instance.tree();
+            assert_eq!(tree.len(), 1 + 3 * k);
+            assert_eq!(tree.client_count(), 2 * k);
+            assert_eq!(t.instance.capacity(), k as u64);
+            assert_eq!(t.instance.dmax(), None);
+            let stats = validate(&t.instance, Policy::Single, &t.optimal_witness).unwrap();
+            assert_eq!(stats.replica_count as u64, t.optimal_replicas);
+            assert_eq!(t.predicted_algorithm_replicas, 2 * k as u64);
+        }
+    }
+
+    #[test]
+    fn fig4_predicted_ratio_tends_to_two() {
+        assert!((single_nod_tight(1).predicted_ratio() - 1.0).abs() < 1e-9);
+        assert!(single_nod_tight(63).predicted_ratio() > 1.9);
+        assert!(single_nod_tight(63).predicted_ratio() < 2.0);
+    }
+}

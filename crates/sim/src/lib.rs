@@ -1,0 +1,330 @@
+//! # rp-sim — request-serving simulator for replica placements
+//!
+//! The paper motivates replica placement with hierarchical content-delivery
+//! platforms (electronic content, ISP, Video-on-Demand — Section 1). This
+//! crate closes the loop by *running* a placement: it replays per-time-unit
+//! request traffic over the distribution tree and a chosen [`Solution`],
+//! measuring what the static optimisation promised:
+//!
+//! * per-replica load and utilisation over time,
+//! * traffic carried by every tree edge,
+//! * request latency (client→server distance) distribution,
+//! * behaviour under overload bursts and replica failures (requests are
+//!   re-routed to surviving replicas on the client's path with spare
+//!   capacity, or dropped).
+//!
+//! The simulator is deterministic: given the same instance, solution and
+//! [`SimConfig`], it produces the same [`SimReport`].
+//!
+//! ```
+//! use rp_tree::{Instance, TreeBuilder, Solution};
+//! use rp_sim::{simulate, SimConfig};
+//!
+//! let mut b = TreeBuilder::new();
+//! let root = b.root();
+//! let c = b.add_client(root, 2, 5);
+//! let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+//! let mut sol = Solution::new();
+//! sol.assign(c, root, 5);
+//! let report = simulate(&inst, &sol, &SimConfig::new(100));
+//! assert_eq!(report.issued, 500);
+//! assert_eq!(report.dropped, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{EdgeTraffic, ReplicaStats, SimReport};
+
+use rp_tree::{Instance, NodeId, Requests, Solution};
+use std::collections::BTreeMap;
+
+/// A replica outage: the server is unavailable during `[from_tick, to_tick)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// The failed replica.
+    pub server: NodeId,
+    /// First tick (inclusive) of the outage.
+    pub from_tick: u64,
+    /// First tick after the outage (exclusive).
+    pub to_tick: u64,
+}
+
+impl Failure {
+    /// Whether the server is down at `tick`.
+    pub fn is_down(&self, tick: u64) -> bool {
+        (self.from_tick..self.to_tick).contains(&tick)
+    }
+}
+
+/// A demand burst: every client's request rate is multiplied by `factor`
+/// during `[from_tick, to_tick)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// First tick (inclusive) of the burst.
+    pub from_tick: u64,
+    /// First tick after the burst (exclusive).
+    pub to_tick: u64,
+    /// Multiplicative factor applied to each client's request rate.
+    pub factor: f64,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Number of time units to simulate.
+    pub ticks: u64,
+    /// Optional demand burst.
+    pub burst: Option<Burst>,
+    /// Replica outages to inject.
+    pub failures: Vec<Failure>,
+}
+
+impl SimConfig {
+    /// A plain configuration: `ticks` time units, no bursts, no failures.
+    pub fn new(ticks: u64) -> Self {
+        SimConfig { ticks, burst: None, failures: Vec::new() }
+    }
+
+    /// Adds a demand burst.
+    pub fn with_burst(mut self, burst: Burst) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Adds a replica outage.
+    pub fn with_failure(mut self, failure: Failure) -> Self {
+        self.failures.push(failure);
+        self
+    }
+}
+
+/// Runs the simulation of `solution` on `instance` for the configured number
+/// of ticks and returns the aggregated report.
+///
+/// Requests follow the static assignment. When a replica is down or already
+/// full in a tick (bursts can exceed the planned load), the affected requests
+/// are offered to the client's other assigned replicas first and then to any
+/// replica on the client's path within `dmax` that has spare capacity; what
+/// remains is dropped.
+pub fn simulate(instance: &Instance, solution: &Solution, config: &SimConfig) -> SimReport {
+    let tree = instance.tree();
+    let capacity = instance.capacity();
+    let replicas = solution.replicas();
+
+    // Static routing data.
+    let mut fragments_by_client: BTreeMap<NodeId, Vec<(NodeId, Requests)>> = BTreeMap::new();
+    for f in solution.fragments() {
+        fragments_by_client.entry(f.client).or_default().push((f.server, f.amount));
+    }
+    // Fallback candidates per client: replicas on its path within dmax,
+    // closest first (used only when re-routing).
+    let mut fallback: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    for &client in tree.clients() {
+        let path = instance.eligible_servers(client);
+        let candidates: Vec<NodeId> =
+            path.into_iter().filter(|n| replicas.contains(n)).collect();
+        fallback.insert(client, candidates);
+    }
+
+    let mut report = SimReport::prepare(instance, solution, config.ticks);
+
+    for tick in 0..config.ticks {
+        let factor = match config.burst {
+            Some(b) if (b.from_tick..b.to_tick).contains(&tick) => b.factor,
+            _ => 1.0,
+        };
+        let down = |server: NodeId| config.failures.iter().any(|f| f.server == server && f.is_down(tick));
+
+        // Remaining capacity of each replica for this tick.
+        let mut residual: BTreeMap<NodeId, Requests> = BTreeMap::new();
+        for &r in &replicas {
+            residual.insert(r, if down(r) { 0 } else { capacity });
+        }
+
+        for &client in tree.clients() {
+            let base = tree.requests(client);
+            if base == 0 {
+                continue;
+            }
+            let issued = ((base as f64) * factor).round() as u64;
+            report.issued += issued as u128;
+            let mut remaining = issued;
+
+            // Planned fragments, scaled by the burst factor.
+            if let Some(frags) = fragments_by_client.get(&client) {
+                for &(server, amount) in frags {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let want = (((amount as f64) * factor).round() as u64).min(remaining);
+                    let free = residual.get(&server).copied().unwrap_or(0);
+                    let served = want.min(free);
+                    if served > 0 {
+                        *residual.get_mut(&server).unwrap() -= served;
+                        remaining -= served;
+                        let dist = tree
+                            .distance_to_ancestor(client, server)
+                            .expect("assigned servers are ancestors");
+                        report.record_service(tree, client, server, served, dist);
+                    }
+                }
+            }
+            // Re-route what could not be served as planned (failure/burst).
+            if remaining > 0 {
+                if let Some(candidates) = fallback.get(&client) {
+                    for &server in candidates {
+                        if remaining == 0 {
+                            break;
+                        }
+                        let free = residual.get(&server).copied().unwrap_or(0);
+                        let served = remaining.min(free);
+                        if served > 0 {
+                            *residual.get_mut(&server).unwrap() -= served;
+                            remaining -= served;
+                            let dist = tree
+                                .distance_to_ancestor(client, server)
+                                .expect("fallback servers are ancestors");
+                            report.record_reroute(tree, client, server, served, dist);
+                        }
+                    }
+                }
+            }
+            report.dropped += remaining as u128;
+        }
+        report.finish_tick();
+    }
+
+    report.finalise(instance);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::{validate, Policy, TreeBuilder};
+
+    fn two_level() -> (Instance, Solution, NodeId, NodeId) {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        let c1 = b.add_client(n1, 2, 6);
+        let c2 = b.add_client(n1, 1, 4);
+        let inst = Instance::new(b.freeze().unwrap(), 10, None).unwrap();
+        let mut sol = Solution::new();
+        sol.assign(c1, n1, 6);
+        sol.assign(c2, root, 4);
+        validate(&inst, Policy::Single, &sol).unwrap();
+        (inst, sol, c1, c2)
+    }
+
+    #[test]
+    fn conservation_without_disruption() {
+        let (inst, sol, _, _) = two_level();
+        let report = simulate(&inst, &sol, &SimConfig::new(50));
+        assert_eq!(report.issued, 500);
+        assert_eq!(report.served, 500);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.rerouted, 0);
+    }
+
+    #[test]
+    fn utilisation_matches_static_plan() {
+        let (inst, sol, _, _) = two_level();
+        let report = simulate(&inst, &sol, &SimConfig::new(10));
+        let n1_stats = report.replica(rp_tree::NodeId(1)).unwrap();
+        assert!((n1_stats.mean_utilisation - 0.6).abs() < 1e-9);
+        let root_stats = report.replica(rp_tree::NodeId(0)).unwrap();
+        assert!((root_stats.mean_utilisation - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histogram_uses_tree_distances() {
+        let (inst, sol, _, _) = two_level();
+        let report = simulate(&inst, &sol, &SimConfig::new(1));
+        // c1 served at distance 2, c2 at distance 2 (1 + 1).
+        assert_eq!(report.latency_weighted_total, (6 * 2 + 4 * 2) as u128);
+        assert!((report.mean_latency() - 2.0).abs() < 1e-9);
+        assert_eq!(report.max_latency, 2);
+    }
+
+    #[test]
+    fn failure_causes_reroute_or_drop() {
+        let (inst, sol, _, _) = two_level();
+        // n1 down for the whole run: c1's requests fall back to the root,
+        // which has 10 - 4 = 6 spare → everything still served.
+        let cfg = SimConfig::new(5)
+            .with_failure(Failure { server: rp_tree::NodeId(1), from_tick: 0, to_tick: 5 });
+        let report = simulate(&inst, &sol, &cfg);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.rerouted, 30);
+        // Root down instead: c2 falls back to n1, which has 10 - 6 = 4 spare
+        // per tick → still no drops, 4 requests per tick re-routed.
+        let cfg = SimConfig::new(5)
+            .with_failure(Failure { server: rp_tree::NodeId(0), from_tick: 0, to_tick: 5 });
+        let report = simulate(&inst, &sol, &cfg);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.rerouted, 20);
+        // Both replicas down: everything is dropped.
+        let cfg = SimConfig::new(5)
+            .with_failure(Failure { server: rp_tree::NodeId(0), from_tick: 0, to_tick: 5 })
+            .with_failure(Failure { server: rp_tree::NodeId(1), from_tick: 0, to_tick: 5 });
+        let report = simulate(&inst, &sol, &cfg);
+        assert_eq!(report.dropped, 50);
+        assert!(report.availability() < 1e-9);
+    }
+
+    #[test]
+    fn burst_overload_drops_excess() {
+        let (inst, sol, _, _) = two_level();
+        // Double the demand: 20 requests per tick against 20 of capacity, but
+        // c1 needs 12 on n1 (capacity 10) → 2 spill to the root; root has
+        // 10 - 8 = 2 spare → exactly absorbed. No drops.
+        let cfg =
+            SimConfig::new(4).with_burst(Burst { from_tick: 0, to_tick: 4, factor: 2.0 });
+        let report = simulate(&inst, &sol, &cfg);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.rerouted, 8);
+        // Triple the demand: 30 per tick against 20 capacity → 10 dropped per tick.
+        let cfg =
+            SimConfig::new(4).with_burst(Burst { from_tick: 0, to_tick: 4, factor: 3.0 });
+        let report = simulate(&inst, &sol, &cfg);
+        assert_eq!(report.dropped, 40);
+    }
+
+    #[test]
+    fn edge_traffic_accumulates_along_paths() {
+        let (inst, sol, c1, c2) = two_level();
+        let report = simulate(&inst, &sol, &SimConfig::new(1));
+        // c1 → n1 uses edge (c1) only; c2 → root uses edges (c2) and (n1)?
+        // No: c2 is attached to n1, so its path to the root crosses edge(c2)
+        // and edge(n1).
+        let e_c1 = report.edge(c1).unwrap();
+        assert_eq!(e_c1.total, 6);
+        let e_c2 = report.edge(c2).unwrap();
+        assert_eq!(e_c2.total, 4);
+        let e_n1 = report.edge(rp_tree::NodeId(1)).unwrap();
+        assert_eq!(e_n1.total, 4);
+    }
+
+    #[test]
+    fn zero_tick_simulation_is_empty() {
+        let (inst, sol, _, _) = two_level();
+        let report = simulate(&inst, &sol, &SimConfig::new(0));
+        assert_eq!(report.issued, 0);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.ticks, 0);
+    }
+
+    #[test]
+    fn failure_outside_window_has_no_effect() {
+        let (inst, sol, _, _) = two_level();
+        let cfg = SimConfig::new(3)
+            .with_failure(Failure { server: rp_tree::NodeId(1), from_tick: 10, to_tick: 20 });
+        let report = simulate(&inst, &sol, &cfg);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.rerouted, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Aggregated results of a simulation run.
+
+use rp_tree::{Dist, Instance, NodeId, Requests, Solution, Tree};
+use std::collections::BTreeMap;
+
+/// Per-replica statistics accumulated over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaStats {
+    /// The replica node.
+    pub node: NodeId,
+    /// Total requests it served over the whole run.
+    pub total_served: u128,
+    /// Largest number of requests served in a single tick.
+    pub peak_load: Requests,
+    /// Mean utilisation `served / (ticks · W)`.
+    pub mean_utilisation: f64,
+}
+
+/// Traffic carried by the edge between a node and its parent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeTraffic {
+    /// Child endpoint of the edge (the edge towards its parent).
+    pub child: NodeId,
+    /// Total requests that crossed the edge over the run.
+    pub total: u128,
+    /// Mean requests per tick.
+    pub mean_per_tick: f64,
+}
+
+/// Complete result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Number of simulated ticks.
+    pub ticks: u64,
+    /// Requests issued by clients over the run.
+    pub issued: u128,
+    /// Requests served (planned route or re-routed).
+    pub served: u128,
+    /// Requests served through a re-route (failure or overload spill).
+    pub rerouted: u128,
+    /// Requests dropped (no replica with spare capacity on the path).
+    pub dropped: u128,
+    /// Sum over served requests of their client→server distance.
+    pub latency_weighted_total: u128,
+    /// Largest client→server distance observed.
+    pub max_latency: Dist,
+    /// Requests served farther than `dmax` (possible only through re-routing,
+    /// which prefers in-range replicas; normally 0).
+    pub qos_violations: u128,
+    replica_served: BTreeMap<NodeId, u128>,
+    replica_tick_load: BTreeMap<NodeId, Requests>,
+    replica_peak: BTreeMap<NodeId, Requests>,
+    edge_total: BTreeMap<NodeId, u128>,
+    replica_stats: Vec<ReplicaStats>,
+    edge_stats: Vec<EdgeTraffic>,
+    dmax: Option<Dist>,
+}
+
+impl SimReport {
+    /// Creates an empty report for a run of `ticks` ticks.
+    pub(crate) fn prepare(instance: &Instance, solution: &Solution, ticks: u64) -> Self {
+        let mut replica_served = BTreeMap::new();
+        let mut replica_peak = BTreeMap::new();
+        let mut replica_tick_load = BTreeMap::new();
+        for r in solution.replicas() {
+            replica_served.insert(r, 0u128);
+            replica_peak.insert(r, 0u64);
+            replica_tick_load.insert(r, 0u64);
+        }
+        SimReport {
+            ticks,
+            issued: 0,
+            served: 0,
+            rerouted: 0,
+            dropped: 0,
+            latency_weighted_total: 0,
+            max_latency: 0,
+            qos_violations: 0,
+            replica_served,
+            replica_tick_load,
+            replica_peak,
+            edge_total: BTreeMap::new(),
+            replica_stats: Vec::new(),
+            edge_stats: Vec::new(),
+            dmax: instance.dmax(),
+        }
+    }
+
+    fn record(&mut self, tree: &Tree, client: NodeId, server: NodeId, amount: Requests, dist: Dist) {
+        self.served += amount as u128;
+        self.latency_weighted_total += amount as u128 * dist as u128;
+        self.max_latency = self.max_latency.max(dist);
+        if let Some(dmax) = self.dmax {
+            if dist > dmax {
+                self.qos_violations += amount as u128;
+            }
+        }
+        *self.replica_served.entry(server).or_insert(0) += amount as u128;
+        *self.replica_tick_load.entry(server).or_insert(0) += amount;
+        // Edge traffic: every edge on the path from the client up to (but not
+        // including) the server carries the requests.
+        let mut current = client;
+        while current != server {
+            *self.edge_total.entry(current).or_insert(0) += amount as u128;
+            current = tree.parent(current).expect("server is an ancestor of client");
+        }
+    }
+
+    /// Records requests served through their planned fragment.
+    pub(crate) fn record_service(
+        &mut self,
+        tree: &Tree,
+        client: NodeId,
+        server: NodeId,
+        amount: Requests,
+        dist: Dist,
+    ) {
+        self.record(tree, client, server, amount, dist);
+    }
+
+    /// Records requests served through a fallback replica.
+    pub(crate) fn record_reroute(
+        &mut self,
+        tree: &Tree,
+        client: NodeId,
+        server: NodeId,
+        amount: Requests,
+        dist: Dist,
+    ) {
+        self.rerouted += amount as u128;
+        self.record(tree, client, server, amount, dist);
+    }
+
+    /// Closes the current tick (updates per-replica peaks).
+    pub(crate) fn finish_tick(&mut self) {
+        for (node, load) in self.replica_tick_load.iter_mut() {
+            let peak = self.replica_peak.entry(*node).or_insert(0);
+            *peak = (*peak).max(*load);
+            *load = 0;
+        }
+    }
+
+    /// Computes the derived per-replica and per-edge statistics.
+    pub(crate) fn finalise(&mut self, instance: &Instance) {
+        let denom = (self.ticks as f64) * instance.capacity() as f64;
+        self.replica_stats = self
+            .replica_served
+            .iter()
+            .map(|(&node, &total_served)| ReplicaStats {
+                node,
+                total_served,
+                peak_load: self.replica_peak.get(&node).copied().unwrap_or(0),
+                mean_utilisation: if denom > 0.0 { total_served as f64 / denom } else { 0.0 },
+            })
+            .collect();
+        self.edge_stats = self
+            .edge_total
+            .iter()
+            .map(|(&child, &total)| EdgeTraffic {
+                child,
+                total,
+                mean_per_tick: if self.ticks > 0 { total as f64 / self.ticks as f64 } else { 0.0 },
+            })
+            .collect();
+    }
+
+    /// Statistics of one replica, if it served anything or was placed.
+    pub fn replica(&self, node: NodeId) -> Option<&ReplicaStats> {
+        self.replica_stats.iter().find(|s| s.node == node)
+    }
+
+    /// All per-replica statistics, ordered by node id.
+    pub fn replicas(&self) -> &[ReplicaStats] {
+        &self.replica_stats
+    }
+
+    /// Traffic on the edge above `child`, if any request crossed it.
+    pub fn edge(&self, child: NodeId) -> Option<&EdgeTraffic> {
+        self.edge_stats.iter().find(|e| e.child == child)
+    }
+
+    /// All per-edge traffic records, ordered by child node id.
+    pub fn edges(&self) -> &[EdgeTraffic] {
+        &self.edge_stats
+    }
+
+    /// Mean client→server distance over all served requests.
+    pub fn mean_latency(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.latency_weighted_total as f64 / self.served as f64
+        }
+    }
+
+    /// Fraction of issued requests that were served.
+    pub fn availability(&self) -> f64 {
+        if self.issued == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.issued as f64
+        }
+    }
+
+    /// Mean utilisation over all replicas.
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.replica_stats.is_empty() {
+            0.0
+        } else {
+            self.replica_stats.iter().map(|s| s.mean_utilisation).sum::<f64>()
+                / self.replica_stats.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    fn tiny() -> (Instance, Solution) {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let c = b.add_client(root, 3, 5);
+        let inst = Instance::new(b.freeze().unwrap(), 10, Some(5)).unwrap();
+        let mut sol = Solution::new();
+        sol.assign(c, root, 5);
+        (inst, sol)
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let (inst, sol) = tiny();
+        let mut report = SimReport::prepare(&inst, &sol, 0);
+        report.finalise(&inst);
+        assert_eq!(report.mean_latency(), 0.0);
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.mean_utilisation(), 0.0);
+        assert!(report.edges().is_empty());
+    }
+
+    #[test]
+    fn record_accumulates_edges_and_latency() {
+        let (inst, sol) = tiny();
+        let tree = inst.tree().clone();
+        let mut report = SimReport::prepare(&inst, &sol, 1);
+        report.issued = 5;
+        report.record_service(&tree, NodeId(1), NodeId(0), 5, 3);
+        report.finish_tick();
+        report.finalise(&inst);
+        assert_eq!(report.served, 5);
+        assert_eq!(report.edge(NodeId(1)).unwrap().total, 5);
+        assert_eq!(report.replica(NodeId(0)).unwrap().peak_load, 5);
+        assert!((report.mean_latency() - 3.0).abs() < 1e-9);
+        assert_eq!(report.qos_violations, 0);
+        assert_eq!(report.availability(), 1.0);
+    }
+
+    #[test]
+    fn qos_violations_counted_beyond_dmax() {
+        let (inst, sol) = tiny();
+        let tree = inst.tree().clone();
+        let mut report = SimReport::prepare(&inst, &sol, 1);
+        report.record_reroute(&tree, NodeId(1), NodeId(0), 2, 9);
+        report.finalise(&inst);
+        assert_eq!(report.qos_violations, 2);
+        assert_eq!(report.rerouted, 2);
+        assert_eq!(report.max_latency, 9);
+    }
+}

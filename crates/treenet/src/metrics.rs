@@ -1,0 +1,136 @@
+//! Aggregate statistics about a validated solution.
+
+use crate::instance::Instance;
+use crate::solution::Solution;
+use crate::Requests;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a feasible solution, as returned by
+/// [`crate::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionStats {
+    /// Objective value `|R|`: number of replicas placed.
+    pub replica_count: usize,
+    /// Number of replicas placed on client (leaf) nodes.
+    pub replicas_on_clients: usize,
+    /// Number of replicas placed on internal nodes.
+    pub replicas_on_internal: usize,
+    /// Largest load of any replica.
+    pub max_load: Requests,
+    /// Smallest load of any replica carrying at least one request.
+    pub min_load: Requests,
+    /// Total number of requests served (equals the instance total when the
+    /// solution is feasible).
+    pub total_served: u128,
+    /// Average utilisation `load / W` over all replicas (idle forced replicas
+    /// count with load 0).
+    pub avg_utilisation: f64,
+    /// Largest client→server distance used by any fragment.
+    pub max_distance: u64,
+    /// Average number of distinct servers per client (1.0 under the Single
+    /// policy; possibly larger under Multiple).
+    pub avg_servers_per_client: f64,
+}
+
+impl SolutionStats {
+    /// Computes statistics for a solution that has already passed feasibility
+    /// checks. `max_distance` is provided by the validator, which has already
+    /// recomputed every fragment's path length.
+    pub fn compute(instance: &Instance, solution: &Solution, max_distance: u64) -> Self {
+        let tree = instance.tree();
+        let replicas = solution.replicas();
+        let loads = solution.loads();
+        let replica_count = replicas.len();
+        let replicas_on_clients = replicas.iter().filter(|r| tree.is_client(**r)).count();
+        let replicas_on_internal = replica_count - replicas_on_clients;
+        let max_load = loads.values().copied().max().unwrap_or(0);
+        let min_load = loads.values().copied().min().unwrap_or(0);
+        let total_served = solution.total_assigned();
+        let avg_utilisation = if replica_count == 0 {
+            0.0
+        } else {
+            let w = instance.capacity() as f64;
+            let sum: f64 = replicas
+                .iter()
+                .map(|r| loads.get(r).copied().unwrap_or(0) as f64 / w)
+                .sum();
+            sum / replica_count as f64
+        };
+        let clients_with_requests: Vec<_> =
+            tree.clients().iter().copied().filter(|c| tree.requests(*c) > 0).collect();
+        let avg_servers_per_client = if clients_with_requests.is_empty() {
+            0.0
+        } else {
+            let sum: usize =
+                clients_with_requests.iter().map(|c| solution.servers_of(*c).len()).sum();
+            sum as f64 / clients_with_requests.len() as f64
+        };
+        SolutionStats {
+            replica_count,
+            replicas_on_clients,
+            replicas_on_internal,
+            max_load,
+            min_load,
+            total_served,
+            avg_utilisation,
+            max_distance,
+            avg_servers_per_client,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{NodeId, TreeBuilder};
+
+    #[test]
+    fn stats_of_empty_solution() {
+        let t = TreeBuilder::new().freeze().unwrap();
+        let inst = Instance::new(t, 5, None).unwrap();
+        let s = Solution::new();
+        let stats = SolutionStats::compute(&inst, &s, 0);
+        assert_eq!(stats.replica_count, 0);
+        assert_eq!(stats.avg_utilisation, 0.0);
+        assert_eq!(stats.avg_servers_per_client, 0.0);
+        assert_eq!(stats.total_served, 0);
+    }
+
+    #[test]
+    fn stats_distinguish_client_and_internal_replicas() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        let c2 = b.add_client(n1, 1, 4);
+        let c3 = b.add_client(root, 1, 6);
+        let tree = b.freeze().unwrap();
+        let inst = Instance::new(tree, 10, None).unwrap();
+        let mut s = Solution::new();
+        s.assign(c2, n1, 4);
+        s.assign(c3, c3, 6);
+        let stats = SolutionStats::compute(&inst, &s, 1);
+        assert_eq!(stats.replica_count, 2);
+        assert_eq!(stats.replicas_on_clients, 1);
+        assert_eq!(stats.replicas_on_internal, 1);
+        assert_eq!(stats.max_load, 6);
+        assert_eq!(stats.min_load, 4);
+        assert!((stats.avg_utilisation - 0.5).abs() < 1e-9);
+        assert!((stats.avg_servers_per_client - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_policy_average_servers() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        let c2 = b.add_client(n1, 1, 10);
+        let tree = b.freeze().unwrap();
+        let inst = Instance::new(tree, 6, None).unwrap();
+        let mut s = Solution::new();
+        s.assign(c2, n1, 6);
+        s.assign(c2, NodeId(0), 4);
+        let stats = SolutionStats::compute(&inst, &s, 2);
+        assert!((stats.avg_servers_per_client - 2.0).abs() < 1e-9);
+        assert_eq!(stats.max_distance, 2);
+    }
+}

@@ -1,0 +1,567 @@
+//! Arena-based distribution tree.
+//!
+//! The tree follows the framework of Section 2 of the paper: the set of leaf
+//! nodes `C` are *clients*, each issuing `r_i` requests; internal nodes `N`
+//! are candidate replica locations; every non-root node `j` is connected to
+//! `parent(j)` by an edge of length `δ_j`.
+//!
+//! [`TreeBuilder`] constructs a tree incrementally (root first, then children)
+//! and [`TreeBuilder::freeze`] validates it and precomputes traversal orders,
+//! depths and root distances, producing an immutable [`Tree`] that can be
+//! shared across threads.
+
+use crate::error::TreeError;
+use crate::{Dist, Requests};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside a [`Tree`] (index into the node arena).
+///
+/// Ids are dense: the root is always `NodeId(0)` and ids `0..tree.len()` are
+/// all valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index of this node in the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Role of a node in the distribution tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A client (leaf) issuing the given number of requests per time unit.
+    Client(Requests),
+    /// An internal node: a candidate replica location that issues no requests.
+    Internal,
+}
+
+impl NodeKind {
+    /// Requests issued by this node (0 for internal nodes).
+    #[inline]
+    pub fn requests(&self) -> Requests {
+        match self {
+            NodeKind::Client(r) => *r,
+            NodeKind::Internal => 0,
+        }
+    }
+
+    /// Whether the node is a client.
+    #[inline]
+    pub fn is_client(&self) -> bool {
+        matches!(self, NodeKind::Client(_))
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    /// Length of the edge towards the parent (`δ_j`); 0 for the root.
+    edge: Dist,
+    children: Vec<NodeId>,
+}
+
+/// Incremental builder for a [`Tree`].
+///
+/// The builder starts with a single internal root node (id 0). Children are
+/// appended with [`TreeBuilder::add_internal`] and [`TreeBuilder::add_client`]
+/// by naming their parent and the length of the connecting edge.
+#[derive(Debug, Clone, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Creates a builder containing only the root (an internal node).
+    pub fn new() -> Self {
+        TreeBuilder {
+            nodes: vec![Node { kind: NodeKind::Internal, parent: None, edge: 0, children: Vec::new() }],
+        }
+    }
+
+    /// Id of the root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes added so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the builder only contains the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn push(&mut self, parent: NodeId, edge: Dist, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: Some(parent), edge, children: Vec::new() });
+        if let Some(p) = self.nodes.get_mut(parent.index()) {
+            p.children.push(id);
+        }
+        id
+    }
+
+    /// Adds an internal node below `parent`, connected by an edge of length
+    /// `edge`, and returns its id.
+    pub fn add_internal(&mut self, parent: NodeId, edge: Dist) -> NodeId {
+        self.push(parent, edge, NodeKind::Internal)
+    }
+
+    /// Adds a client (leaf) below `parent`, connected by an edge of length
+    /// `edge` and issuing `requests` requests, and returns its id.
+    pub fn add_client(&mut self, parent: NodeId, edge: Dist, requests: Requests) -> NodeId {
+        self.push(parent, edge, NodeKind::Client(requests))
+    }
+
+    /// Validates the structure and produces an immutable [`Tree`].
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::ClientHasChildren`] if a client node was used as a
+    ///   parent,
+    /// * [`TreeError::UnknownParent`] if a parent id is out of range,
+    /// * [`TreeError::RequestsTooLarge`] if a client issues more than
+    ///   `u64::MAX / 4` requests (guards the solvers against overflow).
+    pub fn freeze(self) -> Result<Tree, TreeError> {
+        Tree::from_nodes(self.nodes)
+    }
+}
+
+/// An immutable distribution tree.
+///
+/// Nodes are stored in an arena indexed by [`NodeId`]; the root is always
+/// `NodeId(0)`. Besides the adjacency, the tree precomputes:
+///
+/// * a post-order and a pre-order traversal (children visited in insertion
+///   order),
+/// * the depth (number of edges) and the distance to the root of every node,
+/// * the list of clients and the arity Δ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    postorder: Vec<NodeId>,
+    preorder: Vec<NodeId>,
+    depth: Vec<u32>,
+    root_dist: Vec<Dist>,
+    clients: Vec<NodeId>,
+    arity: usize,
+}
+
+impl Tree {
+    /// Maximum number of requests a single client may issue; bounds the sums
+    /// computed by the solvers so that they fit comfortably in `u64`.
+    pub const MAX_REQUESTS: Requests = u64::MAX / 4;
+
+    fn from_nodes(nodes: Vec<Node>) -> Result<Tree, TreeError> {
+        if nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        if nodes[0].kind.is_client() {
+            return Err(TreeError::RootNotInternal);
+        }
+        // Structural checks.
+        for (idx, n) in nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                if p.index() >= nodes.len() {
+                    return Err(TreeError::UnknownParent(NodeId(idx as u32)));
+                }
+                if nodes[p.index()].kind.is_client() {
+                    return Err(TreeError::ClientHasChildren(p));
+                }
+            }
+            if let NodeKind::Client(r) = n.kind {
+                if r > Self::MAX_REQUESTS {
+                    return Err(TreeError::RequestsTooLarge(NodeId(idx as u32)));
+                }
+            }
+        }
+        // Traversals from the root; also detects unreachable nodes / cycles.
+        let mut preorder = Vec::with_capacity(nodes.len());
+        let mut postorder = Vec::with_capacity(nodes.len());
+        let mut depth = vec![0u32; nodes.len()];
+        let mut root_dist = vec![0 as Dist; nodes.len()];
+        let mut seen = vec![false; nodes.len()];
+        // Iterative DFS with an explicit state to emit post-order.
+        let mut stack: Vec<(NodeId, usize)> = vec![(NodeId(0), 0)];
+        seen[0] = true;
+        preorder.push(NodeId(0));
+        while let Some((id, child_idx)) = stack.pop() {
+            let node = &nodes[id.index()];
+            if child_idx < node.children.len() {
+                stack.push((id, child_idx + 1));
+                let c = node.children[child_idx];
+                if seen[c.index()] {
+                    return Err(TreeError::NotATree(c));
+                }
+                seen[c.index()] = true;
+                depth[c.index()] = depth[id.index()] + 1;
+                root_dist[c.index()] =
+                    root_dist[id.index()].saturating_add(nodes[c.index()].edge);
+                preorder.push(c);
+                stack.push((c, 0));
+            } else {
+                postorder.push(id);
+            }
+        }
+        if let Some(idx) = seen.iter().position(|s| !s) {
+            return Err(TreeError::NotATree(NodeId(idx as u32)));
+        }
+        let clients: Vec<NodeId> = (0..nodes.len())
+            .map(|i| NodeId(i as u32))
+            .filter(|id| nodes[id.index()].kind.is_client())
+            .collect();
+        let arity = nodes.iter().map(|n| n.children.len()).max().unwrap_or(0);
+        Ok(Tree { nodes, postorder, preorder, depth, root_dist, clients, arity })
+    }
+
+    /// Total number of nodes `|C ∪ N|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree contains only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The root node id (always `NodeId(0)`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Iterator over all node ids, in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Role of node `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// Whether `id` is a client (leaf issuing requests).
+    #[inline]
+    pub fn is_client(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].kind.is_client()
+    }
+
+    /// Requests issued by node `id` (`r_i` for clients, 0 for internal nodes).
+    #[inline]
+    pub fn requests(&self, id: NodeId) -> Requests {
+        self.nodes[id.index()].kind.requests()
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Length `δ_j` of the edge between `id` and its parent (0 for the root;
+    /// the paper sets `δ_r = +∞`, which callers model by never letting
+    /// requests traverse above the root).
+    #[inline]
+    pub fn edge(&self, id: NodeId) -> Dist {
+        self.nodes[id.index()].edge
+    }
+
+    /// Children of `id`, in insertion order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Depth of `id` in edges (0 for the root).
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// Distance from `id` to the root along tree edges.
+    #[inline]
+    pub fn dist_to_root(&self, id: NodeId) -> Dist {
+        self.root_dist[id.index()]
+    }
+
+    /// Arity Δ of the tree (maximum number of children of any node).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Whether the tree is binary (Δ ≤ 2), the class targeted by
+    /// `multiple-bin`.
+    #[inline]
+    pub fn is_binary(&self) -> bool {
+        self.arity <= 2
+    }
+
+    /// The client (leaf) nodes, in id order.
+    #[inline]
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// The internal nodes, in id order.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(move |id| !self.is_client(*id))
+    }
+
+    /// Post-order traversal (children before parents); the natural order for
+    /// the bottom-up algorithms of the paper.
+    #[inline]
+    pub fn postorder(&self) -> &[NodeId] {
+        &self.postorder
+    }
+
+    /// Pre-order traversal (parents before children).
+    #[inline]
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.preorder
+    }
+
+    /// Sum of all client requests (`W_tot` in the paper), computed in `u128`
+    /// to avoid overflow.
+    pub fn total_requests(&self) -> u128 {
+        self.clients.iter().map(|c| self.requests(*c) as u128).sum()
+    }
+
+    /// Iterator over `id` and its proper ancestors up to the root.
+    pub fn ancestors_inclusive(&self, id: NodeId) -> AncestorIter<'_> {
+        AncestorIter { tree: self, current: Some(id) }
+    }
+
+    /// Distance along tree edges between a node and one of its ancestors.
+    ///
+    /// Returns `None` if `ancestor` is not on the path from `node` to the
+    /// root. The distance from a node to itself is 0.
+    pub fn distance_to_ancestor(&self, node: NodeId, ancestor: NodeId) -> Option<Dist> {
+        let mut current = node;
+        let mut dist: Dist = 0;
+        loop {
+            if current == ancestor {
+                return Some(dist);
+            }
+            match self.parent(current) {
+                Some(p) => {
+                    dist = dist.saturating_add(self.edge(current));
+                    current = p;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Whether `ancestor` lies on the path from `node` to the root
+    /// (inclusive of `node` itself).
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.distance_to_ancestor(node, ancestor).is_some()
+    }
+
+    /// Nodes of `subtree(j)`, including `j`, in pre-order.
+    pub fn subtree(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n) {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Sum of requests issued by clients of `subtree(j)`.
+    pub fn subtree_requests(&self, id: NodeId) -> u128 {
+        self.subtree(id)
+            .into_iter()
+            .filter(|n| self.is_client(*n))
+            .map(|n| self.requests(n) as u128)
+            .sum()
+    }
+
+    /// Number of clients in the tree.
+    #[inline]
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Maximum distance from any client to the root; a convenient scale for
+    /// choosing `dmax` in generators and experiments.
+    pub fn max_client_root_distance(&self) -> Dist {
+        self.clients.iter().map(|c| self.dist_to_root(*c)).max().unwrap_or(0)
+    }
+}
+
+/// Iterator over a node and its ancestors; see
+/// [`Tree::ancestors_inclusive`].
+pub struct AncestorIter<'a> {
+    tree: &'a Tree,
+    current: Option<NodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.current?;
+        self.current = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Tree {
+        // root
+        //  ├─ n1 (edge 2)
+        //  │   ├─ c2 (edge 1, 5 req)
+        //  │   └─ c3 (edge 3, 7 req)
+        //  └─ c4 (edge 4, 2 req)
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 2);
+        b.add_client(n1, 1, 5);
+        b.add_client(n1, 3, 7);
+        b.add_client(root, 4, 2);
+        b.freeze().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_structure() {
+        let t = sample_tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.client_count(), 3);
+        assert_eq!(t.arity(), 2);
+        assert!(t.is_binary());
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(4)]);
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.edge(NodeId(3)), 3);
+        assert_eq!(t.requests(NodeId(3)), 7);
+        assert_eq!(t.requests(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn depths_and_distances() {
+        let t = sample_tree();
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(2)), 2);
+        assert_eq!(t.dist_to_root(NodeId(2)), 3);
+        assert_eq!(t.dist_to_root(NodeId(3)), 5);
+        assert_eq!(t.dist_to_root(NodeId(4)), 4);
+        assert_eq!(t.max_client_root_distance(), 5);
+    }
+
+    #[test]
+    fn distance_to_ancestor_follows_path() {
+        let t = sample_tree();
+        assert_eq!(t.distance_to_ancestor(NodeId(2), NodeId(1)), Some(1));
+        assert_eq!(t.distance_to_ancestor(NodeId(2), NodeId(0)), Some(3));
+        assert_eq!(t.distance_to_ancestor(NodeId(2), NodeId(2)), Some(0));
+        assert_eq!(t.distance_to_ancestor(NodeId(2), NodeId(4)), None);
+        assert!(t.is_ancestor_or_self(NodeId(0), NodeId(3)));
+        assert!(!t.is_ancestor_or_self(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn traversal_orders_cover_all_nodes() {
+        let t = sample_tree();
+        assert_eq!(t.postorder().len(), t.len());
+        assert_eq!(t.preorder().len(), t.len());
+        // post-order: every node appears after all of its children
+        let pos: Vec<usize> = {
+            let mut v = vec![0; t.len()];
+            for (i, id) in t.postorder().iter().enumerate() {
+                v[id.index()] = i;
+            }
+            v
+        };
+        for id in t.node_ids() {
+            for &c in t.children(id) {
+                assert!(pos[c.index()] < pos[id.index()]);
+            }
+        }
+        // pre-order starts at the root
+        assert_eq!(t.preorder()[0], t.root());
+    }
+
+    #[test]
+    fn subtree_and_requests() {
+        let t = sample_tree();
+        let mut sub = t.subtree(NodeId(1));
+        sub.sort();
+        assert_eq!(sub, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.subtree_requests(NodeId(1)), 12);
+        assert_eq!(t.subtree_requests(NodeId(0)), 14);
+        assert_eq!(t.total_requests(), 14);
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let t = sample_tree();
+        let anc: Vec<NodeId> = t.ancestors_inclusive(NodeId(2)).collect();
+        assert_eq!(anc, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn client_cannot_have_children() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let c = b.add_client(root, 1, 3);
+        b.add_client(c, 1, 4);
+        assert_eq!(b.freeze().unwrap_err(), TreeError::ClientHasChildren(c));
+    }
+
+    #[test]
+    fn requests_overflow_guard() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        b.add_client(root, 1, u64::MAX);
+        assert!(matches!(b.freeze().unwrap_err(), TreeError::RequestsTooLarge(_)));
+    }
+
+    #[test]
+    fn single_root_tree_is_valid() {
+        let t = TreeBuilder::new().freeze().unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.client_count(), 0);
+        assert_eq!(t.total_requests(), 0);
+        assert_eq!(t.arity(), 0);
+    }
+
+    #[test]
+    fn node_kind_helpers() {
+        assert_eq!(NodeKind::Client(4).requests(), 4);
+        assert_eq!(NodeKind::Internal.requests(), 0);
+        assert!(NodeKind::Client(0).is_client());
+        assert!(!NodeKind::Internal.is_client());
+    }
+
+    #[test]
+    fn display_of_node_id() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,240 @@
+//! Independent validation of solutions against all constraints of the paper.
+//!
+//! The validator recomputes every check from the raw tree: it never trusts
+//! distances or loads reported by the algorithms. All solvers in the
+//! workspace are tested through this single choke point, so an algorithm can
+//! only "pass" by producing a genuinely feasible placement.
+
+use crate::error::ValidationError;
+use crate::instance::{Instance, Policy};
+use crate::metrics::SolutionStats;
+use crate::solution::Solution;
+use crate::Requests;
+use std::collections::BTreeMap;
+
+/// Checks that `solution` is feasible for `instance` under `policy` and
+/// returns aggregate statistics.
+///
+/// The following constraints are verified (Section 2 of the paper):
+///
+/// 1. every fragment references existing nodes, the client side really is a
+///    client, and amounts are non-zero;
+/// 2. the server of every fragment lies on the path from the client to the
+///    root (a server only serves its own subtree);
+/// 3. the client→server distance does not exceed `dmax` (when set);
+/// 4. no server processes more than `W` requests;
+/// 5. every client is served exactly `r_i` requests in total;
+/// 6. under [`Policy::Single`], each client uses exactly one server.
+pub fn validate(
+    instance: &Instance,
+    policy: Policy,
+    solution: &Solution,
+) -> Result<SolutionStats, ValidationError> {
+    let tree = instance.tree();
+    let n = tree.len();
+
+    let mut loads: BTreeMap<_, Requests> = BTreeMap::new();
+    let mut served: BTreeMap<_, Requests> = BTreeMap::new();
+    let mut max_distance: u64 = 0;
+
+    for frag in solution.fragments() {
+        if frag.client.index() >= n {
+            return Err(ValidationError::UnknownNode(frag.client));
+        }
+        if frag.server.index() >= n {
+            return Err(ValidationError::UnknownNode(frag.server));
+        }
+        if !tree.is_client(frag.client) {
+            return Err(ValidationError::NotAClient(frag.client));
+        }
+        if frag.amount == 0 {
+            return Err(ValidationError::EmptyFragment {
+                client: frag.client,
+                server: frag.server,
+            });
+        }
+        let dist = tree
+            .distance_to_ancestor(frag.client, frag.server)
+            .ok_or(ValidationError::NotAnAncestor { client: frag.client, server: frag.server })?;
+        if let Some(dmax) = instance.dmax() {
+            if dist > dmax {
+                return Err(ValidationError::DistanceExceeded {
+                    client: frag.client,
+                    server: frag.server,
+                    distance: dist,
+                    dmax,
+                });
+            }
+        }
+        max_distance = max_distance.max(dist);
+        *loads.entry(frag.server).or_insert(0) += frag.amount;
+        *served.entry(frag.client).or_insert(0) += frag.amount;
+    }
+
+    for (&server, &load) in &loads {
+        if load > instance.capacity() {
+            return Err(ValidationError::CapacityExceeded {
+                server,
+                load,
+                capacity: instance.capacity(),
+            });
+        }
+    }
+
+    for &client in tree.clients() {
+        let required = tree.requests(client);
+        let assigned = served.get(&client).copied().unwrap_or(0);
+        if assigned != required {
+            return Err(ValidationError::ClientNotServed { client, assigned, required });
+        }
+        if policy == Policy::Single {
+            let servers = solution.servers_of(client).len();
+            if servers > 1 {
+                return Err(ValidationError::MultipleServersForClient { client, servers });
+            }
+        }
+    }
+
+    Ok(SolutionStats::compute(instance, solution, max_distance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{NodeId, TreeBuilder};
+
+    /// root ── n1 (edge 1) ── c2 (edge 2, 6 req)
+    ///      └─ c3 (edge 5, 4 req)
+    fn instance(w: Requests, dmax: Option<u64>) -> Instance {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        b.add_client(n1, 2, 6);
+        b.add_client(root, 5, 4);
+        Instance::new(b.freeze().unwrap(), w, dmax).unwrap()
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn valid_single_solution_passes() {
+        let inst = instance(10, Some(5));
+        let mut s = Solution::new();
+        s.assign(n(2), n(1), 6);
+        s.assign(n(3), n(0), 4);
+        let stats = validate(&inst, Policy::Single, &s).unwrap();
+        assert_eq!(stats.replica_count, 2);
+        assert_eq!(stats.max_load, 6);
+        assert_eq!(stats.max_distance, 5);
+    }
+
+    #[test]
+    fn multiple_policy_allows_splitting() {
+        let inst = instance(5, None);
+        let mut s = Solution::new();
+        s.assign(n(2), n(1), 3);
+        s.assign(n(2), n(0), 3);
+        s.assign(n(3), n(3), 4);
+        assert!(validate(&inst, Policy::Multiple, &s).is_ok());
+        // Same solution violates the Single policy for client 2.
+        let err = validate(&inst, Policy::Single, &s).unwrap_err();
+        assert_eq!(err, ValidationError::MultipleServersForClient { client: n(2), servers: 2 });
+    }
+
+    #[test]
+    fn distance_violation_detected() {
+        let inst = instance(10, Some(2));
+        let mut s = Solution::new();
+        s.assign(n(2), n(0), 6); // distance 3 > dmax 2
+        s.assign(n(3), n(3), 4);
+        let err = validate(&inst, Policy::Single, &s).unwrap_err();
+        assert!(matches!(err, ValidationError::DistanceExceeded { distance: 3, dmax: 2, .. }));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let inst = instance(9, None);
+        let mut s = Solution::new();
+        s.assign(n(2), n(0), 6);
+        s.assign(n(3), n(0), 4);
+        let err = validate(&inst, Policy::Multiple, &s).unwrap_err();
+        assert!(matches!(err, ValidationError::CapacityExceeded { load: 10, capacity: 9, .. }));
+    }
+
+    #[test]
+    fn under_served_client_detected() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        s.assign(n(2), n(1), 5); // client 2 issues 6
+        s.assign(n(3), n(0), 4);
+        let err = validate(&inst, Policy::Multiple, &s).unwrap_err();
+        assert_eq!(
+            err,
+            ValidationError::ClientNotServed { client: n(2), assigned: 5, required: 6 }
+        );
+    }
+
+    #[test]
+    fn over_served_client_detected() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        s.assign(n(2), n(1), 7);
+        s.assign(n(3), n(0), 4);
+        let err = validate(&inst, Policy::Multiple, &s).unwrap_err();
+        assert!(matches!(err, ValidationError::ClientNotServed { assigned: 7, required: 6, .. }));
+    }
+
+    #[test]
+    fn server_outside_root_path_detected() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        // n1 is not an ancestor of client 3.
+        s.assign(n(3), n(1), 4);
+        s.assign(n(2), n(2), 6);
+        let err = validate(&inst, Policy::Multiple, &s).unwrap_err();
+        assert_eq!(err, ValidationError::NotAnAncestor { client: n(3), server: n(1) });
+    }
+
+    #[test]
+    fn non_client_fragment_detected() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        s.assign(n(1), n(0), 1);
+        let err = validate(&inst, Policy::Multiple, &s).unwrap_err();
+        assert_eq!(err, ValidationError::NotAClient(n(1)));
+    }
+
+    #[test]
+    fn unknown_node_detected() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        s.assign(n(42), n(0), 1);
+        let err = validate(&inst, Policy::Multiple, &s).unwrap_err();
+        assert_eq!(err, ValidationError::UnknownNode(n(42)));
+    }
+
+    #[test]
+    fn forced_replicas_count_in_stats() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        s.assign(n(2), n(1), 6);
+        s.assign(n(3), n(0), 4);
+        s.force_replica(n(2));
+        let stats = validate(&inst, Policy::Single, &s).unwrap();
+        assert_eq!(stats.replica_count, 3);
+    }
+
+    #[test]
+    fn stats_utilisation() {
+        let inst = instance(10, None);
+        let mut s = Solution::new();
+        s.assign(n(2), n(1), 6);
+        s.assign(n(3), n(0), 4);
+        let stats = validate(&inst, Policy::Single, &s).unwrap();
+        // 10 requests over 2 replicas of capacity 10 → 50% average utilisation
+        assert!((stats.avg_utilisation - 0.5).abs() < 1e-9);
+        assert_eq!(stats.total_served, 10);
+    }
+}

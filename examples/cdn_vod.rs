@@ -1,0 +1,98 @@
+//! Video-on-Demand CDN scenario (the motivating application of the paper's
+//! introduction): place replicas of a video catalogue over a hierarchical
+//! distribution tree, then *run* the placement through the simulator —
+//! steady state, a flash-crowd burst, and a replica outage.
+//!
+//! ```text
+//! cargo run --example cdn_vod
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use replica_placement::algorithms::{multiple_bin, single_gen};
+use replica_placement::instances::random::{random_binary_tree, wrap_instance};
+use replica_placement::instances::{EdgeDist, RequestDist};
+use replica_placement::prelude::*;
+use replica_placement::sim::{simulate, Burst, Failure, SimConfig};
+
+fn main() {
+    // A 96-site access network: binary aggregation hierarchy, Zipf-ish
+    // per-site demand (a few hot sites, a long tail), heterogeneous link
+    // latencies. Capacity is provisioned for ~4 sites per streaming server,
+    // and the service-level objective caps the client→server latency at 60%
+    // of the network depth.
+    let mut rng = StdRng::seed_from_u64(42);
+    let tree = random_binary_tree(
+        96,
+        &EdgeDist::Uniform { lo: 1, hi: 5 },
+        &RequestDist::Zipf { max: 200, exponent: 0.8 },
+        &mut rng,
+    );
+    let instance = wrap_instance(tree, 4.0, Some(0.6));
+    println!(
+        "platform: {} nodes, {} client sites, {} req/s total, W = {}, dmax = {:?}",
+        instance.tree().len(),
+        instance.tree().client_count(),
+        instance.tree().total_requests(),
+        instance.capacity(),
+        instance.dmax()
+    );
+
+    // Plan the placement under both access policies.
+    let multiple = multiple_bin(&instance).expect("binary tree, r_i ≤ W");
+    let multiple_stats = validate(&instance, Policy::Multiple, &multiple).expect("feasible");
+    let single = single_gen(&instance).expect("feasible");
+    let single_stats = validate(&instance, Policy::Single, &single).expect("feasible");
+    println!(
+        "placement: Multiple policy uses {} replicas (avg utilisation {:.0}%), Single policy uses {}",
+        multiple_stats.replica_count,
+        multiple_stats.avg_utilisation * 100.0,
+        single_stats.replica_count,
+    );
+
+    // 1. Steady state: one hour at one tick per second.
+    let report = simulate(&instance, &multiple, &SimConfig::new(3600));
+    println!("\n-- steady state (3600 ticks) --");
+    print_report_summary(&report);
+
+    // 2. Flash crowd: demand doubles for ten minutes in the middle of the run.
+    let burst_cfg = SimConfig::new(3600).with_burst(Burst {
+        from_tick: 1200,
+        to_tick: 1800,
+        factor: 2.0,
+    });
+    let report = simulate(&instance, &multiple, &burst_cfg);
+    println!("\n-- flash crowd (2x demand for 600 ticks) --");
+    print_report_summary(&report);
+
+    // 3. Outage: the most loaded replica goes down for fifteen minutes.
+    let busiest = multiple
+        .loads()
+        .into_iter()
+        .max_by_key(|(_, load)| *load)
+        .map(|(node, _)| node)
+        .expect("at least one replica");
+    let outage_cfg = SimConfig::new(3600).with_failure(Failure {
+        server: busiest,
+        from_tick: 1000,
+        to_tick: 1900,
+    });
+    let report = simulate(&instance, &multiple, &outage_cfg);
+    println!("\n-- outage of the busiest replica ({busiest}) for 900 ticks --");
+    print_report_summary(&report);
+    println!(
+        "requests re-routed to surviving replicas: {}, dropped: {}",
+        report.rerouted, report.dropped
+    );
+}
+
+fn print_report_summary(report: &replica_placement::sim::SimReport) {
+    println!(
+        "availability {:.4} | mean latency {:.2} | max latency {} | mean utilisation {:.0}% | QoS violations {}",
+        report.availability(),
+        report.mean_latency(),
+        report.max_latency,
+        report.mean_utilisation() * 100.0,
+        report.qos_violations,
+    );
+}

@@ -1,0 +1,102 @@
+//! QoS / provisioning study: how the number of replicas needed by the Single
+//! and Multiple policies reacts as the distance (QoS) constraint tightens and
+//! as the server capacity changes — the trade-off a capacity planner would
+//! explore with this library.
+//!
+//! ```text
+//! cargo run --example qos_policy_study
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use replica_placement::algorithms::{baselines, bounds, multiple_bin, single_gen};
+use replica_placement::instances::random::{random_binary_tree, wrap_instance};
+use replica_placement::instances::{EdgeDist, RequestDist};
+use replica_placement::prelude::*;
+
+fn main() {
+    let clients = 160;
+    let trials = 5;
+
+    println!("Replica count vs QoS bound (dmax as a fraction of the network depth)");
+    println!("clients = {clients}, capacity ≈ 3 sites per server, {trials} trials per point\n");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>14} {:>14}",
+        "dmax", "volume LB", "multiple-bin", "multiple-greedy", "single-gen", "clients-only"
+    );
+    for dmax_fraction in [None, Some(0.9), Some(0.7), Some(0.5), Some(0.35)] {
+        let mut lb = 0.0;
+        let mut multi = 0.0;
+        let mut greedy = 0.0;
+        let mut single = 0.0;
+        let mut trivial = 0.0;
+        for t in 0..trials {
+            let inst = make_instance(clients, 3.0, dmax_fraction, t as u64);
+            lb += bounds::volume_lower_bound(&inst) as f64;
+            multi += replicas(&inst, Policy::Multiple, multiple_bin(&inst).unwrap());
+            greedy +=
+                replicas(&inst, Policy::Multiple, baselines::multiple_greedy(&inst).unwrap());
+            single += replicas(&inst, Policy::Single, single_gen(&inst).unwrap());
+            trivial += replicas(&inst, Policy::Single, baselines::clients_only(&inst).unwrap());
+        }
+        let n = trials as f64;
+        println!(
+            "{:>12} {:>12.1} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            label(dmax_fraction),
+            lb / n,
+            multi / n,
+            greedy / n,
+            single / n,
+            trivial / n
+        );
+    }
+
+    println!("\nReplica count vs server capacity (average client sites per server)");
+    println!(
+        "\n{:>12} {:>12} {:>14} {:>14} {:>16}",
+        "sites/server", "volume LB", "multiple-bin", "single-gen", "utilisation"
+    );
+    for load in [1.5, 2.0, 3.0, 5.0, 8.0] {
+        let mut lb = 0.0;
+        let mut multi = 0.0;
+        let mut single = 0.0;
+        let mut util = 0.0;
+        for t in 0..trials {
+            let inst = make_instance(clients, load, Some(0.6), 100 + t as u64);
+            lb += bounds::volume_lower_bound(&inst) as f64;
+            let sol = multiple_bin(&inst).unwrap();
+            let stats = validate(&inst, Policy::Multiple, &sol).unwrap();
+            multi += stats.replica_count as f64;
+            util += stats.avg_utilisation;
+            single += replicas(&inst, Policy::Single, single_gen(&inst).unwrap());
+        }
+        let n = trials as f64;
+        println!(
+            "{:>12.1} {:>12.1} {:>14.1} {:>14.1} {:>15.0}%",
+            load,
+            lb / n,
+            multi / n,
+            single / n,
+            util / n * 100.0
+        );
+    }
+}
+
+fn make_instance(clients: usize, load: f64, dmax_fraction: Option<f64>, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = random_binary_tree(
+        clients,
+        &EdgeDist::Uniform { lo: 1, hi: 4 },
+        &RequestDist::Uniform { lo: 1, hi: 12 },
+        &mut rng,
+    );
+    wrap_instance(tree, load, dmax_fraction)
+}
+
+fn replicas(inst: &Instance, policy: Policy, sol: Solution) -> f64 {
+    validate(inst, policy, &sol).expect("feasible").replica_count as f64
+}
+
+fn label(fraction: Option<f64>) -> String {
+    fraction.map_or("none".into(), |f| format!("{:.0}%", f * 100.0))
+}

@@ -1,0 +1,62 @@
+//! # replica-placement — facade crate
+//!
+//! Re-exports the public API of the workspace crates implementing
+//! *"Optimal algorithms and approximation algorithms for replica placement
+//! with distance constraints in tree networks"* (Benoit, Larchevêque,
+//! Renaud-Goud, IPDPS 2012).
+//!
+//! Most users only need:
+//!
+//! * [`tree`] (re-export of `rp-tree`) — the tree-network model, instances,
+//!   solutions and the validator;
+//! * [`algorithms`] (re-export of `rp-core`) — `single_gen`, `single_nod`,
+//!   `multiple_bin`, baselines and lower bounds;
+//! * [`instances`] (re-export of `rp-instances`) — random generators,
+//!   worst-case families and NP-hardness gadgets;
+//! * [`exact`] (re-export of `rp-exact`) — exact optimal solvers for small
+//!   instances;
+//! * [`sim`] (re-export of `rp-sim`) — the request-serving simulator;
+//! * [`harness`] (re-export of `rp-harness`) — parallel experiment harness
+//!   reproducing every figure of the paper.
+//!
+//! ```
+//! use replica_placement::prelude::*;
+//!
+//! let mut b = TreeBuilder::new();
+//! let root = b.root();
+//! let n1 = b.add_internal(root, 1);
+//! let c1 = b.add_client(n1, 1, 4);
+//! let c2 = b.add_client(n1, 1, 5);
+//! let _ = (c1, c2);
+//! let inst = Instance::new(b.freeze().unwrap(), 10, Some(5)).unwrap();
+//! let sol = single_gen(&inst).unwrap();
+//! assert!(validate(&inst, Policy::Single, &sol).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Tree-network substrate (`rp-tree`).
+pub use rp_tree as tree;
+
+/// The paper's algorithms and baselines (`rp-core`).
+pub use rp_core as algorithms;
+
+/// Exact optimal solvers for small instances (`rp-exact`).
+pub use rp_exact as exact;
+
+/// Instance generators, worst-case families and gadgets (`rp-instances`).
+pub use rp_instances as instances;
+
+/// Request-serving simulator (`rp-sim`).
+pub use rp_sim as sim;
+
+/// Parallel experiment harness (`rp-harness`).
+pub use rp_harness as harness;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use rp_core::{multiple_bin, single_gen, single_nod};
+    pub use rp_tree::{
+        validate, Instance, NodeId, Policy, Solution, SolutionStats, Tree, TreeBuilder,
+    };
+}

@@ -100,7 +100,7 @@ pub fn multiple_greedy(instance: &Instance) -> Result<Solution, SolveError> {
             }));
         }
         // Most constrained first (largest travelled distance).
-        merged.sort_by(|a, b| b.travelled.cmp(&a.travelled));
+        merged.sort_by_key(|p| std::cmp::Reverse(p.travelled));
         let total: u128 = merged.iter().map(|p| p.amount as u128).sum();
         let is_root = j == tree.root();
         let blocked = |p: &Pending| -> bool {

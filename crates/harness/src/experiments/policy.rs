@@ -65,7 +65,8 @@ pub fn e7_policy_comparison(effort: Effort) -> Table {
                 run(baselines::clients_only(&inst).expect("feasible"), Policy::Single);
             (volume_lb, combined_lb, multiple, greedy, single, clients_only)
         });
-        let col = |f: fn(&(f64, f64, f64, f64, f64, f64)) -> f64| -> Summary {
+        type Row = (f64, f64, f64, f64, f64, f64);
+        let col = |f: fn(&Row) -> f64| -> Summary {
             Summary::of(&rows.iter().map(f).collect::<Vec<_>>())
         };
         let volume = col(|r| r.0);

@@ -59,17 +59,17 @@ impl Effort {
 /// experiment order. This is what `rp experiment all` and the bench harness
 /// call.
 pub fn run_all(effort: Effort) -> Vec<Table> {
-    let mut tables = Vec::new();
-    tables.push(experiments::e1_single_gen_tightness(effort));
-    tables.push(experiments::e2_single_nod_tightness(effort));
-    tables.push(experiments::e3_multiple_bin_optimality(effort));
-    tables.push(experiments::e4_random_ratio(effort));
-    tables.push(experiments::e5_reductions(effort));
-    tables.push(experiments::e6_scaling(effort));
-    tables.push(experiments::e7_policy_comparison(effort));
-    tables.push(experiments::e8_sensitivity(effort));
-    tables.push(experiments::e9_inapproximability(effort));
-    tables
+    vec![
+        experiments::e1_single_gen_tightness(effort),
+        experiments::e2_single_nod_tightness(effort),
+        experiments::e3_multiple_bin_optimality(effort),
+        experiments::e4_random_ratio(effort),
+        experiments::e5_reductions(effort),
+        experiments::e6_scaling(effort),
+        experiments::e7_policy_comparison(effort),
+        experiments::e8_sensitivity(effort),
+        experiments::e9_inapproximability(effort),
+    ]
 }
 
 /// Looks up an experiment by its identifier (`e1` … `e9`, or `all`).

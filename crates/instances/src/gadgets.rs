@@ -240,11 +240,9 @@ mod tests {
         let spine1 = tree.node_ids().find(|i| !tree.is_client(*i) && tree.depth(*i) == 1).unwrap();
         let spine2 = tree.node_ids().find(|i| !tree.is_client(*i) && tree.depth(*i) == 2).unwrap();
         let mut sol = Solution::new();
-        for k in 0..3 {
-            sol.assign(g.item_clients[k], spine1, a[k]);
-        }
-        for k in 3..6 {
-            sol.assign(g.item_clients[k], spine2, a[k]);
+        for (k, &amount) in a.iter().enumerate() {
+            let spine = if k < 3 { spine1 } else { spine2 };
+            sol.assign(g.item_clients[k], spine, amount);
         }
         let stats = validate(&g.instance, Policy::Single, &sol).unwrap();
         assert_eq!(stats.replica_count as u64, g.threshold);

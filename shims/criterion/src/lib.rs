@@ -1,0 +1,220 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. Provides the API subset the workspace benches use —
+//! `Criterion`, benchmark groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!` — with a
+//! straightforward warm-up + mean-of-N timer instead of criterion's
+//! statistical machinery. Output is one line per benchmark:
+//! `group/id … mean ns/iter (N iters)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    group: String,
+    id: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`: warms up for the configured duration, then runs
+    /// `sample_size` timed iterations and reports their mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let measure_start = Instant::now();
+        let measure_end = measure_start + self.config.measurement_time;
+        let min_iters = self.config.sample_size as u64;
+        while Instant::now() < measure_end || iters < min_iters {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let elapsed = measure_start.elapsed();
+        let mean_ns = elapsed.as_nanos() / iters.max(1) as u128;
+        println!("bench: {}/{} ... {} ns/iter ({} iters)", self.group, self.id, mean_ns, iters);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Much shorter than real criterion: the shim is a smoke-timer, and
+        // CI builds every bench — keep a full `cargo bench` in seconds.
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(50),
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { config: &self.config, group: "criterion".into(), id: id.to_string() };
+        f(&mut bencher);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            config: &self.criterion.config,
+            group: self.name.clone(),
+            id: id.to_string(),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            config: &self.criterion.config,
+            group: self.name.clone(),
+            id: id.to_string(),
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, in either criterion form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,60 @@
+//! Offline shim for [`crossbeam`]: just `thread::scope`, implemented on
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Behavioural difference kept small on purpose: on a child panic, crossbeam
+//! returns `Err` from `scope` while std re-raises the panic. Workspace code
+//! calls `.expect(...)` on the result, so both paths end in the same panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle whose `spawn` closures receive the scope again, like
+    /// `crossbeam::thread::Scope` (std's closures take no argument).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the caller.
+    ///
+    /// All spawned threads are joined before `scope` returns. Unlike
+    /// crossbeam this propagates child panics instead of returning `Err`,
+    /// so the `Ok` is unconditional.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a fixed size or a size range.
+pub trait SizeRange {
+    /// Samples a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a sampled length (see [`vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy of vectors whose elements come from `element` and whose length
+/// comes from `len`, like `proptest::collection::vec`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

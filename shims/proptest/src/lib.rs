@@ -1,0 +1,99 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro (optionally with `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`arbitrary::any`] for the primitive integers and `bool`,
+//! * integer and float range strategies (`0usize..30`, `0.4f64..1.0`, ...),
+//! * tuple strategies, [`Strategy::prop_map`], [`collection::vec`],
+//!   [`option::of`], [`strategy::Just`],
+//! * [`test_runner::ProptestConfig::with_cases`] and the `PROPTEST_CASES`
+//!   environment override.
+//!
+//! Differences from real proptest, by design: sampling is **deterministic**
+//! (case `i` of a test always sees the same inputs, across runs and
+//! machines) and failing inputs are **not shrunk** — the failing case index
+//! and values are reported by the panic message instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude matching `proptest::prelude::*` for the surface we support.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias so `prop::collection::vec` / `prop::option::of` work.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure; this
+/// shim has no shrinking so it is equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies for `config.cases`
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( config = $config:expr;
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::resolve_cases(&config);
+                for __case in 0..cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng); )+
+                    let __run = || -> () { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}

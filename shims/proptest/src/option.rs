@@ -1,0 +1,29 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<S::Value>` (see [`of`]).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    some: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Some with probability 3/4, None 1/4 — close enough to proptest's
+        // weighted default, and it exercises both arms within a few cases.
+        if rng.next_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(self.some.sample(rng))
+        }
+    }
+}
+
+/// Strategy yielding `None` or `Some(value)` with `value` from `some`,
+/// like `proptest::option::of`.
+pub fn of<S: Strategy>(some: S) -> OptionStrategy<S> {
+    OptionStrategy { some }
+}

@@ -1,0 +1,60 @@
+//! Test configuration and the deterministic per-case RNG.
+
+pub use rand::rngs::StdRng as Inner;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs (default 256, like proptest).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Resolves the case count: the `PROPTEST_CASES` environment variable
+/// overrides the in-code configuration (same contract as real proptest),
+/// which lets CI bound the runtime of every property suite at once.
+pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a number, got `{v}`")),
+        Err(_) => config.cases,
+    }
+}
+
+/// Deterministic RNG handed to strategies: seeded from the fully-qualified
+/// test name and the case index, so every test sees an independent,
+/// reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(Inner);
+
+impl TestRng {
+    /// RNG for case `case` of test `test_path`.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(Inner::seed_from_u64(h ^ ((case as u64) << 1 | 1)))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

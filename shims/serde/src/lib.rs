@@ -1,0 +1,17 @@
+//! Offline shim for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and macro
+//! namespaces so `use serde::{Serialize, Deserialize}` + `#[derive(...)]`
+//! compile. The derives are no-ops (see `serde_derive` shim); swap the path
+//! dependency for the real crate to get actual serialization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing, which is
+//! sound because nothing in this workspace serializes yet — the `#[derive]`
+//! attributes on the model types only declare intent for downstream users.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

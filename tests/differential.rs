@@ -1,0 +1,337 @@
+//! Differential tests: the approximation algorithms of `rp-core` checked
+//! mechanically against the independent exact solvers of `rp-exact`.
+//!
+//! Three instance sources feed one shared checker:
+//!
+//! 1. an **exhaustive enumeration** of every tree shape with up to 7 nodes
+//!    (all parent vectors), crossed with a small grid of request patterns,
+//!    capacities and distance bounds;
+//! 2. **seeded random binary** instances (the `multiple-bin` input class);
+//! 3. **seeded random k-ary** instances (arity 2–4).
+//!
+//! For every instance the checker asserts the paper's claims:
+//!
+//! * `multiple_bin` **equals** the exact Multiple optimum whenever the tree
+//!   is binary and every client fits under the capacity (`r_i ≤ W`) —
+//!   Theorem 6;
+//! * `single_gen` stays within `(Δ+1)·OPT` of the exact Single optimum
+//!   (`Δ·OPT` when there is no distance constraint) — Theorems 3/4;
+//! * `single_nod` stays within `2·OPT` on the distance-free twin instance —
+//!   the Single-NoD guarantee;
+//! * every solution returned by *any* solver — approximation or exact —
+//!   passes `rp_tree::validate`;
+//! * the solvers agree on **feasibility**: Single is solvable iff every
+//!   client fits under the capacity, and the algorithms' error returns match.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::{multiple_bin, single_gen, single_nod, SolveError};
+use rp_instances::random::{random_binary_tree, random_kary_tree};
+use rp_instances::{EdgeDist, RequestDist};
+use rp_tree::{validate, Instance, Policy, Tree, TreeBuilder};
+
+/// What the checker observed for one instance (used to assert coverage).
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    /// Instances on which at least one exact-vs-approximation comparison ran.
+    compared: usize,
+    /// Instances where `multiple_bin` was checked for exact optimality.
+    multiple_exact: usize,
+    /// Instances where `single_gen` was checked against the Single optimum.
+    single_gen_vs_opt: usize,
+    /// Instances where `single_nod` was checked against the NoD optimum.
+    single_nod_vs_opt: usize,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.compared += other.compared;
+        self.multiple_exact += other.multiple_exact;
+        self.single_gen_vs_opt += other.single_gen_vs_opt;
+        self.single_nod_vs_opt += other.single_nod_vs_opt;
+    }
+}
+
+/// Runs every solver on `inst` and cross-checks them. `label` makes failure
+/// messages reproducible (it encodes the generator and its parameters).
+fn check_instance(inst: &Instance, label: &str) -> Tally {
+    let tree = inst.tree();
+    let w = inst.capacity();
+    let delta = tree.arity() as u64;
+    let all_fit = tree.clients().iter().all(|&c| tree.requests(c) <= w);
+    let mut tally = Tally::default();
+
+    // --- Exact Single: feasible iff every client fits under W. ---
+    let exact_single = rp_exact::optimal_solution(inst, Policy::Single);
+    assert_eq!(
+        exact_single.is_some(),
+        all_fit,
+        "[{label}] exact Single feasibility disagrees with the r_i <= W criterion"
+    );
+    let opt_single = exact_single.as_ref().map(|s| {
+        let stats = validate(inst, Policy::Single, s)
+            .unwrap_or_else(|e| panic!("[{label}] exact Single solution invalid: {e}"));
+        stats.replica_count as u64
+    });
+
+    // --- single_gen: feasible iff all_fit; within (Δ+1)·OPT (Δ·OPT NoD). ---
+    match single_gen(inst) {
+        Ok(sol) => {
+            assert!(all_fit, "[{label}] single_gen accepted an oversized client");
+            let stats = validate(inst, Policy::Single, &sol)
+                .unwrap_or_else(|e| panic!("[{label}] single_gen solution invalid: {e}"));
+            let opt = opt_single.expect("feasibility agreed above");
+            let factor = if inst.dmax().is_some() { delta + 1 } else { delta };
+            assert!(
+                stats.replica_count as u64 <= factor.max(1) * opt.max(1),
+                "[{label}] single_gen used {} replicas, above {}x the optimum {}",
+                stats.replica_count,
+                factor.max(1),
+                opt
+            );
+            if opt == 0 {
+                assert_eq!(
+                    stats.replica_count, 0,
+                    "[{label}] single_gen placed replicas on a zero-request instance"
+                );
+            }
+            tally.single_gen_vs_opt += 1;
+            tally.compared += 1;
+        }
+        Err(SolveError::ClientExceedsCapacity { requests, capacity, .. }) => {
+            assert!(!all_fit, "[{label}] single_gen rejected a feasible instance");
+            assert!(requests > capacity, "[{label}] inconsistent error payload");
+        }
+        Err(e) => panic!("[{label}] unexpected single_gen error: {e}"),
+    }
+
+    // --- single_nod on the distance-free twin: within 2·OPT. ---
+    let nod_inst = Instance::new(tree.clone(), w, None).expect("capacity unchanged");
+    match single_nod(&nod_inst) {
+        Ok(sol) => {
+            assert!(all_fit, "[{label}] single_nod accepted an oversized client");
+            let stats = validate(&nod_inst, Policy::Single, &sol)
+                .unwrap_or_else(|e| panic!("[{label}] single_nod solution invalid: {e}"));
+            let opt_nod = rp_exact::optimal_replica_count(&nod_inst, Policy::Single)
+                .expect("all_fit implies Single-NoD feasibility");
+            assert!(
+                stats.replica_count as u64 <= 2 * opt_nod.max(1),
+                "[{label}] single_nod used {} replicas, above 2x the optimum {}",
+                stats.replica_count,
+                opt_nod
+            );
+            tally.single_nod_vs_opt += 1;
+            tally.compared += 1;
+        }
+        Err(SolveError::ClientExceedsCapacity { .. }) => {
+            assert!(!all_fit, "[{label}] single_nod rejected a feasible instance");
+        }
+        Err(e) => panic!("[{label}] unexpected single_nod error: {e}"),
+    }
+
+    // --- multiple_bin vs exact Multiple: equality on its optimality domain. ---
+    let exact_multiple = rp_exact::optimal_solution(inst, Policy::Multiple);
+    if let Some(s) = &exact_multiple {
+        validate(inst, Policy::Multiple, s)
+            .unwrap_or_else(|e| panic!("[{label}] exact Multiple solution invalid: {e}"));
+    }
+    if all_fit {
+        assert!(
+            exact_multiple.is_some(),
+            "[{label}] exact Multiple infeasible although every client fits locally"
+        );
+    }
+    match multiple_bin(inst) {
+        Ok(sol) => {
+            assert!(tree.arity() <= 2, "[{label}] multiple_bin accepted a non-binary tree");
+            let stats = validate(inst, Policy::Multiple, &sol)
+                .unwrap_or_else(|e| panic!("[{label}] multiple_bin solution invalid: {e}"));
+            if all_fit {
+                let opt = exact_multiple
+                    .as_ref()
+                    .map(|s| s.replica_count() as u64)
+                    .expect("asserted feasible above");
+                assert_eq!(
+                    stats.replica_count as u64, opt,
+                    "[{label}] multiple_bin is not optimal: {} vs exact {}",
+                    stats.replica_count, opt
+                );
+                tally.multiple_exact += 1;
+                tally.compared += 1;
+            }
+        }
+        Err(SolveError::NotBinary { arity }) => {
+            assert!(arity > 2, "[{label}] NotBinary error for arity {arity}");
+            assert!(tree.arity() > 2, "[{label}] spurious NotBinary error");
+        }
+        Err(SolveError::ClientExceedsCapacity { .. }) => {
+            assert!(!all_fit, "[{label}] multiple_bin rejected a feasible Bin instance");
+        }
+        Err(e) => panic!("[{label}] unexpected multiple_bin error: {e}"),
+    }
+
+    tally
+}
+
+// ---------------------------------------------------------------------------
+// Source 1: exhaustive enumeration of small trees.
+// ---------------------------------------------------------------------------
+
+/// All parent vectors of a rooted tree on `n` labelled nodes: entry `i - 1`
+/// is the parent of node `i`, an arbitrary earlier node. Nodes that end up
+/// childless become clients; the rest are internal.
+fn enumerate_parent_vectors(n: usize) -> Vec<Vec<usize>> {
+    assert!(n >= 2);
+    let mut out: Vec<Vec<usize>> = vec![vec![0]];
+    for i in 2..n {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for parent in 0..=i - 1 {
+                let mut v = prefix.clone();
+                v.push(parent);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Builds the tree for one parent vector, cycling `edges` and `requests`
+/// patterns over the created nodes.
+fn build_tree(parents: &[usize], edges: &[u64], requests: &[u64]) -> Tree {
+    let n = parents.len() + 1;
+    let mut has_children = vec![false; n];
+    for &p in parents {
+        has_children[p] = true;
+    }
+    let mut b = TreeBuilder::new();
+    let mut ids = vec![b.root()];
+    let mut client_idx = 0usize;
+    for (i, &p) in parents.iter().enumerate() {
+        let edge = edges[i % edges.len()];
+        let id = if has_children[i + 1] {
+            b.add_internal(ids[p], edge)
+        } else {
+            let r = requests[client_idx % requests.len()];
+            client_idx += 1;
+            b.add_client(ids[p], edge, r)
+        };
+        ids.push(id);
+    }
+    b.freeze().expect("parent vectors always describe valid trees")
+}
+
+#[test]
+fn differential_exhaustive_small_trees() {
+    let request_patterns: [&[u64]; 3] = [&[1, 2, 3], &[2, 7, 4], &[0, 5, 1]];
+    let capacities = [5u64, 12];
+    let dmaxes = [None, Some(3u64)];
+    let edge_pattern = [1u64, 2];
+
+    let mut tally = Tally::default();
+    let mut instances = 0usize;
+    for n in 2..=6 {
+        for parents in enumerate_parent_vectors(n) {
+            for (ri, requests) in request_patterns.iter().enumerate() {
+                let tree = build_tree(&parents, &edge_pattern, requests);
+                for &w in &capacities {
+                    for &dmax in &dmaxes {
+                        let inst = Instance::new(tree.clone(), w, dmax)
+                            .expect("positive capacity");
+                        let label =
+                            format!("exhaustive n={n} parents={parents:?} req#{ri} W={w} dmax={dmax:?}");
+                        tally.absorb(check_instance(&inst, &label));
+                        instances += 1;
+                    }
+                }
+            }
+        }
+    }
+    // 7-node shapes once more with a single default grid (720 extra shapes).
+    for parents in enumerate_parent_vectors(7) {
+        let tree = build_tree(&parents, &edge_pattern, &[1, 4, 2]);
+        let inst = Instance::new(tree, 6, Some(4)).expect("positive capacity");
+        let label = format!("exhaustive n=7 parents={parents:?}");
+        tally.absorb(check_instance(&inst, &label));
+        instances += 1;
+    }
+
+    // The acceptance bar for the whole suite is 200 compared instances;
+    // the exhaustive source alone must clear it with a wide margin.
+    assert!(instances >= 1000, "expected >= 1000 enumerated instances, got {instances}");
+    assert!(tally.compared >= 200, "only {} compared instances", tally.compared);
+    assert!(tally.multiple_exact >= 100, "only {} multiple_bin optimality checks", tally.multiple_exact);
+    assert!(tally.single_gen_vs_opt >= 200);
+    assert!(tally.single_nod_vs_opt >= 200);
+}
+
+// ---------------------------------------------------------------------------
+// Sources 2 and 3: seeded random binary / k-ary instances.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn differential_random_binary_instances() {
+    let edge = EdgeDist::Uniform { lo: 1, hi: 3 };
+    let requests = RequestDist::Uniform { lo: 0, hi: 11 };
+    let mut tally = Tally::default();
+    for clients in 2..=9usize {
+        for seed in 0..9u64 {
+            let mut rng = StdRng::seed_from_u64(0xD1FF ^ (seed << 8) ^ clients as u64);
+            let tree = random_binary_tree(clients, &edge, &requests, &mut rng);
+            // Capacities straddling the max request exercise both the
+            // optimality domain (r_i <= W) and the rejection paths.
+            for w in [6u64, 11, 25] {
+                for dmax in [None, Some(4u64), Some(9)] {
+                    let inst = Instance::new(tree.clone(), w, dmax).expect("capacity > 0");
+                    let label = format!(
+                        "random-binary clients={clients} seed={seed} W={w} dmax={dmax:?}"
+                    );
+                    tally.absorb(check_instance(&inst, &label));
+                }
+            }
+        }
+    }
+    // A few larger instances (capacity high enough to keep the exact
+    // oracle fast) exercise the stage re-routing path of `multiple_bin`.
+    for clients in [10usize, 11, 12] {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(0xB16 ^ (seed << 4) ^ clients as u64);
+            let tree = random_binary_tree(clients, &edge, &requests, &mut rng);
+            for dmax in [None, Some(9u64), Some(13)] {
+                let inst = Instance::new(tree.clone(), 25, dmax).expect("capacity > 0");
+                let label = format!("random-binary-large clients={clients} seed={seed} dmax={dmax:?}");
+                tally.absorb(check_instance(&inst, &label));
+            }
+        }
+    }
+    assert!(tally.compared >= 200, "only {} compared instances", tally.compared);
+    assert!(tally.multiple_exact >= 50, "only {} multiple_bin optimality checks", tally.multiple_exact);
+}
+
+#[test]
+fn differential_random_kary_instances() {
+    let edge = EdgeDist::Uniform { lo: 1, hi: 2 };
+    let requests = RequestDist::Uniform { lo: 1, hi: 9 };
+    let mut tally = Tally::default();
+    for clients in 2..=7usize {
+        for arity in 2..=4usize {
+            for seed in 0..6u64 {
+                let mut rng =
+                    StdRng::seed_from_u64(0xCA21 ^ (seed << 16) ^ ((clients * 10 + arity) as u64));
+                let tree = random_kary_tree(clients, arity, &edge, &requests, &mut rng);
+                for w in [7u64, 18] {
+                    for dmax in [None, Some(5u64)] {
+                        let inst = Instance::new(tree.clone(), w, dmax).expect("capacity > 0");
+                        let label = format!(
+                            "random-kary clients={clients} arity={arity} seed={seed} W={w} dmax={dmax:?}"
+                        );
+                        tally.absorb(check_instance(&inst, &label));
+                    }
+                }
+            }
+        }
+    }
+    assert!(tally.compared >= 200, "only {} compared instances", tally.compared);
+    assert!(tally.single_gen_vs_opt >= 200);
+}

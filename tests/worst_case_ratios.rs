@@ -1,0 +1,85 @@
+//! The tight worst-case families of the paper (Fig. 3 / Fig. 4) must
+//! *actually* drive the algorithms to their advertised approximation ratios:
+//! the constructions are only evidence of tightness if `single_gen` really
+//! places `m(Δ+1)` replicas on `Im` and `single_nod` really places `2K`
+//! replicas on the Fig. 4 family, while the claimed optima stay achievable.
+
+use replica_placement::exact;
+use replica_placement::instances::worst_case::{single_gen_tight, single_nod_tight};
+use replica_placement::prelude::*;
+
+#[test]
+fn single_gen_tight_reaches_its_predicted_ratio() {
+    for (m, delta) in [(1usize, 2usize), (1, 3), (2, 2), (2, 4), (3, 3), (4, 2), (5, 5)] {
+        let t = single_gen_tight(m, delta);
+        let sol = single_gen(&t.instance).expect("Im is feasible by construction");
+        let stats = validate(&t.instance, Policy::Single, &sol).expect("must be feasible");
+        assert_eq!(
+            stats.replica_count as u64, t.predicted_algorithm_replicas,
+            "single_gen on Im(m={m}, delta={delta}) did not hit the predicted worst case"
+        );
+        // The claimed optimum is achievable (witness) ...
+        let wstats = validate(&t.instance, Policy::Single, &t.optimal_witness).unwrap();
+        assert_eq!(wstats.replica_count as u64, t.optimal_replicas);
+        // ... so the measured ratio matches the closed form exactly.
+        let measured = stats.replica_count as f64 / wstats.replica_count as f64;
+        assert!(
+            (measured - t.predicted_ratio()).abs() < 1e-9,
+            "measured ratio {measured} != predicted {}",
+            t.predicted_ratio()
+        );
+        // The ratio approaches Δ+1 from below as m grows.
+        assert!(measured < (delta + 1) as f64);
+        assert!(measured > (delta + 1) as f64 * m as f64 / (m as f64 + 1.0) - 1e-9);
+    }
+    // For large m the ratio is within 2% of the Δ+1 bound — the family is
+    // asymptotically tight, not just bad.
+    let t = single_gen_tight(60, 3);
+    assert!(t.predicted_ratio() > 4.0 * 0.98);
+}
+
+#[test]
+fn single_gen_tight_optimum_confirmed_by_exact_solver() {
+    // Where the exact solver is affordable, the "analytically known" optimum
+    // must be the true optimum, not merely an upper bound.
+    for (m, delta) in [(1usize, 2usize), (1, 3), (2, 2)] {
+        let t = single_gen_tight(m, delta);
+        let opt = exact::optimal_replica_count(&t.instance, Policy::Single)
+            .expect("Im is feasible");
+        assert_eq!(
+            opt, t.optimal_replicas,
+            "paper's claimed optimum is wrong on Im(m={m}, delta={delta})"
+        );
+    }
+}
+
+#[test]
+fn single_nod_tight_reaches_its_predicted_ratio() {
+    for k in [1usize, 2, 3, 5, 8, 13, 21] {
+        let t = single_nod_tight(k);
+        let sol = single_nod(&t.instance).expect("Fig. 4 family is feasible");
+        let stats = validate(&t.instance, Policy::Single, &sol).expect("must be feasible");
+        assert_eq!(
+            stats.replica_count as u64, t.predicted_algorithm_replicas,
+            "single_nod on Fig.4(k={k}) did not hit the predicted worst case"
+        );
+        let wstats = validate(&t.instance, Policy::Single, &t.optimal_witness).unwrap();
+        assert_eq!(wstats.replica_count as u64, t.optimal_replicas);
+        let measured = stats.replica_count as f64 / wstats.replica_count as f64;
+        assert!((measured - t.predicted_ratio()).abs() < 1e-9);
+        // Ratio 2k/(k+1) approaches 2 from below.
+        assert!(measured < 2.0);
+        assert!(measured >= 2.0 * k as f64 / (k as f64 + 1.0) - 1e-9);
+    }
+    assert!(single_nod_tight(99).predicted_ratio() > 2.0 * 0.98);
+}
+
+#[test]
+fn single_nod_tight_optimum_confirmed_by_exact_solver() {
+    for k in [1usize, 2, 3, 4] {
+        let t = single_nod_tight(k);
+        let opt = exact::optimal_replica_count(&t.instance, Policy::Single)
+            .expect("Fig. 4 family is feasible");
+        assert_eq!(opt, t.optimal_replicas, "paper's claimed optimum is wrong for k={k}");
+    }
+}

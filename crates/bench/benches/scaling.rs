@@ -1,0 +1,123 @@
+//! The scaling run behind `BENCH_scaling.json`: every algorithm across the
+//! clients × {dmax on/off} grid (256 → 16384 clients; quick mode stops at
+//! 1024), with median/mean solve times and solve stats per cell.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p rp-bench --bench scaling              # full grid
+//! cargo bench -p rp-bench --bench scaling -- --quick   # CI smoke grid
+//! BENCH_OUT=/tmp/report.json cargo bench -p rp-bench --bench scaling
+//! ```
+//!
+//! `multiple-bin`, `single-gen` and `single-nod` are timed through a shared
+//! [`SolverScratch`], i.e. in their steady allocation-reusing state —
+//! matching how a server or sweep would drive them. Timing comes from the
+//! criterion shim (honouring `--quick` / `CRITERION_*` overrides); the JSON
+//! report is assembled from [`criterion::measurements`] afterwards.
+
+use criterion::{BenchmarkId, Criterion};
+use rp_bench::scaling::{grid_sizes, ScalingCell, ScalingReport};
+use rp_bench::{binary_instance, kary_instance};
+use rp_core::{baselines, multiple_bin_with, single_gen_with, single_nod_with, SolverScratch};
+use rp_tree::{Instance, Solution};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The benched algorithms; `multiple-bin` runs on binary trees (its input
+/// class), the rest on the arity-4 trees the E6 experiment uses.
+const ALGORITHMS: [&str; 4] = ["single-gen", "single-nod", "multiple-bin", "multiple-greedy"];
+
+fn instance_for(algorithm: &str, clients: usize, dmax: bool, seed: u64) -> Instance {
+    let fraction = if dmax { Some(0.7) } else { None };
+    if algorithm == "multiple-bin" {
+        binary_instance(clients, fraction, seed)
+    } else {
+        kary_instance(clients, 4, fraction, seed)
+    }
+}
+
+fn solve(algorithm: &str, inst: &Instance, scratch: &mut SolverScratch) -> Solution {
+    match algorithm {
+        "single-gen" => single_gen_with(inst, scratch).expect("feasible"),
+        "single-nod" => single_nod_with(inst, scratch).expect("feasible"),
+        "multiple-bin" => multiple_bin_with(inst, scratch).expect("feasible"),
+        "multiple-greedy" => baselines::multiple_greedy(inst).expect("feasible"),
+        other => unreachable!("unknown algorithm {other}"),
+    }
+}
+
+fn main() {
+    let quick = criterion::quick_mode();
+    let sizes = grid_sizes(quick);
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300));
+    let mut scratch = SolverScratch::new();
+
+    // (group, id, stats) key for joining the shim's measurements back in.
+    let mut stats: Vec<(String, String, ScalingCell)> = Vec::new();
+    for algorithm in ALGORITHMS {
+        for dmax in [true, false] {
+            let group_name = format!("scaling/{algorithm}/{}", if dmax { "dmax" } else { "nod" });
+            let mut group = criterion.benchmark_group(group_name.clone());
+            for &clients in sizes {
+                let seed = 0xE6 ^ (clients as u64).rotate_left(17) ^ u64::from(dmax);
+                let inst = instance_for(algorithm, clients, dmax, seed);
+                let reference = solve(algorithm, &inst, &mut scratch);
+                stats.push((
+                    group_name.clone(),
+                    clients.to_string(),
+                    ScalingCell {
+                        algorithm: algorithm.to_string(),
+                        dmax,
+                        clients: clients as u64,
+                        nodes: inst.tree().len() as u64,
+                        replicas: reference.replica_count() as u64,
+                        median_ns: 0,
+                        mean_ns: 0,
+                        samples: 0,
+                    },
+                ));
+                group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+                    b.iter(|| solve(algorithm, black_box(inst), &mut scratch))
+                });
+            }
+            group.finish();
+        }
+    }
+
+    let measurements = criterion::measurements();
+    let mut cells = Vec::with_capacity(stats.len());
+    for (group, id, mut cell) in stats {
+        let m = measurements
+            .iter()
+            .find(|m| m.group == group && m.id == id)
+            .unwrap_or_else(|| panic!("no measurement for {group}/{id}"));
+        cell.median_ns = m.median_ns;
+        cell.mean_ns = m.mean_ns;
+        cell.samples = m.samples as u64;
+        cells.push(cell);
+    }
+    let report = ScalingReport { quick, cells };
+
+    // `cargo bench` runs with the package directory as cwd; anchor relative
+    // BENCH_OUT paths at the workspace root so `BENCH_OUT=bench/baseline.json`
+    // does what a caller at the repo root expects.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = match std::env::var("BENCH_OUT") {
+        Ok(p) if !p.is_empty() => {
+            let p = std::path::PathBuf::from(p);
+            if p.is_absolute() {
+                p
+            } else {
+                root.join(p)
+            }
+        }
+        _ => root.join("BENCH_scaling.json"),
+    };
+    std::fs::write(&out, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    println!("wrote {} cells to {}", report.cells.len(), out.display());
+}

@@ -9,12 +9,21 @@
 //! | bench target | experiments |
 //! |---|---|
 //! | `algorithms_scaling` | E6 (complexity claims) |
+//! | `scaling` | E6 at scale — writes the machine-readable `BENCH_scaling.json` |
 //! | `figures` | E1, E2 (Fig. 3 and Fig. 4 families) |
 //! | `exact_and_reductions` | E3, E5, E9 (exact solvers and gadgets) |
 //! | `policy_and_sensitivity` | E7, E8 |
 //! | `simulator` | simulator throughput |
+//!
+//! The `scaling` target is the one CI consumes: `bench-smoke` runs it in
+//! quick mode (`cargo bench -p rp-bench --bench scaling -- --quick`),
+//! uploads `BENCH_scaling.json` and gates the 1024-client `multiple-bin`
+//! median against `bench/baseline.json` via `rp bench-gate` (see the
+//! [`scaling`] module for the report format).
 
 #![forbid(unsafe_code)]
+
+pub mod scaling;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,7 +44,12 @@ pub fn binary_instance(clients: usize, dmax_fraction: Option<f64>, seed: u64) ->
 }
 
 /// Deterministic random k-ary-tree instance used across benches.
-pub fn kary_instance(clients: usize, arity: usize, dmax_fraction: Option<f64>, seed: u64) -> Instance {
+pub fn kary_instance(
+    clients: usize,
+    arity: usize,
+    dmax_fraction: Option<f64>,
+    seed: u64,
+) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let tree = random_kary_tree(
         clients,

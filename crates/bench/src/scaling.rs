@@ -1,0 +1,215 @@
+//! The machine-readable scaling report (`BENCH_scaling.json`) shared by the
+//! `scaling` bench target (writer), the `rp bench-gate` CLI command (reader)
+//! and the CI `bench-smoke` job (both).
+//!
+//! The workspace has no JSON dependency (serde is an offline no-op shim),
+//! so the report speaks a deliberately small dialect: a fixed schema tag,
+//! a `quick` flag, and one object per grid cell, each emitted on its own
+//! line with a fixed field order. [`ScalingReport::parse`] reads exactly
+//! what [`ScalingReport::to_json`] writes (pinned by the roundtrip tests)
+//! while tolerating whitespace changes, so checked-in baselines survive
+//! reformatting.
+
+/// One benchmarked grid cell: algorithm × distance-constraint flag ×
+/// instance size, with its timing summary and solve stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalingCell {
+    /// Algorithm name as in [`rp_core::Algorithm::name`].
+    pub algorithm: String,
+    /// Whether the instance carries a distance constraint (`dmax` on/off).
+    pub dmax: bool,
+    /// Number of clients of the instance.
+    pub clients: u64,
+    /// Total tree nodes of the instance.
+    pub nodes: u64,
+    /// Replica count of the (deterministic) solution.
+    pub replicas: u64,
+    /// Median solve time over the timed samples, in nanoseconds.
+    pub median_ns: u128,
+    /// Mean solve time over the timed samples, in nanoseconds.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: u64,
+}
+
+/// A full scaling report: the grid cells plus the mode they were run in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScalingReport {
+    /// Whether the run used quick mode (CI smoke) sampling.
+    pub quick: bool,
+    /// One entry per benchmarked cell.
+    pub cells: Vec<ScalingCell>,
+}
+
+/// Schema tag embedded in every report.
+pub const SCHEMA: &str = "rp-bench-scaling-v1";
+
+/// The client counts of the scaling grid. Quick mode (CI smoke) stops at
+/// 1024 clients so the job finishes in seconds; the full grid covers
+/// 256 → 16384.
+pub fn grid_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096, 16384]
+    }
+}
+
+impl ScalingReport {
+    /// Serializes the report; one cell per line, fixed field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"algorithm\": \"{}\", \"dmax\": {}, \"clients\": {}, \"nodes\": {}, \
+                 \"replicas\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{comma}\n",
+                c.algorithm,
+                c.dmax,
+                c.clients,
+                c.nodes,
+                c.replicas,
+                c.median_ns,
+                c.mean_ns,
+                c.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`ScalingReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct (wrong schema
+    /// tag, missing field, unparsable number).
+    pub fn parse(text: &str) -> Result<ScalingReport, String> {
+        if !text.contains(SCHEMA) {
+            return Err(format!("not a {SCHEMA} report"));
+        }
+        let quick = str_field(text, "quick")
+            .ok_or_else(|| "missing `quick` field".to_string())?
+            .starts_with("true");
+        let mut cells = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.starts_with('{') || !line.contains("\"algorithm\"") {
+                continue;
+            }
+            cells.push(ScalingCell {
+                algorithm: string_field(line, "algorithm")
+                    .ok_or_else(|| format!("cell without algorithm: {line}"))?,
+                dmax: str_field(line, "dmax")
+                    .ok_or_else(|| format!("cell without dmax: {line}"))?
+                    .starts_with("true"),
+                clients: num_field(line, "clients")?,
+                nodes: num_field(line, "nodes")?,
+                replicas: num_field(line, "replicas")?,
+                median_ns: num_field(line, "median_ns")? as u128,
+                mean_ns: num_field(line, "mean_ns")? as u128,
+                samples: num_field(line, "samples")?,
+            });
+        }
+        if cells.is_empty() {
+            return Err("report contains no cells".to_string());
+        }
+        Ok(ScalingReport { quick, cells })
+    }
+
+    /// The median solve time of one grid cell, if present.
+    pub fn median_of(&self, algorithm: &str, dmax: bool, clients: u64) -> Option<u128> {
+        self.cells
+            .iter()
+            .find(|c| c.algorithm == algorithm && c.dmax == dmax && c.clients == clients)
+            .map(|c| c.median_ns)
+    }
+}
+
+/// The raw text following `"name":` (trimmed), if the key exists.
+fn str_field<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\":");
+    let at = text.find(&key)? + key.len();
+    Some(text[at..].trim_start())
+}
+
+/// A `"name": "value"` string field.
+fn string_field(text: &str, name: &str) -> Option<String> {
+    let rest = str_field(text, name)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// A `"name": 123` unsigned number field.
+fn num_field(text: &str, name: &str) -> Result<u64, String> {
+    let rest = str_field(text, name).ok_or_else(|| format!("missing `{name}` field"))?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().map_err(|_| format!("unparsable `{name}` near: {rest:.40}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScalingReport {
+        ScalingReport {
+            quick: true,
+            cells: vec![
+                ScalingCell {
+                    algorithm: "multiple-bin".into(),
+                    dmax: true,
+                    clients: 1024,
+                    nodes: 2047,
+                    replicas: 343,
+                    median_ns: 6_500_000,
+                    mean_ns: 6_700_000,
+                    samples: 10,
+                },
+                ScalingCell {
+                    algorithm: "single-gen".into(),
+                    dmax: false,
+                    clients: 256,
+                    nodes: 511,
+                    replicas: 90,
+                    median_ns: 40_000,
+                    mean_ns: 41_000,
+                    samples: 10,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let report = sample();
+        let text = report.to_json();
+        let parsed = ScalingReport::parse(&text).expect("own output parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parse_tolerates_reformatting() {
+        let text = sample().to_json().replace("\": ", "\":   ");
+        let parsed = ScalingReport::parse(&text).expect("extra whitespace is fine");
+        assert_eq!(parsed.cells.len(), 2);
+        assert_eq!(parsed.median_of("multiple-bin", true, 1024), Some(6_500_000));
+        assert_eq!(parsed.median_of("multiple-bin", false, 1024), None);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_and_broken_input() {
+        assert!(ScalingReport::parse("{}").is_err());
+        let broken = sample().to_json().replace("\"clients\": 1024", "\"clients\": x");
+        assert!(ScalingReport::parse(&broken).is_err());
+    }
+
+    #[test]
+    fn grid_sizes_match_modes() {
+        assert_eq!(grid_sizes(true), &[256, 1024]);
+        assert_eq!(grid_sizes(false).last(), Some(&16384));
+    }
+}

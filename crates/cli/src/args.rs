@@ -81,8 +81,8 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let args =
-            Args::parse(&to_vec(&["solve", "--instance", "a.txt", "--full", "--seed", "7"])).unwrap();
+        let args = Args::parse(&to_vec(&["solve", "--instance", "a.txt", "--full", "--seed", "7"]))
+            .unwrap();
         assert_eq!(args.command, "solve");
         assert_eq!(args.get("instance"), Some("a.txt"));
         assert!(args.has_flag("full"));
@@ -92,7 +92,8 @@ mod tests {
 
     #[test]
     fn repeatable_options() {
-        let args = Args::parse(&to_vec(&["simulate", "--fail", "1:0:5", "--fail", "2:3:9"])).unwrap();
+        let args =
+            Args::parse(&to_vec(&["simulate", "--fail", "1:0:5", "--fail", "2:3:9"])).unwrap();
         assert_eq!(args.get_all("fail"), vec!["1:0:5", "2:3:9"]);
     }
 

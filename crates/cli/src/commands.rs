@@ -32,6 +32,8 @@ commands:
               --instance FILE  --solution FILE  [--ticks N] [--fail NODE:FROM:TO]... [--burst FROM:TO:FACTOR]
   experiment  run a paper experiment (e1..e9 or all)
               <id>  [--full] [--csv]
+  bench-gate  compare a BENCH_scaling.json against a checked-in baseline
+              --current FILE  --baseline FILE  [--max-regress F] [--clients N]
 ";
 
 /// Dispatches a parsed command line and returns the output to print.
@@ -44,6 +46,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "validate" => cmd_validate(&args),
         "simulate" => cmd_simulate(&args),
         "experiment" => cmd_experiment(&args),
+        "bench-gate" => cmd_bench_gate(&args),
         "" | "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -85,16 +88,18 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
     let edge = EdgeDist::Uniform { lo: 1, hi: args.get_or("edge-max", 3)? };
     let capacity_factor: f64 = args.get_or("capacity-factor", 3.0)?;
     let dmax_fraction: Option<f64> = match args.get("dmax-fraction") {
-        Some(raw) => {
-            Some(raw.parse().map_err(|_| format!("invalid --dmax-fraction `{raw}`"))?)
-        }
+        Some(raw) => Some(raw.parse().map_err(|_| format!("invalid --dmax-fraction `{raw}`"))?),
         None => None,
     };
 
     let instance = match kind {
         "binary" => {
             let clients: usize = args.get_or("clients", 32)?;
-            wrap_instance(random_binary_tree(clients, &edge, &requests, &mut rng), capacity_factor, dmax_fraction)
+            wrap_instance(
+                random_binary_tree(clients, &edge, &requests, &mut rng),
+                capacity_factor,
+                dmax_fraction,
+            )
         }
         "kary" => {
             let clients: usize = args.get_or("clients", 32)?;
@@ -257,12 +262,161 @@ fn cmd_experiment(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// CI perf gate: compares the `multiple-bin` medians of a fresh
+/// `BENCH_scaling.json` against a checked-in baseline and fails (returns
+/// `Err`, i.e. a non-zero exit) when any gated cell regressed beyond the
+/// allowed fraction. Cells missing from either report are skipped — the
+/// baseline may have been recorded on a different grid — but at least one
+/// cell must be comparable.
+fn cmd_bench_gate(args: &Args) -> Result<String, String> {
+    let current_path: String = args.require("current")?;
+    let baseline_path: String = args.require("baseline")?;
+    let max_regress: f64 = args.get_or("max-regress", 0.30)?;
+    let clients: u64 = args.get_or("clients", 1024)?;
+    let read = |path: &str| -> Result<rp_bench::scaling::ScalingReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        rp_bench::scaling::ScalingReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = read(&current_path)?;
+    let baseline = read(&baseline_path)?;
+
+    let mut out = String::new();
+    if current.quick != baseline.quick {
+        out.push_str(
+            "warning: comparing reports from different modes (quick vs full sampling); \
+             medians are noisier across modes\n",
+        );
+    }
+    let mut compared = 0;
+    let mut failures = Vec::new();
+    for dmax in [true, false] {
+        let label = if dmax { "dmax" } else { "nod" };
+        let (Some(cur), Some(base)) = (
+            current.median_of("multiple-bin", dmax, clients),
+            baseline.median_of("multiple-bin", dmax, clients),
+        ) else {
+            out.push_str(&format!(
+                "multiple-bin/{label}/{clients}: not in both reports, skipped\n"
+            ));
+            continue;
+        };
+        compared += 1;
+        let limit = (base as f64) * (1.0 + max_regress);
+        let ratio = cur as f64 / (base as f64).max(1.0);
+        let verdict = if (cur as f64) <= limit { "ok" } else { "REGRESSED" };
+        out.push_str(&format!(
+            "multiple-bin/{label}/{clients}: current {cur} ns vs baseline {base} ns \
+             ({ratio:.2}x, limit {:.2}x) {verdict}\n",
+            1.0 + max_regress
+        ));
+        if (cur as f64) > limit {
+            failures.push(format!("multiple-bin/{label}/{clients} at {ratio:.2}x"));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no comparable multiple-bin cells at {clients} clients between \
+             {current_path} and {baseline_path}"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("{out}perf gate failed: {}", failures.join(", ")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run(argv: &[&str]) -> Result<String, String> {
         dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn gate_report(median_dmax: u128, median_nod: u128) -> String {
+        use rp_bench::scaling::{ScalingCell, ScalingReport};
+        let cell = |dmax: bool, median_ns: u128| ScalingCell {
+            algorithm: "multiple-bin".into(),
+            dmax,
+            clients: 1024,
+            nodes: 2047,
+            replicas: 343,
+            median_ns,
+            mean_ns: median_ns,
+            samples: 5,
+        };
+        ScalingReport { quick: true, cells: vec![cell(true, median_dmax), cell(false, median_nod)] }
+            .to_json()
+    }
+
+    #[test]
+    fn bench_gate_passes_within_budget_and_fails_beyond() {
+        let dir = std::env::temp_dir().join(format!("rp-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(&base, gate_report(10_000_000, 2_000_000)).unwrap();
+        std::fs::write(&good, gate_report(12_000_000, 2_100_000)).unwrap();
+        std::fs::write(&bad, gate_report(14_000_000, 2_100_000)).unwrap();
+
+        let ok = run(&[
+            "bench-gate",
+            "--current",
+            good.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(ok.contains("ok"), "{ok}");
+        assert!(!ok.contains("REGRESSED"));
+
+        let err = run(&[
+            "bench-gate",
+            "--current",
+            bad.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("perf gate failed"), "{err}");
+        assert!(err.contains("dmax"), "{err}");
+
+        // A looser budget lets the same report through.
+        let ok = run(&[
+            "bench-gate",
+            "--current",
+            bad.to_str().unwrap(),
+            "--baseline",
+            base.to_str().unwrap(),
+            "--max-regress",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(!ok.contains("REGRESSED"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_gate_rejects_incomparable_reports() {
+        let dir = std::env::temp_dir().join(format!("rp-gate-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        std::fs::write(&a, gate_report(1, 1)).unwrap();
+        let err = run(&[
+            "bench-gate",
+            "--current",
+            a.to_str().unwrap(),
+            "--baseline",
+            a.to_str().unwrap(),
+            "--clients",
+            "4096",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no comparable"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -281,29 +435,36 @@ mod tests {
         let sol_s = sol.to_str().unwrap();
 
         let out = run(&[
-            "gen", "--kind", "binary", "--clients", "8", "--seed", "3", "--dmax-fraction", "0.8",
-            "--out", inst_s,
+            "gen",
+            "--kind",
+            "binary",
+            "--clients",
+            "8",
+            "--seed",
+            "3",
+            "--dmax-fraction",
+            "0.8",
+            "--out",
+            inst_s,
         ])
         .unwrap();
         assert!(out.contains("wrote"));
 
-        let out = run(&[
-            "solve", "--instance", inst_s, "--algorithm", "multiple-bin", "--out", sol_s,
-        ])
-        .unwrap();
+        let out =
+            run(&["solve", "--instance", inst_s, "--algorithm", "multiple-bin", "--out", sol_s])
+                .unwrap();
         assert!(out.contains("replicas:"));
 
-        let out = run(&["validate", "--instance", inst_s, "--solution", sol_s, "--policy", "multiple"])
-            .unwrap();
+        let out =
+            run(&["validate", "--instance", inst_s, "--solution", sol_s, "--policy", "multiple"])
+                .unwrap();
         assert!(out.starts_with("valid"));
 
         let out = run(&["exact", "--instance", inst_s, "--policy", "multiple"]).unwrap();
         assert!(out.contains("optimal replicas:"));
 
-        let out = run(&[
-            "simulate", "--instance", inst_s, "--solution", sol_s, "--ticks", "10",
-        ])
-        .unwrap();
+        let out =
+            run(&["simulate", "--instance", inst_s, "--solution", sol_s, "--ticks", "10"]).unwrap();
         assert!(out.contains("availability: 1.0000"));
 
         std::fs::remove_dir_all(&dir).ok();

@@ -112,8 +112,7 @@ pub fn multiple_greedy(instance: &Instance) -> Result<Solution, SolveError> {
                 Some(dmax) => p.travelled.saturating_add(tree.edge(j)) > dmax,
             }
         };
-        let must_place =
-            !merged.is_empty() && (total > w as u128 || merged.iter().any(&blocked));
+        let must_place = !merged.is_empty() && (total > w as u128 || merged.iter().any(&blocked));
         if must_place {
             let mut absorbed: Requests = 0;
             let mut rest: Vec<Pending> = Vec::new();

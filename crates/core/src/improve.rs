@@ -42,11 +42,8 @@ pub fn eliminate_replicas(instance: &Instance, policy: Policy, solution: &Soluti
     let loads = solution.loads();
     // Candidates for elimination, least loaded first (cheapest to re-route);
     // idle forced replicas can always be dropped.
-    let mut replicas: Vec<(NodeId, Requests)> = solution
-        .replicas()
-        .into_iter()
-        .map(|r| (r, loads.get(&r).copied().unwrap_or(0)))
-        .collect();
+    let mut replicas: Vec<(NodeId, Requests)> =
+        solution.replicas().into_iter().map(|r| (r, loads.get(&r).copied().unwrap_or(0))).collect();
     replicas.sort_by_key(|&(_, load)| load);
 
     for &(victim, load) in &replicas {
@@ -115,11 +112,8 @@ fn try_eliminate(
     }
 
     // Fragments to re-route, largest first (hardest to place).
-    let mut moves: Vec<(NodeId, Requests)> = solution
-        .fragments()
-        .filter(|f| f.server == victim)
-        .map(|f| (f.client, f.amount))
-        .collect();
+    let mut moves: Vec<(NodeId, Requests)> =
+        solution.fragments().filter(|f| f.server == victim).map(|f| (f.client, f.amount)).collect();
     moves.sort_by_key(|&(_, amount)| std::cmp::Reverse(amount));
 
     let mut base = rebuild_without(solution, victim);

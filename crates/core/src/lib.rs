@@ -6,9 +6,9 @@
 //!
 //! | Function | Paper | Guarantee |
 //! |---|---|---|
-//! | [`single_gen`] | Algorithm 1 | (Δ+1)-approximation for **Single** (Δ-approximation without distance constraints), `O(Δ·|T|)` |
-//! | [`single_nod`] | Algorithm 2 | 2-approximation for **Single-NoD**, `O((Δ log Δ + |C|)·|T|)` |
-//! | [`multiple_bin`] | Algorithm 3 | optimal for **Multiple-Bin** when every `r_i ≤ W`, `O(|T|²)` |
+//! | [`fn@single_gen`] | Algorithm 1 | (Δ+1)-approximation for **Single** (Δ-approximation without distance constraints), `O(Δ·|T|)` |
+//! | [`fn@single_nod`] | Algorithm 2 | 2-approximation for **Single-NoD**, `O((Δ log Δ + |C|)·|T|)` |
+//! | [`fn@multiple_bin`] | Algorithm 3 | optimal for **Multiple-Bin** when every `r_i ≤ W` on binary trees (runs on the [`TreeArena`](rp_tree::TreeArena)/[`SolverScratch`] flat layer), `O(|T|²)` |
 //!
 //! Baselines live in [`baselines`] (trivial clients-only placement, a greedy
 //! Multiple heuristic for general trees) and lower bounds in [`bounds`].
@@ -44,13 +44,15 @@ pub mod bounds;
 pub mod error;
 pub mod improve;
 pub mod multiple_bin;
+pub mod scratch;
 pub mod single_gen;
 pub mod single_nod;
 
 pub use error::SolveError;
-pub use multiple_bin::multiple_bin;
-pub use single_gen::single_gen;
-pub use single_nod::single_nod;
+pub use multiple_bin::{multiple_bin, multiple_bin_with};
+pub use scratch::SolverScratch;
+pub use single_gen::{single_gen, single_gen_with};
+pub use single_nod::{single_nod, single_nod_with};
 
 use rp_tree::{Instance, Policy, Solution};
 

@@ -1,0 +1,258 @@
+//! Reusable solver state: the per-instance [`TreeArena`] plus every dense
+//! buffer the algorithms sweep over.
+//!
+//! The solvers in this crate are bottom-up passes that repeatedly touch
+//! per-node and per-client state. Allocating that state per solve (let alone
+//! per *stage*, as the first `multiple-bin` implementation did with its
+//! `HashMap`s) dominates the wall clock on large trees. [`SolverScratch`]
+//! owns all of it as flat `Vec` slabs indexed by raw node index:
+//!
+//! * buffers are sized (and old state cleared) once per solve by
+//!   `SolverScratch::prepare`;
+//! * nested buffers (`Vec<Vec<…>>`) are cleared, never dropped, so their
+//!   heap blocks survive across stages *and* across solves;
+//! * per-stage marks use a monotone stamp (`SolverScratch::next_stage`)
+//!   instead of O(|T|) clears.
+//!
+//! Callers that solve many instances in a row (benchmarks, experiment
+//! sweeps, servers) should create one scratch and thread it through
+//! [`crate::multiple_bin_with`] / [`crate::single_gen_with`] /
+//! [`crate::single_nod_with`]; the one-shot entry points create a fresh
+//! scratch internally, so results never depend on reuse (a property pinned
+//! by `tests/scratch_reuse.rs`).
+
+use rp_tree::arena::TreeArena;
+use rp_tree::{Dist, Requests, Tree};
+
+/// `w` requests of `client`, currently at distance `d` from the node whose
+/// pending list contains the triple (the `req(j)` entries of Algorithm 3).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Triple {
+    pub d: Dist,
+    pub w: Requests,
+    pub client: u32,
+}
+
+/// One `(client, amount)` assignment fragment on a replica.
+pub(crate) type AssignPair = (u32, Requests);
+
+/// A pending `single-nod` group: requests of `clients`, aggregated at
+/// `node` (an ancestor of each of them), still to be served at `node` or
+/// above.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Group {
+    pub node: u32,
+    pub total: Requests,
+    pub clients: Vec<AssignPair>,
+}
+
+/// Reusable state for all three algorithms (see the module docs).
+///
+/// The scratch is deliberately opaque: its only public surface is
+/// construction — everything else is an implementation detail of the
+/// solvers.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    /// Flat view of the instance's tree.
+    pub(crate) arena: TreeArena,
+    /// Per-node deadline: the highest ancestor allowed to serve requests
+    /// issued there under `dmax` (only client rows are read).
+    pub(crate) deadline: Vec<u32>,
+    /// `depth(deadline[v])`, the EDF sort key.
+    pub(crate) deadline_depth: Vec<u32>,
+
+    // --- multiple-bin sweep state ---
+    /// `req(j)` pending-triple lists, per node.
+    pub(crate) req: Vec<Vec<Triple>>,
+    /// Assignment fragments of the replica at each node (empty when none).
+    pub(crate) assigned: Vec<Vec<AssignPair>>,
+    /// Whether each node currently holds a replica.
+    pub(crate) in_r: Vec<bool>,
+    /// Total load of the replica at each node.
+    pub(crate) load: Vec<Requests>,
+
+    // --- per-stage state ---
+    /// Demand that must be served inside the stage subtree, per client.
+    pub(crate) demand: Vec<u128>,
+    /// Clients with non-zero [`SolverScratch::demand`] (cleanup list).
+    pub(crate) demand_clients: Vec<u32>,
+    /// Replicas already inside the stage subtree.
+    pub(crate) existing: Vec<u32>,
+    /// Free nodes eligible to host a new replica this stage.
+    pub(crate) candidates: Vec<u32>,
+    /// Stage stamp per node; `== stage_id` means eligible this stage.
+    pub(crate) eligible_mark: Vec<u32>,
+    /// Monotone stamp distinguishing stages without clearing marks.
+    pub(crate) stage_id: u32,
+    /// Replica bitmap handed to the router while enumerating candidates.
+    pub(crate) route_replica: Vec<bool>,
+    /// Current candidate subset (indices into `candidates`).
+    pub(crate) subset_idx: Vec<usize>,
+    /// Best feasible placement found so far in a stage.
+    pub(crate) best_set: Vec<u32>,
+
+    // --- EDF router state ---
+    /// Remaining unserved volume per client during one routing call.
+    pub(crate) pending: Vec<u128>,
+    /// Clients pending at each node, children-merged bottom-up.
+    pub(crate) carried: Vec<Vec<u32>>,
+    /// Nodes whose `carried` list may be non-empty (cleanup list).
+    pub(crate) carried_touched: Vec<u32>,
+    /// Per-replica load accumulated by the routing call.
+    pub(crate) route_loads: Vec<u128>,
+    /// Staging buffer for the per-node pending list (recycled via swap).
+    pub(crate) here_buf: Vec<u32>,
+
+    // --- placement scoring state ---
+    /// Travelling volume still absorbable, per client.
+    pub(crate) remaining: Vec<u128>,
+    /// Clients with travelling volume, sorted tightest deadline first.
+    pub(crate) travel_clients: Vec<u32>,
+    /// Stage replicas sorted deepest first.
+    pub(crate) spare_nodes: Vec<u32>,
+    /// `(deadline depth, absorbed)` pairs before aggregation.
+    pub(crate) breakdown: Vec<(u64, u128)>,
+
+    // --- stage-DP fallback state ---
+    /// Stuck volume per client, the fallback's own demand map.
+    pub(crate) dp_demand: Vec<u128>,
+    /// Clients with non-zero [`SolverScratch::dp_demand`].
+    pub(crate) dp_clients: Vec<u32>,
+
+    // --- single-gen state ---
+    /// Pending `(client, requests)` fragments per node.
+    pub(crate) sg_clients: Vec<Vec<AssignPair>>,
+    /// Total pending volume per node.
+    pub(crate) sg_total: Vec<u128>,
+    /// Remaining distance allowance per node (`None` = unconstrained).
+    pub(crate) sg_allow: Vec<Option<Dist>>,
+
+    // --- single-nod state ---
+    /// Pending groups per node.
+    pub(crate) sn_groups: Vec<Vec<Group>>,
+}
+
+impl SolverScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused across solves.
+    pub fn new() -> Self {
+        SolverScratch::default()
+    }
+
+    /// Rebuilds the arena for `tree` and resets the node-indexed state
+    /// shared by every solver. Called once at the start of each solve.
+    pub(crate) fn prepare(&mut self, tree: &Tree) {
+        self.arena.rebuild(tree);
+        let n = self.arena.len();
+        clear_nested(&mut self.req, n);
+        clear_nested(&mut self.assigned, n);
+        clear_nested(&mut self.carried, n);
+        clear_nested(&mut self.sg_clients, n);
+        clear_nested(&mut self.sn_groups, n);
+        reset(&mut self.in_r, n, false);
+        reset(&mut self.load, n, 0);
+        reset(&mut self.demand, n, 0);
+        reset(&mut self.pending, n, 0);
+        reset(&mut self.route_loads, n, 0);
+        reset(&mut self.route_replica, n, false);
+        reset(&mut self.remaining, n, 0);
+        reset(&mut self.dp_demand, n, 0);
+        reset(&mut self.eligible_mark, n, 0);
+        reset(&mut self.sg_total, n, 0);
+        reset(&mut self.sg_allow, n, None);
+        self.stage_id = 0;
+        self.demand_clients.clear();
+        self.existing.clear();
+        self.candidates.clear();
+        self.subset_idx.clear();
+        self.best_set.clear();
+        self.carried_touched.clear();
+        self.here_buf.clear();
+        self.travel_clients.clear();
+        self.spare_nodes.clear();
+        self.breakdown.clear();
+        self.dp_clients.clear();
+    }
+
+    /// Computes the deadline arrays for `dmax` (the Multiple sweep's
+    /// distance budgets).
+    pub(crate) fn prepare_deadlines(&mut self, dmax: Option<Dist>) {
+        self.arena.compute_deadlines(dmax, &mut self.deadline);
+        let n = self.arena.len();
+        self.deadline_depth.clear();
+        self.deadline_depth.extend(self.deadline.iter().map(|&d| self.arena.depth(d)));
+        debug_assert_eq!(self.deadline_depth.len(), n);
+    }
+
+    /// Starts a new stage: bumps the eligibility stamp (clearing marks
+    /// implicitly) and returns the fresh stamp.
+    pub(crate) fn next_stage(&mut self) -> u32 {
+        self.stage_id += 1;
+        self.stage_id
+    }
+}
+
+/// `vec.clear(); vec.resize(n, fill)` — keeps the buffer's capacity.
+fn reset<T: Clone>(vec: &mut Vec<T>, n: usize, fill: T) {
+    vec.clear();
+    vec.resize(n, fill);
+}
+
+/// Sizes a nested buffer to `n` inner vectors and clears each one without
+/// dropping its allocation.
+fn clear_nested<T>(vec: &mut Vec<Vec<T>>, n: usize) {
+    if vec.len() < n {
+        vec.resize_with(n, Vec::new);
+    }
+    for inner in vec.iter_mut() {
+        inner.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    #[test]
+    fn prepare_sizes_and_resets_state() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 1);
+        b.add_client(n1, 2, 5);
+        let tree = b.freeze().unwrap();
+
+        let mut s = SolverScratch::new();
+        s.prepare(&tree);
+        assert_eq!(s.in_r.len(), 3);
+        s.in_r[1] = true;
+        s.assigned[1].push((2, 5));
+        s.demand_clients.push(2);
+
+        // Re-preparing (even for a smaller tree) drops stale state.
+        let small = TreeBuilder::new().freeze().unwrap();
+        s.prepare(&small);
+        assert_eq!(s.in_r.len(), 1);
+        assert!(!s.in_r[0]);
+        assert!(s.assigned[0].is_empty());
+        assert!(s.demand_clients.is_empty());
+        assert_eq!(s.stage_id, 0);
+    }
+
+    #[test]
+    fn deadlines_cover_every_node() {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 3);
+        b.add_client(n1, 2, 4);
+        let tree = b.freeze().unwrap();
+        let mut s = SolverScratch::new();
+        s.prepare(&tree);
+        s.prepare_deadlines(Some(2));
+        assert_eq!(s.deadline.len(), 3);
+        assert_eq!(s.deadline[2], 1, "client stops at its parent under dmax=2");
+        assert_eq!(s.deadline_depth[2], 1);
+        s.prepare_deadlines(None);
+        assert!(s.deadline.iter().all(|&d| d == 0));
+    }
+}

@@ -21,40 +21,37 @@
 //! requests always travel together, so the result honours the Single policy.
 
 use crate::error::SolveError;
-use rp_tree::{Dist, Instance, NodeId, Requests, Solution, Tree};
-
-/// Pending requests of one client, bubbling up the tree.
-#[derive(Debug, Clone)]
-struct PendingClient {
-    client: NodeId,
-    requests: Requests,
-}
-
-/// Result of the recursive call on one node: the pending clients that must be
-/// served at this node or above, and the distance allowance left for the most
-/// constrained of them (measured from this node).
-#[derive(Debug, Clone)]
-struct PendingSet {
-    clients: Vec<PendingClient>,
-    total: Requests,
-    /// Remaining allowance; `None` encodes "unconstrained" (no distance
-    /// constraint on the instance, or no pending requests).
-    allowance: Option<Dist>,
-}
-
-impl PendingSet {
-    fn empty(dmax: Option<Dist>) -> Self {
-        PendingSet { clients: Vec::new(), total: 0, allowance: dmax }
-    }
-}
+use crate::scratch::SolverScratch;
+use rp_tree::arena::NO_PARENT;
+use rp_tree::{Instance, NodeId, Solution};
 
 /// Runs Algorithm 1 (`single-gen`) and returns its placement and assignment.
+///
+/// One-shot wrapper around [`single_gen_with`]; callers solving many
+/// instances should hold a [`SolverScratch`] and use that entry point.
 ///
 /// # Errors
 ///
 /// Returns [`SolveError::ClientExceedsCapacity`] if some client issues more
 /// than `W` requests — the Single problem has no solution in that case.
 pub fn single_gen(instance: &Instance) -> Result<Solution, SolveError> {
+    let mut scratch = SolverScratch::new();
+    single_gen_with(instance, &mut scratch)
+}
+
+/// [`single_gen`] with caller-provided scratch state.
+///
+/// The sweep runs iteratively over the [`rp_tree::TreeArena`] post-order
+/// (no recursion, so arbitrarily deep chains are safe), keeping each node's
+/// pending set in dense per-node rows that are reused across solves.
+///
+/// # Errors
+///
+/// Same as [`single_gen`].
+pub fn single_gen_with(
+    instance: &Instance,
+    scratch: &mut SolverScratch,
+) -> Result<Solution, SolveError> {
     let tree = instance.tree();
     let w = instance.capacity();
     for &c in tree.clients() {
@@ -63,92 +60,103 @@ pub fn single_gen(instance: &Instance) -> Result<Solution, SolveError> {
             return Err(SolveError::ClientExceedsCapacity { client: c, requests: r, capacity: w });
         }
     }
-    let mut solution = Solution::new();
-    let result = visit(tree, instance, tree.root(), &mut solution);
-    // The root call always absorbs everything (step 3a of the paper).
-    debug_assert!(result.clients.is_empty());
-    debug_assert_eq!(result.total, 0);
-    Ok(solution)
-}
-
-/// Places a replica at `node` serving every pending client of `set`.
-fn place(solution: &mut Solution, node: NodeId, set: &mut PendingSet, dmax: Option<Dist>) {
-    for pc in set.clients.drain(..) {
-        solution.assign(pc.client, node, pc.requests);
-    }
-    set.total = 0;
-    set.allowance = dmax;
-}
-
-fn visit(tree: &Tree, instance: &Instance, j: NodeId, solution: &mut Solution) -> PendingSet {
     let dmax = instance.dmax();
-    let w = instance.capacity();
+    scratch.prepare(tree);
+    let mut solution = Solution::new();
+    let s = &mut *scratch;
+    let n = s.arena.len();
 
-    if tree.is_client(j) {
-        let r = tree.requests(j);
-        if r == 0 {
-            return PendingSet::empty(dmax);
+    // Bottom-up sweep: each node's slot (`sg_clients` — the pending client
+    // fragments, `sg_total`, `sg_allow` — the remaining distance allowance
+    // of the most constrained of them) plays the role of the recursive
+    // implementation's return value.
+    for pos in 0..n {
+        let j = s.arena.postorder()[pos];
+        let ji = j as usize;
+        if s.arena.is_client(j) {
+            let r = s.arena.requests(j);
+            if r > 0 {
+                s.sg_clients[ji].push((j, r));
+                s.sg_total[ji] = r as u128;
+            }
+            s.sg_allow[ji] = dmax;
+            continue;
         }
-        return PendingSet {
-            clients: vec![PendingClient { client: j, requests: r }],
-            total: r,
-            allowance: dmax,
-        };
-    }
 
-    let mut child_sets: Vec<PendingSet> = Vec::with_capacity(tree.children(j).len());
-    for &child in tree.children(j) {
-        let mut set = visit(tree, instance, child, solution);
-        let edge = tree.edge(child);
-        // Step 1: if the child's pending requests cannot travel over the edge
-        // to `j`, place a replica on the child.
-        let blocked = match set.allowance {
-            Some(allow) => edge > allow && set.total > 0,
-            None => false,
-        };
-        if blocked {
-            place(solution, child, &mut set, dmax);
-        } else if let Some(allow) = set.allowance {
-            set.allowance = Some(allow.saturating_sub(edge));
+        let nchild = s.arena.children(j).len();
+        let mut total: u128 = 0;
+        for k in 0..nchild {
+            let c = s.arena.children(j)[k];
+            let ci = c as usize;
+            let edge = s.arena.edge(c);
+            // Step 1: if the child's pending requests cannot travel over the
+            // edge to `j`, place a replica on the child.
+            let blocked = match s.sg_allow[ci] {
+                Some(allow) => edge > allow && s.sg_total[ci] > 0,
+                None => false,
+            };
+            if blocked {
+                for &(client, requests) in &s.sg_clients[ci] {
+                    solution.assign(NodeId(client), NodeId(c), requests);
+                }
+                s.sg_clients[ci].clear();
+                s.sg_total[ci] = 0;
+                s.sg_allow[ci] = dmax;
+            } else if let Some(allow) = s.sg_allow[ci] {
+                s.sg_allow[ci] = Some(allow.saturating_sub(edge));
+            }
+            total += s.sg_total[ci];
         }
-        child_sets.push(set);
-    }
 
-    let total: u128 = child_sets.iter().map(|s| s.total as u128).sum();
+        if total > w as u128 {
+            // Step 2: too many pending requests; close every child that
+            // still has pending requests so that nothing reaches `j`.
+            for k in 0..nchild {
+                let c = s.arena.children(j)[k];
+                let ci = c as usize;
+                if s.sg_total[ci] > 0 {
+                    for &(client, requests) in &s.sg_clients[ci] {
+                        solution.assign(NodeId(client), NodeId(c), requests);
+                    }
+                    s.sg_clients[ci].clear();
+                    s.sg_total[ci] = 0;
+                }
+                s.sg_allow[ci] = dmax;
+            }
+            s.sg_total[ji] = 0;
+            s.sg_allow[ji] = dmax;
+            continue;
+        }
 
-    if total > w as u128 {
-        // Step 2: too many pending requests; close every child that still
-        // has pending requests so that nothing reaches `j`.
-        for (idx, set) in child_sets.iter_mut().enumerate() {
-            if set.total > 0 {
-                let child = tree.children(j)[idx];
-                place(solution, child, set, dmax);
+        // Step 3: the pending requests fit within one server; merge them.
+        let mut allowance = None;
+        for k in 0..nchild {
+            let c = s.arena.children(j)[k];
+            if let Some(a) = s.sg_allow[c as usize] {
+                allowance = Some(allowance.map_or(a, |m: u64| m.min(a)));
             }
         }
-        return PendingSet::empty(dmax);
-    }
-
-    // Step 3: the pending requests fit within one server.
-    let allowance = child_sets
-        .iter()
-        .filter_map(|s| s.allowance)
-        .min()
-        .or(dmax)
-        .filter(|_| dmax.is_some());
-    let mut merged = PendingSet {
-        clients: child_sets.into_iter().flat_map(|s| s.clients).collect(),
-        total: total as Requests,
-        allowance,
-    };
-    if j == tree.root() {
-        // Step 3a: the root absorbs whatever remains.
-        if merged.total > 0 {
-            place(solution, j, &mut merged, dmax);
+        let allowance = allowance.or(dmax).filter(|_| dmax.is_some());
+        let mut merged = std::mem::take(&mut s.sg_clients[ji]);
+        debug_assert!(merged.is_empty());
+        for k in 0..nchild {
+            let c = s.arena.children(j)[k];
+            merged.append(&mut s.sg_clients[c as usize]);
         }
-        return PendingSet::empty(dmax);
+        if s.arena.parent(j) == NO_PARENT {
+            // Step 3a: the root absorbs whatever remains.
+            for &(client, requests) in &merged {
+                solution.assign(NodeId(client), NodeId(j), requests);
+            }
+            merged.clear();
+            total = 0;
+        }
+        // Step 3b (non-root): forward to the parent via the node's slot.
+        s.sg_clients[ji] = merged;
+        s.sg_total[ji] = total;
+        s.sg_allow[ji] = allowance;
     }
-    // Step 3b: forward to the parent.
-    merged
+    Ok(solution)
 }
 
 #[cfg(test)]

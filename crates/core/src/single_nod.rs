@@ -16,19 +16,12 @@
 //!
 //! Any distance constraint carried by the instance is ignored (the paper
 //! only defines and analyses this algorithm for Single-NoD); callers that
-//! need distance constraints must use [`crate::single_gen`].
+//! need distance constraints must use [`fn@crate::single_gen`].
 
 use crate::error::SolveError;
-use rp_tree::{Instance, NodeId, Requests, Solution, Tree};
-
-/// A pending group: requests of `clients`, aggregated at `node` (which is an
-/// ancestor of each of them), still to be served at `node` or above.
-#[derive(Debug, Clone)]
-struct Group {
-    node: NodeId,
-    total: Requests,
-    clients: Vec<(NodeId, Requests)>,
-}
+use crate::scratch::{Group, SolverScratch};
+use rp_tree::arena::NO_PARENT;
+use rp_tree::{Instance, NodeId, Requests, Solution};
 
 /// Runs Algorithm 2 (`single-nod`) and returns its placement and assignment.
 ///
@@ -37,11 +30,40 @@ struct Group {
 /// *unconstrained* version of the instance (and against the original instance
 /// whenever the chosen servers happen to be close enough).
 ///
+/// One-shot wrapper around [`single_nod_with`]; callers solving many
+/// instances should hold a [`SolverScratch`] and use that entry point.
+///
 /// # Errors
 ///
 /// Returns [`SolveError::ClientExceedsCapacity`] if some client issues more
 /// than `W` requests.
 pub fn single_nod(instance: &Instance) -> Result<Solution, SolveError> {
+    let mut scratch = SolverScratch::new();
+    single_nod_with(instance, &mut scratch)
+}
+
+/// Places a replica at `server` serving every client of `group`.
+fn place(solution: &mut Solution, server: u32, group: Group) {
+    for (client, requests) in group.clients {
+        solution.assign(NodeId(client), NodeId(server), requests);
+    }
+}
+
+/// [`single_nod`] with caller-provided scratch state.
+///
+/// The sweep runs iteratively over the [`rp_tree::TreeArena`] post-order
+/// (no recursion, so arbitrarily deep chains are safe). Each node's slot
+/// holds the groups the node forwards to its parent — either a single
+/// aggregated group rooted at the node (paper's case 2a) or the groups left
+/// over after packing there (paper's case 1a, the re-parenting step).
+///
+/// # Errors
+///
+/// Same as [`single_nod`].
+pub fn single_nod_with(
+    instance: &Instance,
+    scratch: &mut SolverScratch,
+) -> Result<Solution, SolveError> {
     let tree = instance.tree();
     let w = instance.capacity();
     for &c in tree.clients() {
@@ -50,101 +72,85 @@ pub fn single_nod(instance: &Instance) -> Result<Solution, SolveError> {
             return Err(SolveError::ClientExceedsCapacity { client: c, requests: r, capacity: w });
         }
     }
+    scratch.prepare(tree);
     let mut solution = Solution::new();
-    let leftovers = visit(tree, w, tree.root(), &mut solution);
-    debug_assert!(leftovers.is_empty(), "the root absorbs or places every remaining group");
-    Ok(solution)
-}
+    let s = &mut *scratch;
+    let n = s.arena.len();
 
-/// Places a replica at `server` serving every client of `group`.
-fn place(solution: &mut Solution, server: NodeId, group: Group) {
-    for (client, requests) in group.clients {
-        solution.assign(client, server, requests);
-    }
-}
-
-/// Recursive sweep. Returns the groups that the caller (the parent of `j`)
-/// must insert into its own list — either a single aggregated group rooted at
-/// `j` (paper's case 2a) or the groups left over after packing at `j`
-/// (paper's case 1a, the re-parenting step).
-fn visit(tree: &Tree, w: Requests, j: NodeId, solution: &mut Solution) -> Vec<Group> {
-    if tree.is_client(j) {
-        let r = tree.requests(j);
-        if r == 0 {
-            return Vec::new();
+    for pos in 0..n {
+        let j = s.arena.postorder()[pos];
+        let ji = j as usize;
+        if s.arena.is_client(j) {
+            let r = s.arena.requests(j);
+            if r > 0 {
+                s.sn_groups[ji].push(Group { node: j, total: r, clients: vec![(j, r)] });
+            }
+            continue;
         }
-        return vec![Group { node: j, total: r, clients: vec![(j, r)] }];
-    }
 
-    // Collect the pending groups of all children (this is the list L_j /
-    // updated child set C_j of the paper).
-    let mut groups: Vec<Group> = Vec::new();
-    for &child in tree.children(j) {
-        groups.extend(visit(tree, w, child, solution));
-    }
-    let total: u128 = groups.iter().map(|g| g.total as u128).sum();
-    let is_root = j == tree.root();
+        // Collect the pending groups of all children (this is the list L_j /
+        // updated child set C_j of the paper).
+        let mut groups = std::mem::take(&mut s.sn_groups[ji]);
+        debug_assert!(groups.is_empty());
+        let nchild = s.arena.children(j).len();
+        for k in 0..nchild {
+            let c = s.arena.children(j)[k];
+            groups.append(&mut s.sn_groups[c as usize]);
+        }
+        let total: u128 = groups.iter().map(|g| g.total as u128).sum();
+        let is_root = s.arena.parent(j) == NO_PARENT;
 
-    if total > w as u128 {
-        // Case 1: too much for one server. Sort by non-decreasing size; `j`
-        // takes the smallest groups while they fit, the first group that does
-        // not fit gets a replica on its own node, the rest bubbles up.
-        groups.sort_by_key(|g| g.total);
-        let mut absorbed: Requests = 0;
-        let mut own: Vec<Group> = Vec::new();
-        let mut leftovers: Vec<Group> = Vec::new();
-        let mut overflow_handled = false;
-        for group in groups {
-            if !overflow_handled {
-                if absorbed + group.total <= w {
-                    absorbed += group.total;
-                    own.push(group);
+        if total > w as u128 {
+            // Case 1: too much for one server. Sort by non-decreasing size;
+            // `j` takes the smallest groups while they fit, the first group
+            // that does not fit gets a replica on its own node, the rest
+            // bubbles up.
+            groups.sort_by_key(|g| g.total);
+            let mut absorbed: Requests = 0;
+            let mut overflow_handled = false;
+            let mut leftovers: Vec<Group> = Vec::new();
+            for group in groups.drain(..) {
+                if !overflow_handled {
+                    if absorbed + group.total <= w {
+                        absorbed += group.total;
+                        place(&mut solution, j, group);
+                        continue;
+                    }
+                    // First group that does not fit: replica on its own node.
+                    overflow_handled = true;
+                    place(&mut solution, group.node, group);
                     continue;
                 }
-                // First group that does not fit: replica on its own node.
-                overflow_handled = true;
-                place(solution, group.node, group);
-                continue;
+                if is_root {
+                    // Case 1b: no parent to re-attach to; each leftover
+                    // group gets a replica on its own node.
+                    place(&mut solution, group.node, group);
+                } else {
+                    // Case 1a: re-parent the leftover groups.
+                    leftovers.push(group);
+                }
             }
-            leftovers.push(group);
-        }
-        for group in own {
-            place(solution, j, group);
-        }
-        if is_root {
-            // Case 1b: no parent to re-attach to; each leftover group gets a
-            // replica on its own node.
-            for group in leftovers {
-                place(solution, group.node, group);
-            }
-            Vec::new()
-        } else {
-            // Case 1a: re-parent the leftover groups.
-            leftovers
-        }
-    } else {
-        // Case 2: everything fits within one server.
-        if is_root {
+            groups.extend(leftovers);
+            s.sn_groups[ji] = groups;
+        } else if is_root {
             // Case 2b: the root serves whatever is left.
-            if total > 0 {
-                let clients: Vec<(NodeId, Requests)> =
-                    groups.into_iter().flat_map(|g| g.clients).collect();
-                place(
-                    solution,
-                    j,
-                    Group { node: j, total: total as Requests, clients },
-                );
+            for group in groups.drain(..) {
+                place(&mut solution, j, group);
             }
-            Vec::new()
+            s.sn_groups[ji] = groups;
         } else if total == 0 {
-            Vec::new()
+            s.sn_groups[ji] = groups;
         } else {
             // Case 2a: aggregate into a single group rooted at `j`.
-            let clients: Vec<(NodeId, Requests)> =
-                groups.into_iter().flat_map(|g| g.clients).collect();
-            vec![Group { node: j, total: total as Requests, clients }]
+            let mut clients: Vec<(u32, Requests)> = Vec::new();
+            for group in groups.drain(..) {
+                clients.extend(group.clients);
+            }
+            groups.push(Group { node: j, total: total as Requests, clients });
+            s.sn_groups[ji] = groups;
         }
     }
+    Ok(solution)
 }
 
 #[cfg(test)]

@@ -106,7 +106,14 @@ impl FlowNetwork {
         total
     }
 
-    fn dfs(&mut self, v: usize, sink: usize, limit: u64, level: &[usize], iter: &mut [usize]) -> u64 {
+    fn dfs(
+        &mut self,
+        v: usize,
+        sink: usize,
+        limit: u64,
+        level: &[usize],
+        iter: &mut [usize],
+    ) -> u64 {
         if v == sink {
             return limit;
         }

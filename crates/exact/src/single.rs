@@ -17,8 +17,9 @@ use std::collections::HashMap;
 /// infeasible (some client issues more than `W` requests — splitting is not
 /// allowed under this policy).
 pub fn solve(instance: &Instance) -> Option<Solution> {
-    let upper = instance.tree().clients().iter().filter(|c| instance.tree().requests(**c) > 0).count()
-        as u64;
+    let upper =
+        instance.tree().clients().iter().filter(|c| instance.tree().requests(**c) > 0).count()
+            as u64;
     if upper == 0 {
         return Some(Solution::new());
     }
@@ -86,14 +87,17 @@ struct SearchState {
     remaining: u128,
 }
 
-fn search(clients: &[(NodeId, Requests, Vec<NodeId>)], idx: usize, state: &mut SearchState) -> bool {
+fn search(
+    clients: &[(NodeId, Requests, Vec<NodeId>)],
+    idx: usize,
+    state: &mut SearchState,
+) -> bool {
     if idx == clients.len() {
         return true;
     }
     // Prune: even filling every open server to capacity and opening all
     // remaining budget cannot cover the remaining requests.
-    let open_residual: u128 =
-        state.open.values().map(|&used| (state.w - used) as u128).sum();
+    let open_residual: u128 = state.open.values().map(|&used| (state.w - used) as u128).sum();
     let openable = (state.budget - state.open.len()) as u128 * state.w as u128;
     if state.remaining > open_residual + openable {
         return false;

@@ -28,10 +28,8 @@ const BASE_SEED: u64 = 0x5EED_0003;
 pub fn e3_multiple_bin_optimality(effort: Effort) -> Table {
     let trials = effort.pick(8, 60);
     let clients_options: Vec<usize> = effort.pick(vec![6, 8], vec![8, 10, 12]);
-    let configs: Vec<(usize, Option<f64>)> = clients_options
-        .iter()
-        .flat_map(|&c| [(c, None), (c, Some(0.7))])
-        .collect();
+    let configs: Vec<(usize, Option<f64>)> =
+        clients_options.iter().flat_map(|&c| [(c, None), (c, Some(0.7))]).collect();
 
     let mut table = Table::new(
         "E3 (Theorem 6) — multiple-bin vs exact optimum on random binary trees",
@@ -133,8 +131,7 @@ pub fn e4_random_ratio(effort: Effort) -> Table {
                     None
                 };
                 let (gen_ratio, reference) = ratio_against_reference(&inst, gen_count, exact_cap);
-                let nod_ratio =
-                    nod_count.map(|c| ratio_against_reference(&inst, c, exact_cap).0);
+                let nod_ratio = nod_count.map(|c| ratio_against_reference(&inst, c, exact_cap).0);
                 (delta, gen_ratio, nod_ratio, reference)
             });
             let reference = per_trial.first().map(|r| r.3).unwrap_or("exact");
@@ -143,8 +140,7 @@ pub fn e4_random_ratio(effort: Effort) -> Table {
             let gen = Summary::of(&gen_ratios);
             let dmax_label =
                 dmax_fraction.map_or("none".to_string(), |f| format!("{:.0}% of depth", f * 100.0));
-            let gen_bound =
-                if dmax_fraction.is_none() { delta_max } else { delta_max + 1 };
+            let gen_bound = if dmax_fraction.is_none() { delta_max } else { delta_max + 1 };
             table.push_row(vec![
                 arity.to_string(),
                 dmax_label.clone(),
@@ -155,8 +151,7 @@ pub fn e4_random_ratio(effort: Effort) -> Table {
                 reference.to_string(),
             ]);
             if dmax_fraction.is_none() {
-                let nod_ratios: Vec<f64> =
-                    per_trial.iter().filter_map(|r| r.2).collect();
+                let nod_ratios: Vec<f64> = per_trial.iter().filter_map(|r| r.2).collect();
                 let nod = Summary::of(&nod_ratios);
                 table.push_row(vec![
                     arity.to_string(),

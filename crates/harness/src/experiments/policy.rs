@@ -25,8 +25,7 @@ const BASE_SEED: u64 = 0x5EED_0007;
 pub fn e7_policy_comparison(effort: Effort) -> Table {
     let trials = effort.pick(8, 50);
     let clients = effort.pick(24, 200);
-    let dmax_fractions: Vec<Option<f64>> =
-        vec![None, Some(0.9), Some(0.7), Some(0.5), Some(0.4)];
+    let dmax_fractions: Vec<Option<f64>> = vec![None, Some(0.9), Some(0.7), Some(0.5), Some(0.4)];
 
     let mut table = Table::new(
         "E7 — Single vs Multiple policy on random binary trees",
@@ -104,12 +103,20 @@ pub fn e7_policy_comparison(effort: Effort) -> Table {
 pub fn e8_sensitivity(effort: Effort) -> Table {
     let trials = effort.pick(6, 40);
     let clients = effort.pick(24, 150);
-    let load_factors: Vec<f64> = effort.pick(vec![1.5, 3.0, 6.0], vec![1.5, 2.0, 3.0, 4.0, 6.0, 8.0]);
+    let load_factors: Vec<f64> =
+        effort.pick(vec![1.5, 3.0, 6.0], vec![1.5, 2.0, 3.0, 4.0, 6.0, 8.0]);
     let dmax_fractions: Vec<Option<f64>> = vec![None, Some(0.6)];
 
     let mut table = Table::new(
         "E8 — sensitivity to the capacity W and to dmax",
-        &["clients per server (W/avg r)", "dmax", "volume LB", "multiple-bin", "single-gen", "utilisation (multiple)"],
+        &[
+            "clients per server (W/avg r)",
+            "dmax",
+            "volume LB",
+            "multiple-bin",
+            "single-gen",
+            "utilisation (multiple)",
+        ],
     );
     for &load in &load_factors {
         for &dmax_fraction in &dmax_fractions {
@@ -188,15 +195,14 @@ mod tests {
         // For a fixed dmax setting, the mean multiple-bin count must be
         // non-increasing in the load factor.
         for dmax in ["none", "60% of depth"] {
-            let counts: Vec<f64> = table
-                .rows
-                .iter()
-                .filter(|r| r[1] == dmax)
-                .map(|r| r[3].parse().unwrap())
-                .collect();
+            let counts: Vec<f64> =
+                table.rows.iter().filter(|r| r[1] == dmax).map(|r| r[3].parse().unwrap()).collect();
             assert!(!counts.is_empty());
             for w in counts.windows(2) {
-                assert!(w[1] <= w[0] + 1e-9, "replica count must not grow with capacity: {counts:?}");
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "replica count must not grow with capacity: {counts:?}"
+                );
             }
         }
     }

@@ -16,7 +16,9 @@ use crate::Effort;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rp_core::{single_gen, single_nod};
-use rp_instances::gadgets::{three_partition_gadget, two_partition_equal_gadget, two_partition_gadget};
+use rp_instances::gadgets::{
+    three_partition_gadget, two_partition_equal_gadget, two_partition_gadget,
+};
 use rp_instances::partition::{
     solve_three_partition, solve_two_partition, solve_two_partition_equal, three_partition_yes,
     two_partition_equal_random, two_partition_equal_yes, ThreePartitionInstance,
@@ -82,10 +84,7 @@ pub fn e5_reductions(effort: Effort) -> Table {
         ));
         // Random (unlabelled) instances; the brute-force checker decides.
         for t in 0..effort.pick(1, 4) {
-            i6_cases.push((
-                format!("random #{t}"),
-                two_partition_equal_random(3, 8, &mut rng),
-            ));
+            i6_cases.push((format!("random #{t}"), two_partition_equal_random(3, 8, &mut rng)));
         }
     }
     let i6_rows = par_map(i6_cases.len(), |i| {
@@ -123,7 +122,14 @@ pub fn e9_inapproximability(effort: Effort) -> Table {
     let items_per_side = effort.pick(3, 5);
     let mut table = Table::new(
         "E9 (Theorem 2) — the I4 gadget separates the optimum from greedy algorithms",
-        &["source items", "2-partition", "optimal replicas", "single-gen replicas", "single-nod replicas", "ratio ≥ 3/2"],
+        &[
+            "source items",
+            "2-partition",
+            "optimal replicas",
+            "single-gen replicas",
+            "single-nod replicas",
+            "ratio ≥ 3/2",
+        ],
     );
     let rows = par_map(trials, |t| {
         let mut rng = StdRng::seed_from_u64(trial_seed(BASE_SEED ^ 0xE9, t));

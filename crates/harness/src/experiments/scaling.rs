@@ -13,7 +13,7 @@ use crate::report::{fmt_f, Table};
 use crate::Effort;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rp_core::{baselines, multiple_bin, single_gen, single_nod};
+use rp_core::{baselines, multiple_bin_with, single_gen_with, single_nod_with, SolverScratch};
 use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
 use rp_instances::{EdgeDist, RequestDist};
 use rp_tree::Instance;
@@ -54,10 +54,15 @@ fn kary_instance(clients: usize, arity: usize, seed: u64) -> Instance {
 
 /// E6: wall-clock scaling of the three algorithms (plus the greedy Multiple
 /// baseline) on growing random trees.
+///
+/// The arena-based algorithms run through one shared [`SolverScratch`] —
+/// the steady state the `rp-bench` `scaling` target also measures, where
+/// per-solve allocations have been amortised away.
 pub fn e6_scaling(effort: Effort) -> Table {
     let sizes: Vec<usize> = effort.pick(vec![128, 256, 512], vec![512, 2048, 8192, 32768]);
     let repeats = effort.pick(3, 10);
     let arity = 4;
+    let mut scratch = SolverScratch::new();
 
     let mut table = Table::new(
         "E6 — running-time scaling of the algorithms",
@@ -72,7 +77,8 @@ pub fn e6_scaling(effort: Effort) -> Table {
         let delta = inst.tree().arity() as f64;
         let c = inst.tree().client_count() as f64;
 
-        let t_gen = time_ms(|| drop(single_gen(&inst).expect("feasible")), repeats);
+        let t_gen =
+            time_ms(|| drop(single_gen_with(&inst, &mut scratch).expect("feasible")), repeats);
         table.push_row(vec![
             "single-gen".into(),
             clients.to_string(),
@@ -81,7 +87,8 @@ pub fn e6_scaling(effort: Effort) -> Table {
             fmt_f(t_gen * 1000.0 / (delta * n), 4),
         ]);
 
-        let t_nod = time_ms(|| drop(single_nod(&inst).expect("feasible")), repeats);
+        let t_nod =
+            time_ms(|| drop(single_nod_with(&inst, &mut scratch).expect("feasible")), repeats);
         table.push_row(vec![
             "single-nod".into(),
             clients.to_string(),
@@ -103,7 +110,10 @@ pub fn e6_scaling(effort: Effort) -> Table {
         // multiple-bin on binary trees.
         let bin_inst = binary_instance(clients, seed ^ 0xBEEF);
         let bn = bin_inst.tree().len() as f64;
-        let t_bin = time_ms(|| drop(multiple_bin(&bin_inst).expect("feasible")), repeats);
+        let t_bin = time_ms(
+            || drop(multiple_bin_with(&bin_inst, &mut scratch).expect("feasible")),
+            repeats,
+        );
         table.push_row(vec![
             "multiple-bin".into(),
             clients.to_string(),

@@ -26,7 +26,15 @@ pub fn e1_single_gen_tightness(effort: Effort) -> Table {
 
     let mut table = Table::new(
         "E1 (Fig. 3) — tightness of the (Δ+1)-approximation of single-gen",
-        &["Δ", "m", "single-gen replicas", "optimal replicas", "ratio", "bound Δ+1", "optimum certified"],
+        &[
+            "Δ",
+            "m",
+            "single-gen replicas",
+            "optimal replicas",
+            "ratio",
+            "bound Δ+1",
+            "optimum certified",
+        ],
     );
     let cases: Vec<(usize, usize)> =
         deltas.iter().flat_map(|&d| ms.iter().map(move |&m| (d, m))).collect();

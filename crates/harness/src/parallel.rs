@@ -52,10 +52,7 @@ where
         }
     })
     .expect("worker threads must not panic");
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index was processed"))
-        .collect()
+    slots.into_iter().map(|slot| slot.into_inner().expect("every index was processed")).collect()
 }
 
 /// Number of worker threads used by default.
@@ -110,8 +107,7 @@ mod tests {
 
     #[test]
     fn trial_seeds_are_distinct() {
-        let seeds: std::collections::HashSet<u64> =
-            (0..1000).map(|t| trial_seed(7, t)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|t| trial_seed(7, t)).collect();
         assert_eq!(seeds.len(), 1000);
         // And differ across base seeds too.
         assert_ne!(trial_seed(1, 0), trial_seed(2, 0));

@@ -24,7 +24,15 @@ impl Summary {
     /// empty sample.
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0, p95: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
         }
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
@@ -35,11 +43,8 @@ impl Summary {
         };
         let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics require finite values"));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        };
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
         let p95_idx = (((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1;
         Summary {
             n,

@@ -373,8 +373,7 @@ mod tests {
         // Capacities of the top nodes: W - 1 = S/2 each (after their unit client).
         let mut spare: Vec<(rp_tree::NodeId, u64)> = Vec::new();
         // n_{4m+1} has already absorbed Σ_{j∉I} a_j + 1 (its own unit client):
-        let used_on_n4m1: u64 =
-            (0..2 * m).filter(|&j| !in_i[j]).map(|j| a[j]).sum::<u64>() + 1;
+        let used_on_n4m1: u64 = (0..2 * m).filter(|&j| !in_i[j]).map(|j| a[j]).sum::<u64>() + 1;
         spare.push((n4m1, w - used_on_n4m1));
         for j in 4 * m + 2..=5 * m - 1 {
             // each serves its unit client (1 request) already

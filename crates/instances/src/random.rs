@@ -64,10 +64,10 @@ pub fn random_tree<R: Rng + ?Sized>(cfg: &RandomTreeConfig, rng: &mut R) -> Tree
     let mut slots: Vec<(NodeId, usize)> = vec![(b.root(), cfg.max_children)];
 
     let attach = |b: &mut TreeBuilder,
-                      slots: &mut Vec<(NodeId, usize)>,
-                      rng: &mut R,
-                      client: Option<u64>,
-                      edge: u64| {
+                  slots: &mut Vec<(NodeId, usize)>,
+                  rng: &mut R,
+                  client: Option<u64>,
+                  edge: u64| {
         let idx = rng.gen_range(0..slots.len());
         let (parent, remaining) = slots[idx];
         let id = match client {
@@ -203,16 +203,11 @@ fn split_kary<R: Rng + ?Sized>(
 ///
 /// The capacity is clamped to at least the largest single client so that the
 /// instance always admits a solution under both policies.
-pub fn wrap_instance(
-    tree: Tree,
-    clients_per_server: f64,
-    dmax_fraction: Option<f64>,
-) -> Instance {
+pub fn wrap_instance(tree: Tree, clients_per_server: f64, dmax_fraction: Option<f64>) -> Instance {
     let clients = tree.client_count().max(1) as f64;
     let total = tree.total_requests() as f64;
     let avg = if clients > 0.0 { total / clients } else { 0.0 };
-    let max_client =
-        tree.clients().iter().map(|c| tree.requests(*c)).max().unwrap_or(1).max(1);
+    let max_client = tree.clients().iter().map(|c| tree.requests(*c)).max().unwrap_or(1).max(1);
     let capacity = ((avg * clients_per_server).ceil() as u64).max(max_client).max(1);
     let dmax = dmax_fraction.map(|f| {
         let span = tree.max_client_root_distance() as f64;
@@ -325,12 +320,8 @@ mod tests {
     #[test]
     fn wrap_instance_scales_capacity_and_dmax() {
         let mut rng = StdRng::seed_from_u64(1);
-        let t = random_binary_tree(
-            16,
-            &EdgeDist::Constant(2),
-            &RequestDist::Constant(10),
-            &mut rng,
-        );
+        let t =
+            random_binary_tree(16, &EdgeDist::Constant(2), &RequestDist::Constant(10), &mut rng);
         let span = t.max_client_root_distance();
         let inst = wrap_instance(t, 4.0, Some(0.5));
         assert_eq!(inst.capacity(), 40);

@@ -124,8 +124,7 @@ pub fn simulate(instance: &Instance, solution: &Solution, config: &SimConfig) ->
     let mut fallback: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
     for &client in tree.clients() {
         let path = instance.eligible_servers(client);
-        let candidates: Vec<NodeId> =
-            path.into_iter().filter(|n| replicas.contains(n)).collect();
+        let candidates: Vec<NodeId> = path.into_iter().filter(|n| replicas.contains(n)).collect();
         fallback.insert(client, candidates);
     }
 
@@ -136,7 +135,8 @@ pub fn simulate(instance: &Instance, solution: &Solution, config: &SimConfig) ->
             Some(b) if (b.from_tick..b.to_tick).contains(&tick) => b.factor,
             _ => 1.0,
         };
-        let down = |server: NodeId| config.failures.iter().any(|f| f.server == server && f.is_down(tick));
+        let down =
+            |server: NodeId| config.failures.iter().any(|f| f.server == server && f.is_down(tick));
 
         // Remaining capacity of each replica for this tick.
         let mut residual: BTreeMap<NodeId, Requests> = BTreeMap::new();
@@ -255,15 +255,21 @@ mod tests {
         let (inst, sol, _, _) = two_level();
         // n1 down for the whole run: c1's requests fall back to the root,
         // which has 10 - 4 = 6 spare → everything still served.
-        let cfg = SimConfig::new(5)
-            .with_failure(Failure { server: rp_tree::NodeId(1), from_tick: 0, to_tick: 5 });
+        let cfg = SimConfig::new(5).with_failure(Failure {
+            server: rp_tree::NodeId(1),
+            from_tick: 0,
+            to_tick: 5,
+        });
         let report = simulate(&inst, &sol, &cfg);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.rerouted, 30);
         // Root down instead: c2 falls back to n1, which has 10 - 6 = 4 spare
         // per tick → still no drops, 4 requests per tick re-routed.
-        let cfg = SimConfig::new(5)
-            .with_failure(Failure { server: rp_tree::NodeId(0), from_tick: 0, to_tick: 5 });
+        let cfg = SimConfig::new(5).with_failure(Failure {
+            server: rp_tree::NodeId(0),
+            from_tick: 0,
+            to_tick: 5,
+        });
         let report = simulate(&inst, &sol, &cfg);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.rerouted, 20);
@@ -282,14 +288,12 @@ mod tests {
         // Double the demand: 20 requests per tick against 20 of capacity, but
         // c1 needs 12 on n1 (capacity 10) → 2 spill to the root; root has
         // 10 - 8 = 2 spare → exactly absorbed. No drops.
-        let cfg =
-            SimConfig::new(4).with_burst(Burst { from_tick: 0, to_tick: 4, factor: 2.0 });
+        let cfg = SimConfig::new(4).with_burst(Burst { from_tick: 0, to_tick: 4, factor: 2.0 });
         let report = simulate(&inst, &sol, &cfg);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.rerouted, 8);
         // Triple the demand: 30 per tick against 20 capacity → 10 dropped per tick.
-        let cfg =
-            SimConfig::new(4).with_burst(Burst { from_tick: 0, to_tick: 4, factor: 3.0 });
+        let cfg = SimConfig::new(4).with_burst(Burst { from_tick: 0, to_tick: 4, factor: 3.0 });
         let report = simulate(&inst, &sol, &cfg);
         assert_eq!(report.dropped, 40);
     }
@@ -321,8 +325,11 @@ mod tests {
     #[test]
     fn failure_outside_window_has_no_effect() {
         let (inst, sol, _, _) = two_level();
-        let cfg = SimConfig::new(3)
-            .with_failure(Failure { server: rp_tree::NodeId(1), from_tick: 10, to_tick: 20 });
+        let cfg = SimConfig::new(3).with_failure(Failure {
+            server: rp_tree::NodeId(1),
+            from_tick: 10,
+            to_tick: 20,
+        });
         let report = simulate(&inst, &sol, &cfg);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.rerouted, 0);

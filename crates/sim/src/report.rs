@@ -86,7 +86,14 @@ impl SimReport {
         }
     }
 
-    fn record(&mut self, tree: &Tree, client: NodeId, server: NodeId, amount: Requests, dist: Dist) {
+    fn record(
+        &mut self,
+        tree: &Tree,
+        client: NodeId,
+        server: NodeId,
+        amount: Requests,
+        dist: Dist,
+    ) {
         self.served += amount as u128;
         self.latency_weighted_total += amount as u128 * dist as u128;
         self.max_latency = self.max_latency.max(dist);

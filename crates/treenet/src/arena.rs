@@ -1,0 +1,404 @@
+//! Flat, index-addressed view of a [`Tree`] for the solver hot paths.
+//!
+//! [`Tree`] stores its adjacency behind per-node `Vec`s and answers subtree
+//! queries by allocating fresh vectors; that is convenient for construction
+//! and I/O but too slow for the bottom-up solvers, which visit overlapping
+//! subtrees thousands of times per solve. [`TreeArena`] precomputes, once per
+//! instance, everything those sweeps need as dense arrays indexed by raw node
+//! index:
+//!
+//! * the **post-order** sequence and each node's position in it — because a
+//!   subtree is contiguous in post-order, `subtree(j)` becomes a slice (in
+//!   children-before-parent order, the natural stage order);
+//! * the **pre-order** sequence and positions — the same slice trick in
+//!   parents-before-children order, and an O(1) ancestor test via interval
+//!   containment;
+//! * **parent / edge / depth / root-distance** arrays, replacing pointer
+//!   chasing through `Tree`'s node structs;
+//! * the children of every node flattened into one array addressed by a
+//!   per-node **child range** (CSR layout);
+//! * per-node **request counts** and client flags.
+//!
+//! The arena is plain data: building it is a handful of O(|T|) passes and it
+//! can be rebuilt in place ([`TreeArena::rebuild`]) so a solver scratch that
+//! is reused across solves does not reallocate.
+//!
+//! Distance budgets (the per-client *deadline* of the Multiple sweep — the
+//! highest ancestor allowed to serve a client under `dmax`) depend on the
+//! instance, not just the tree, so they are computed by
+//! [`TreeArena::compute_deadlines`] on demand.
+
+use crate::tree::Tree;
+use crate::{Dist, Requests};
+
+/// Sentinel parent index of the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Dense, `Vec`-indexed snapshot of a [`Tree`] (see the module docs).
+///
+/// All arrays are indexed by `NodeId::index()`; sequences hold raw `u32`
+/// node indices to keep them copy-cheap in the solver inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct TreeArena {
+    /// Post-order sequence (children before parents).
+    post: Vec<u32>,
+    /// `post_pos[v]` — position of `v` in [`TreeArena::post`].
+    post_pos: Vec<u32>,
+    /// Pre-order sequence (parents before children).
+    pre: Vec<u32>,
+    /// `pre_pos[v]` — position of `v` in [`TreeArena::pre`].
+    pre_pos: Vec<u32>,
+    /// Number of nodes in `subtree(v)`, including `v`.
+    subtree_size: Vec<u32>,
+    /// Parent index, [`NO_PARENT`] for the root.
+    parent: Vec<u32>,
+    /// Length of the edge towards the parent (0 for the root).
+    edge: Vec<Dist>,
+    /// Depth in edges (0 for the root).
+    depth: Vec<u32>,
+    /// Distance to the root along tree edges.
+    root_dist: Vec<Dist>,
+    /// Children of every node, flattened; node `v` owns
+    /// `child_list[child_start[v] .. child_start[v + 1]]`.
+    child_list: Vec<u32>,
+    /// Offsets into [`TreeArena::child_list`]; length `n + 1`.
+    child_start: Vec<u32>,
+    /// Requests issued by each node (0 for internal nodes).
+    requests: Vec<Requests>,
+    /// Whether each node is a client leaf.
+    is_client: Vec<bool>,
+}
+
+impl TreeArena {
+    /// Builds the arena for `tree`.
+    pub fn new(tree: &Tree) -> Self {
+        let mut arena = TreeArena::default();
+        arena.rebuild(tree);
+        arena
+    }
+
+    /// Rebuilds the arena in place for a (possibly different) tree, reusing
+    /// the existing allocations where capacities allow.
+    pub fn rebuild(&mut self, tree: &Tree) {
+        let n = tree.len();
+        self.post.clear();
+        self.post.extend(tree.postorder().iter().map(|id| id.0));
+        self.pre.clear();
+        self.pre.extend(tree.preorder().iter().map(|id| id.0));
+
+        resize_with(&mut self.post_pos, n, 0);
+        resize_with(&mut self.pre_pos, n, 0);
+        for (pos, &v) in self.post.iter().enumerate() {
+            self.post_pos[v as usize] = pos as u32;
+        }
+        for (pos, &v) in self.pre.iter().enumerate() {
+            self.pre_pos[v as usize] = pos as u32;
+        }
+
+        resize_with(&mut self.parent, n, NO_PARENT);
+        resize_with(&mut self.edge, n, 0);
+        resize_with(&mut self.depth, n, 0);
+        resize_with(&mut self.root_dist, n, 0);
+        resize_with(&mut self.requests, n, 0);
+        resize_with(&mut self.is_client, n, false);
+        self.child_start.clear();
+        self.child_start.reserve(n + 1);
+        self.child_list.clear();
+        self.child_list.reserve(n.saturating_sub(1));
+        for id in tree.node_ids() {
+            let i = id.index();
+            self.parent[i] = tree.parent(id).map_or(NO_PARENT, |p| p.0);
+            self.edge[i] = tree.edge(id);
+            self.depth[i] = tree.depth(id);
+            self.root_dist[i] = tree.dist_to_root(id);
+            self.requests[i] = tree.requests(id);
+            self.is_client[i] = tree.is_client(id);
+            self.child_start.push(self.child_list.len() as u32);
+            self.child_list.extend(tree.children(id).iter().map(|c| c.0));
+        }
+        self.child_start.push(self.child_list.len() as u32);
+
+        // Subtree sizes in one post-order pass: children are final before
+        // their parent is visited.
+        resize_with(&mut self.subtree_size, n, 0);
+        for &v in &self.post {
+            let mut size = 1u32;
+            for &c in self.children(v) {
+                size += self.subtree_size[c as usize];
+            }
+            self.subtree_size[v as usize] = size;
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.post.len()
+    }
+
+    /// Whether the arena describes a root-only tree (or was never built).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.post.len() <= 1
+    }
+
+    /// The full post-order sequence (children before parents).
+    #[inline]
+    pub fn postorder(&self) -> &[u32] {
+        &self.post
+    }
+
+    /// The full pre-order sequence (parents before children).
+    #[inline]
+    pub fn preorder(&self) -> &[u32] {
+        &self.pre
+    }
+
+    /// `subtree(v)` as a slice in children-before-parent order (`v` last).
+    #[inline]
+    pub fn subtree_post(&self, v: u32) -> &[u32] {
+        let end = self.post_pos[v as usize] as usize + 1;
+        let start = end - self.subtree_size[v as usize] as usize;
+        &self.post[start..end]
+    }
+
+    /// `subtree(v)` as a slice in parent-before-children order (`v` first).
+    #[inline]
+    pub fn subtree_pre(&self, v: u32) -> &[u32] {
+        let start = self.pre_pos[v as usize] as usize;
+        &self.pre[start..start + self.subtree_size[v as usize] as usize]
+    }
+
+    /// Number of nodes in `subtree(v)`.
+    #[inline]
+    pub fn subtree_size(&self, v: u32) -> usize {
+        self.subtree_size[v as usize] as usize
+    }
+
+    /// Position of `v` in the post-order sequence. Together with
+    /// [`TreeArena::subtree_size`] this localises `v` inside any enclosing
+    /// subtree slice: `post_position(v) - post_position(first(sub))` is its
+    /// index in `subtree_post(j)` for every ancestor `j`.
+    #[inline]
+    pub fn post_position(&self, v: u32) -> usize {
+        self.post_pos[v as usize] as usize
+    }
+
+    /// Children of `v`, in insertion order.
+    #[inline]
+    pub fn children(&self, v: u32) -> &[u32] {
+        let lo = self.child_start[v as usize] as usize;
+        let hi = self.child_start[v as usize + 1] as usize;
+        &self.child_list[lo..hi]
+    }
+
+    /// Parent index of `v`, or [`NO_PARENT`] for the root.
+    #[inline]
+    pub fn parent(&self, v: u32) -> u32 {
+        self.parent[v as usize]
+    }
+
+    /// Length of the edge from `v` towards its parent.
+    #[inline]
+    pub fn edge(&self, v: u32) -> Dist {
+        self.edge[v as usize]
+    }
+
+    /// Depth of `v` in edges.
+    #[inline]
+    pub fn depth(&self, v: u32) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Distance from `v` to the root along tree edges.
+    #[inline]
+    pub fn root_dist(&self, v: u32) -> Dist {
+        self.root_dist[v as usize]
+    }
+
+    /// Requests issued by `v` (0 for internal nodes).
+    #[inline]
+    pub fn requests(&self, v: u32) -> Requests {
+        self.requests[v as usize]
+    }
+
+    /// Whether `v` is a client leaf.
+    #[inline]
+    pub fn is_client(&self, v: u32) -> bool {
+        self.is_client[v as usize]
+    }
+
+    /// Whether `ancestor` lies on the path from `node` to the root
+    /// (inclusive of `node` itself). O(1) via pre-order intervals.
+    #[inline]
+    pub fn is_ancestor_or_self(&self, ancestor: u32, node: u32) -> bool {
+        let a = self.pre_pos[ancestor as usize];
+        let d = self.pre_pos[node as usize];
+        d >= a && d < a + self.subtree_size[ancestor as usize]
+    }
+
+    /// Per-node *deadline* under the distance bound `dmax`: the highest
+    /// ancestor allowed to serve requests issued at the node (requests
+    /// travelling upwards get stuck exactly there; the paper's `δ_r = +∞`
+    /// means nothing travels above the root). With `dmax = None` every
+    /// deadline is the root.
+    ///
+    /// Only client rows are meaningful to the solvers, but the array is
+    /// filled for every node so it can be indexed without guards.
+    pub fn compute_deadlines(&self, dmax: Option<Dist>, out: &mut Vec<u32>) {
+        let n = self.len();
+        resize_with(out, n, 0);
+        match dmax {
+            None => {
+                let root = *self.pre.first().unwrap_or(&0);
+                out[..n].fill(root);
+            }
+            Some(dmax) => {
+                // Pre-order guarantees a parent's deadline chain is already
+                // final, but deadlines are per-source so each node walks its
+                // own path: `deadline(v)` is the highest ancestor `a` with
+                // `root_dist(v) - root_dist(a) ≤ dmax`.
+                for &v in &self.pre {
+                    let from = self.root_dist(v);
+                    let mut at = v;
+                    loop {
+                        let p = self.parent(at);
+                        if p == NO_PARENT || from - self.root_dist(p) > dmax {
+                            break;
+                        }
+                        at = p;
+                    }
+                    out[v as usize] = at;
+                }
+            }
+        }
+    }
+}
+
+/// `vec.clear(); vec.resize(n, fill)` — keeps capacity, drops stale content.
+fn resize_with<T: Clone>(vec: &mut Vec<T>, n: usize, fill: T) {
+    vec.clear();
+    vec.resize(n, fill);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn sample() -> Tree {
+        // root
+        //  ├─ n1 (edge 2)
+        //  │   ├─ c2 (edge 1, 5 req)
+        //  │   └─ c3 (edge 3, 7 req)
+        //  └─ c4 (edge 4, 2 req)
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 2);
+        b.add_client(n1, 1, 5);
+        b.add_client(n1, 3, 7);
+        b.add_client(root, 4, 2);
+        b.freeze().unwrap()
+    }
+
+    #[test]
+    fn mirrors_tree_adjacency() {
+        let tree = sample();
+        let arena = TreeArena::new(&tree);
+        assert_eq!(arena.len(), tree.len());
+        for id in tree.node_ids() {
+            let v = id.0;
+            assert_eq!(arena.parent(v), tree.parent(id).map_or(NO_PARENT, |p| p.0));
+            assert_eq!(arena.edge(v), tree.edge(id));
+            assert_eq!(arena.depth(v), tree.depth(id));
+            assert_eq!(arena.root_dist(v), tree.dist_to_root(id));
+            assert_eq!(arena.requests(v), tree.requests(id));
+            assert_eq!(arena.is_client(v), tree.is_client(id));
+            let children: Vec<u32> = tree.children(id).iter().map(|c| c.0).collect();
+            assert_eq!(arena.children(v), &children[..]);
+        }
+    }
+
+    #[test]
+    fn subtree_slices_match_tree_subtrees() {
+        let tree = sample();
+        let arena = TreeArena::new(&tree);
+        for id in tree.node_ids() {
+            let mut expected: Vec<u32> = tree.subtree(id).iter().map(|n| n.0).collect();
+            expected.sort_unstable();
+            let mut post: Vec<u32> = arena.subtree_post(id.0).to_vec();
+            post.sort_unstable();
+            assert_eq!(post, expected, "post slice of {id}");
+            let mut pre: Vec<u32> = arena.subtree_pre(id.0).to_vec();
+            pre.sort_unstable();
+            assert_eq!(pre, expected, "pre slice of {id}");
+            assert_eq!(arena.subtree_size(id.0), expected.len());
+            // Slice orders respect the child/parent discipline.
+            assert_eq!(*arena.subtree_post(id.0).last().unwrap(), id.0);
+            assert_eq!(arena.subtree_pre(id.0)[0], id.0);
+        }
+    }
+
+    #[test]
+    fn ancestor_test_matches_tree_walk() {
+        let tree = sample();
+        let arena = TreeArena::new(&tree);
+        for a in tree.node_ids() {
+            for d in tree.node_ids() {
+                assert_eq!(
+                    arena.is_ancestor_or_self(a.0, d.0),
+                    tree.is_ancestor_or_self(a, d),
+                    "ancestor({a}, {d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deadlines_match_the_walking_definition() {
+        let tree = sample();
+        let arena = TreeArena::new(&tree);
+        let mut out = Vec::new();
+        arena.compute_deadlines(None, &mut out);
+        assert!(out.iter().all(|&d| d == 0), "unconstrained deadline is the root");
+        // dmax = 4: c2 (dist 3 to root) reaches the root; c3 (dist 5) stops
+        // at n1 (dist 3 ≤ 4 over its edge of 3... c3->n1 = 3 ≤ 4, n1->root
+        // adds 2 → 5 > 4); c4 (edge 4) reaches the root exactly.
+        arena.compute_deadlines(Some(4), &mut out);
+        assert_eq!(out[2], 0);
+        assert_eq!(out[3], 1);
+        assert_eq!(out[4], 0);
+        // dmax = 2: c3 and c4 cannot even reach their parents.
+        arena.compute_deadlines(Some(2), &mut out);
+        assert_eq!(out[2], 1);
+        assert_eq!(out[3], 3);
+        assert_eq!(out[4], 4);
+    }
+
+    #[test]
+    fn rebuild_reuses_allocations_and_matches_fresh_build() {
+        let tree = sample();
+        let mut arena = TreeArena::new(&tree);
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let chain = b.add_internal(root, 1);
+        b.add_client(chain, 2, 9);
+        let other = b.freeze().unwrap();
+        arena.rebuild(&other);
+        let fresh = TreeArena::new(&other);
+        assert_eq!(arena.postorder(), fresh.postorder());
+        assert_eq!(arena.preorder(), fresh.preorder());
+        assert_eq!(arena.len(), other.len());
+        assert_eq!(arena.subtree_size(0), 3);
+    }
+
+    #[test]
+    fn root_only_tree() {
+        let tree = TreeBuilder::new().freeze().unwrap();
+        let arena = TreeArena::new(&tree);
+        assert!(arena.is_empty());
+        assert_eq!(arena.subtree_post(0), &[0]);
+        assert_eq!(arena.subtree_pre(0), &[0]);
+        assert_eq!(arena.children(0), &[] as &[u32]);
+    }
+}

@@ -49,7 +49,7 @@ impl fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
-/// Errors raised by [`crate::validate`] when a solution violates one of the
+/// Errors raised by [`fn@crate::validate`] when a solution violates one of the
 /// constraints of the replica placement problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
@@ -126,10 +126,9 @@ impl fmt::Display for ValidationError {
             ValidationError::EmptyFragment { client, server } => {
                 write!(f, "empty fragment for client {client:?} on server {server:?}")
             }
-            ValidationError::NotAnAncestor { client, server } => write!(
-                f,
-                "server {server:?} is not on the path from client {client:?} to the root"
-            ),
+            ValidationError::NotAnAncestor { client, server } => {
+                write!(f, "server {server:?} is not on the path from client {client:?} to the root")
+            }
             ValidationError::DistanceExceeded { client, server, distance, dmax } => write!(
                 f,
                 "client {client:?} is served by {server:?} at distance {distance} > dmax {dmax}"

@@ -108,10 +108,8 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
         }
         let mut parts = line.split_whitespace();
         let first = parts.next().unwrap();
-        let malformed = |reason: &str| ParseError::Malformed {
-            line: lineno + 1,
-            reason: reason.to_string(),
-        };
+        let malformed =
+            |reason: &str| ParseError::Malformed { line: lineno + 1, reason: reason.to_string() };
         match first {
             "capacity" => {
                 let v = parts
@@ -142,8 +140,7 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
                 if id as usize != nodes.len() {
                     return Err(malformed("node ids must be dense and in order"));
                 }
-                let parent_str =
-                    parts.next().ok_or_else(|| malformed("missing parent field"))?;
+                let parent_str = parts.next().ok_or_else(|| malformed("missing parent field"))?;
                 let parent = if parent_str == "-" {
                     None
                 } else {
@@ -358,7 +355,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "\n# hello\ncapacity 5\ndmax 3\nnodes 2\n0 - 0 internal 0 # root\n1 0 1 client 2\n\n";
+        let text =
+            "\n# hello\ncapacity 5\ndmax 3\nnodes 2\n0 - 0 internal 0 # root\n1 0 1 client 2\n\n";
         let inst = parse_instance(text).unwrap();
         assert_eq!(inst.tree().len(), 2);
         assert_eq!(inst.dmax(), Some(3));

@@ -13,9 +13,12 @@
 //! * **solutions**, i.e. a replica set together with the per-client request
 //!   assignment ([`Solution`], [`Fragment`]),
 //! * an independent **validator** that re-checks every constraint of the paper
-//!   from the raw tree ([`validate`], [`ValidationError`]),
+//!   from the raw tree ([`fn@validate`], [`ValidationError`]),
 //! * solution **metrics** ([`SolutionStats`]) and a plain-text **I/O format**
-//!   ([`io`]).
+//!   ([`io`]),
+//! * a **flat arena view** of a tree — contiguous subtree slices, CSR child
+//!   ranges, O(1) ancestor tests — that the solvers index instead of walking
+//!   node structs ([`TreeArena`]).
 //!
 //! All quantities (requests, edge lengths, capacities) are integers (`u64`),
 //! matching the integral instances and reductions used throughout the paper.
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod instance;
 pub mod io;
@@ -58,6 +62,7 @@ pub mod solution;
 pub mod tree;
 pub mod validate;
 
+pub use arena::TreeArena;
 pub use error::{TreeError, ValidationError};
 pub use instance::{Instance, Policy};
 pub use metrics::SolutionStats;

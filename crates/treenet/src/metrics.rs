@@ -6,7 +6,7 @@ use crate::Requests;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a feasible solution, as returned by
-/// [`crate::validate`].
+/// [`fn@crate::validate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolutionStats {
     /// Objective value `|R|`: number of replicas placed.
@@ -50,10 +50,8 @@ impl SolutionStats {
             0.0
         } else {
             let w = instance.capacity() as f64;
-            let sum: f64 = replicas
-                .iter()
-                .map(|r| loads.get(r).copied().unwrap_or(0) as f64 / w)
-                .sum();
+            let sum: f64 =
+                replicas.iter().map(|r| loads.get(r).copied().unwrap_or(0) as f64 / w).sum();
             sum / replica_count as f64
         };
         let clients_with_requests: Vec<_> =

@@ -63,9 +63,11 @@ impl Solution {
 
     /// All fragments, ordered by `(client, server)`.
     pub fn fragments(&self) -> impl Iterator<Item = Fragment> + '_ {
-        self.fragments
-            .iter()
-            .map(|(&(client, server), &amount)| Fragment { client, server, amount })
+        self.fragments.iter().map(|(&(client, server), &amount)| Fragment {
+            client,
+            server,
+            amount,
+        })
     }
 
     /// Number of fragments (distinct `(client, server)` pairs).
@@ -94,11 +96,7 @@ impl Solution {
 
     /// Total requests processed by `server` across all clients.
     pub fn load(&self, server: NodeId) -> Requests {
-        self.fragments
-            .iter()
-            .filter(|(&(_, s), _)| s == server)
-            .map(|(_, &amount)| amount)
-            .sum()
+        self.fragments.iter().filter(|(&(_, s), _)| s == server).map(|(_, &amount)| amount).sum()
     }
 
     /// Per-server load map (only servers with at least one request).
@@ -112,21 +110,13 @@ impl Solution {
 
     /// Total requests of `client` covered by this solution.
     pub fn assigned_to_client(&self, client: NodeId) -> Requests {
-        self.fragments
-            .iter()
-            .filter(|(&(c, _), _)| c == client)
-            .map(|(_, &amount)| amount)
-            .sum()
+        self.fragments.iter().filter(|(&(c, _), _)| c == client).map(|(_, &amount)| amount).sum()
     }
 
     /// The distinct servers serving `client` (`servers(i)` in the paper).
     pub fn servers_of(&self, client: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .fragments
-            .keys()
-            .filter(|&&(c, _)| c == client)
-            .map(|&(_, s)| s)
-            .collect();
+        let mut out: Vec<NodeId> =
+            self.fragments.keys().filter(|&&(c, _)| c == client).map(|&(_, s)| s).collect();
         out.sort_unstable();
         out.dedup();
         out

@@ -85,7 +85,12 @@ impl TreeBuilder {
     /// Creates a builder containing only the root (an internal node).
     pub fn new() -> Self {
         TreeBuilder {
-            nodes: vec![Node { kind: NodeKind::Internal, parent: None, edge: 0, children: Vec::new() }],
+            nodes: vec![Node {
+                kind: NodeKind::Internal,
+                parent: None,
+                edge: 0,
+                children: Vec::new(),
+            }],
         }
     }
 
@@ -210,8 +215,7 @@ impl Tree {
                 }
                 seen[c.index()] = true;
                 depth[c.index()] = depth[id.index()] + 1;
-                root_dist[c.index()] =
-                    root_dist[id.index()].saturating_add(nodes[c.index()].edge);
+                root_dist[c.index()] = root_dist[id.index()].saturating_add(nodes[c.index()].edge);
                 preorder.push(c);
                 stack.push((c, 0));
             } else {

@@ -56,11 +56,8 @@ fn main() {
     print_report_summary(&report);
 
     // 2. Flash crowd: demand doubles for ten minutes in the middle of the run.
-    let burst_cfg = SimConfig::new(3600).with_burst(Burst {
-        from_tick: 1200,
-        to_tick: 1800,
-        factor: 2.0,
-    });
+    let burst_cfg =
+        SimConfig::new(3600).with_burst(Burst { from_tick: 1200, to_tick: 1800, factor: 2.0 });
     let report = simulate(&instance, &multiple, &burst_cfg);
     println!("\n-- flash crowd (2x demand for 600 ticks) --");
     print_report_summary(&report);

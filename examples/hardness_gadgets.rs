@@ -12,8 +12,7 @@ use replica_placement::instances::gadgets::{
     three_partition_gadget, two_partition_equal_gadget, two_partition_gadget,
 };
 use replica_placement::instances::partition::{
-    solve_three_partition, solve_two_partition_equal, ThreePartitionInstance,
-    TwoPartitionInstance,
+    solve_three_partition, solve_two_partition_equal, ThreePartitionInstance, TwoPartitionInstance,
 };
 use replica_placement::prelude::*;
 

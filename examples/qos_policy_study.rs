@@ -34,8 +34,7 @@ fn main() {
             let inst = make_instance(clients, 3.0, dmax_fraction, t as u64);
             lb += bounds::volume_lower_bound(&inst) as f64;
             multi += replicas(&inst, Policy::Multiple, multiple_bin(&inst).unwrap());
-            greedy +=
-                replicas(&inst, Policy::Multiple, baselines::multiple_greedy(&inst).unwrap());
+            greedy += replicas(&inst, Policy::Multiple, baselines::multiple_greedy(&inst).unwrap());
             single += replicas(&inst, Policy::Single, single_gen(&inst).unwrap());
             trivial += replicas(&inst, Policy::Single, baselines::clients_only(&inst).unwrap());
         }

@@ -38,8 +38,12 @@ fn main() {
     // distance 4.
     let instance = Instance::new(tree, 15, Some(4)).expect("positive capacity");
 
-    println!("nodes: {}, clients: {}, total requests: {}", instance.tree().len(),
-        instance.tree().client_count(), instance.tree().total_requests());
+    println!(
+        "nodes: {}, clients: {}, total requests: {}",
+        instance.tree().len(),
+        instance.tree().client_count(),
+        instance.tree().total_requests()
+    );
     println!("capacity W = {}, dmax = {:?}", instance.capacity(), instance.dmax());
     println!("volume lower bound: {}", bounds::volume_lower_bound(&instance));
     println!("combined lower bound: {}", bounds::combined_lower_bound(&instance));
@@ -54,7 +58,11 @@ fn main() {
     let nod_instance = Instance::new(instance.tree().clone(), instance.capacity(), None).unwrap();
     let sol = single_nod(&nod_instance).expect("feasible");
     let stats = validate(&nod_instance, Policy::Single, &sol).expect("feasible");
-    println!("single-nod   (Single, no dmax): {} replicas at {:?}", stats.replica_count, sol.replicas());
+    println!(
+        "single-nod   (Single, no dmax): {} replicas at {:?}",
+        stats.replica_count,
+        sol.replicas()
+    );
 
     // Algorithm 3: optimal for the Multiple policy on binary trees.
     let sol = multiple_bin(&instance).expect("binary tree with r_i ≤ W");

@@ -2,14 +2,32 @@
 //! benchmark harness. Provides the API subset the workspace benches use —
 //! `Criterion`, benchmark groups, `bench_function` / `bench_with_input`,
 //! `BenchmarkId`, `criterion_group!` / `criterion_main!` — with a
-//! straightforward warm-up + mean-of-N timer instead of criterion's
-//! statistical machinery. Output is one line per benchmark:
-//! `group/id … mean ns/iter (N iters)`.
+//! warm-up + per-sample timer instead of criterion's statistical machinery.
+//! Output is one line per benchmark:
+//! `group/id … median ns/iter (mean …, N samples)`.
+//!
+//! Beyond the plain-text lines the shim supports the machinery the
+//! `bench-smoke` CI job consumes:
+//!
+//! * **quick mode** — `--quick` on the bench command line (i.e.
+//!   `cargo bench -- --quick`) or `CRITERION_QUICK=1` shrinks warm-up,
+//!   measurement window and sample count so a full bench run finishes in
+//!   seconds;
+//! * **env-configured sampling** — `CRITERION_SAMPLE_SIZE`,
+//!   `CRITERION_WARM_UP_MS` and `CRITERION_MEASUREMENT_MS` override the
+//!   in-code configuration (env wins, quick mode included), letting CI pin
+//!   the cost of a bench job without patching bench sources;
+//! * **JSON summary** — when `CRITERION_JSON` names a file, one JSON object
+//!   per benchmark (`group`, `id`, `median_ns`, `mean_ns`, `samples`) is
+//!   appended to it, and the same records are available in-process through
+//!   [`measurements`] for benches that post-process their own timings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Identifier of one benchmark within a group.
@@ -48,6 +66,68 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One finished benchmark: its identity and timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name (`"criterion"` for stand-alone benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median over the timed samples, in nanoseconds per iteration.
+    pub median_ns: u128,
+    /// Mean over the timed samples, in nanoseconds per iteration.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+fn registry() -> &'static Mutex<Vec<Measurement>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Measurement>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// All measurements recorded so far in this process, in execution order.
+/// Benches that build structured reports (e.g. `BENCH_scaling.json`) read
+/// their own timings back through this.
+pub fn measurements() -> Vec<Measurement> {
+    registry().lock().expect("measurement registry poisoned").clone()
+}
+
+fn record(m: Measurement) {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"group\":{:?},\"id\":{:?},\"median_ns\":{},\"mean_ns\":{},\"samples\":{}}}\n",
+                m.group, m.id, m.median_ns, m.mean_ns, m.samples
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("criterion shim: cannot append to {path}: {e}");
+            }
+        }
+    }
+    registry().lock().expect("measurement registry poisoned").push(m);
+}
+
+/// Whether quick mode is active (`--quick` argument or `CRITERION_QUICK`).
+pub fn quick_mode() -> bool {
+    if std::env::args().any(|a| a == "--quick") {
+        return true;
+    }
+    matches!(
+        std::env::var("CRITERION_QUICK").ok().as_deref(),
+        Some("1") | Some("true") | Some("yes")
+    )
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher<'a> {
     config: &'a Config,
@@ -56,24 +136,67 @@ pub struct Bencher<'a> {
 }
 
 impl Bencher<'_> {
-    /// Times `routine`: warms up for the configured duration, then runs
-    /// `sample_size` timed iterations and reports their mean.
+    /// Times `routine`: warms up for the configured duration (calibrating a
+    /// batch size so fast routines are timed in ~100µs batches rather than
+    /// one sample per call), then runs timed samples until both the sample
+    /// count and the measurement window are satisfied, and reports their
+    /// median and mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        let warm_end = Instant::now() + self.config.warm_up_time;
+        let warm_start = Instant::now();
+        let warm_end = warm_start + self.config.warm_up_time;
+        let mut warm_iters: u64 = 0;
         while Instant::now() < warm_end {
             std::hint::black_box(routine());
+            warm_iters += 1;
         }
-        let mut iters = 0u64;
+        // With no warm-up iterations (e.g. CRITERION_WARM_UP_MS=0) there is
+        // nothing to calibrate from: fall back to unbatched samples rather
+        // than dividing a near-zero elapsed time into a huge batch.
+        let batch = if warm_iters == 0 {
+            1
+        } else {
+            let per_iter_ns = (warm_start.elapsed().as_nanos() / u128::from(warm_iters)).max(1);
+            (100_000 / per_iter_ns).clamp(1, 1 << 20)
+        };
+        // Keep sample vectors bounded even when the routine is trivial.
+        let max_samples = self.config.sample_size.max(5000);
+        let mut samples: Vec<u128> = Vec::with_capacity(self.config.sample_size);
         let measure_start = Instant::now();
         let measure_end = measure_start + self.config.measurement_time;
-        let min_iters = self.config.sample_size as u64;
-        while Instant::now() < measure_end || iters < min_iters {
-            std::hint::black_box(routine());
-            iters += 1;
+        while samples.len() < self.config.sample_size
+            || (Instant::now() < measure_end && samples.len() < max_samples)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() / batch);
         }
-        let elapsed = measure_start.elapsed();
-        let mean_ns = elapsed.as_nanos() / iters.max(1) as u128;
-        println!("bench: {}/{} ... {} ns/iter ({} iters)", self.group, self.id, mean_ns, iters);
+        samples.sort_unstable();
+        let n = samples.len().max(1);
+        let median_ns = if samples.is_empty() {
+            0
+        } else if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2
+        };
+        let mean_ns = samples.iter().sum::<u128>() / n as u128;
+        println!(
+            "bench: {}/{} ... {} ns/iter median ({} ns mean, {} samples)",
+            self.group,
+            self.id,
+            median_ns,
+            mean_ns,
+            samples.len()
+        );
+        record(Measurement {
+            group: self.group.clone(),
+            id: self.id.clone(),
+            median_ns,
+            mean_ns,
+            samples: samples.len(),
+        });
     }
 }
 
@@ -82,6 +205,31 @@ struct Config {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+}
+
+impl Config {
+    /// Applies quick mode and the `CRITERION_*` env overrides (env wins
+    /// over both the defaults and any in-code configuration).
+    fn with_overrides(mut self) -> Self {
+        if quick_mode() {
+            // Keep at least 5 samples and a ~150ms window: slow routines
+            // still finish fast, and the medians the CI perf gate compares
+            // are not single-shot noise.
+            self.sample_size = self.sample_size.min(5);
+            self.warm_up_time = self.warm_up_time.min(Duration::from_millis(10));
+            self.measurement_time = self.measurement_time.min(Duration::from_millis(150));
+        }
+        if let Some(n) = env_usize("CRITERION_SAMPLE_SIZE") {
+            self.sample_size = n.max(1);
+        }
+        if let Some(ms) = env_usize("CRITERION_WARM_UP_MS") {
+            self.warm_up_time = Duration::from_millis(ms as u64);
+        }
+        if let Some(ms) = env_usize("CRITERION_MEASUREMENT_MS") {
+            self.measurement_time = Duration::from_millis(ms as u64);
+        }
+        self
+    }
 }
 
 impl Default for Config {
@@ -103,7 +251,7 @@ pub struct Criterion {
 }
 
 impl Criterion {
-    /// Sets the minimum number of timed iterations per benchmark.
+    /// Sets the minimum number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.config.sample_size = n;
         self
@@ -121,6 +269,10 @@ impl Criterion {
         self
     }
 
+    fn effective(&self) -> Config {
+        self.config.clone().with_overrides()
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup { criterion: self, name: name.into() }
@@ -132,8 +284,9 @@ impl Criterion {
         F: FnMut(&mut Bencher<'_>),
     {
         let id = id.into();
+        let config = self.effective();
         let mut bencher =
-            Bencher { config: &self.config, group: "criterion".into(), id: id.to_string() };
+            Bencher { config: &config, group: "criterion".into(), id: id.to_string() };
         f(&mut bencher);
         self
     }
@@ -152,11 +305,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher<'_>),
     {
         let id = id.into();
-        let mut bencher = Bencher {
-            config: &self.criterion.config,
-            group: self.name.clone(),
-            id: id.to_string(),
-        };
+        let config = self.criterion.effective();
+        let mut bencher = Bencher { config: &config, group: self.name.clone(), id: id.to_string() };
         f(&mut bencher);
         self
     }
@@ -172,11 +322,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher<'_>, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher {
-            config: &self.criterion.config,
-            group: self.name.clone(),
-            id: id.to_string(),
-        };
+        let config = self.criterion.effective();
+        let mut bencher = Bencher { config: &config, group: self.name.clone(), id: id.to_string() };
         f(&mut bencher, input);
         self
     }
@@ -217,4 +364,38 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_recorded_with_median_and_mean() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let all = measurements();
+        let m = all.iter().rev().find(|m| m.id == "noop").expect("recorded");
+        assert_eq!(m.group, "criterion");
+        assert!(m.samples >= 5);
+        assert!(m.median_ns <= m.mean_ns * 2 + 1, "median within sanity range");
+    }
+
+    #[test]
+    fn config_env_overrides_apply() {
+        // Quick mode shrinks, env pins. (Env vars are process-global, so
+        // this test only checks the pure transformation.)
+        let base = Config {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_millis(2000),
+        };
+        // No env set in tests: with_overrides is identity modulo quick mode.
+        let eff = base.clone().with_overrides();
+        assert!(eff.sample_size <= 100);
+        assert!(eff.warm_up_time <= base.warm_up_time);
+    }
 }

@@ -1,4 +1,4 @@
-//! Offline shim for [`crossbeam`]: just `thread::scope`, implemented on
+//! Offline shim for [`crossbeam`](https://crates.io/crates/crossbeam): just `thread::scope`, implemented on
 //! `std::thread::scope` (stable since Rust 1.63).
 //!
 //! Behavioural difference kept small on purpose: on a child panic, crossbeam

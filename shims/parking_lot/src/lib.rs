@@ -1,4 +1,4 @@
-//! Offline shim for [`parking_lot`]: a `Mutex` with parking_lot's
+//! Offline shim for [`parking_lot`](https://crates.io/crates/parking_lot): a `Mutex` with parking_lot's
 //! non-poisoning API, backed by `std::sync::Mutex`.
 
 #![forbid(unsafe_code)]

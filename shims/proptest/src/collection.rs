@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: a fixed size or a size range.
+/// A length specification for [`vec()`]: a fixed size or a size range.
 pub trait SizeRange {
     /// Samples a length.
     fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -28,7 +28,7 @@ impl SizeRange for RangeInclusive<usize> {
     }
 }
 
-/// Strategy for `Vec<S::Value>` with a sampled length (see [`vec`]).
+/// Strategy for `Vec<S::Value>` with a sampled length (see [`vec()`]).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,

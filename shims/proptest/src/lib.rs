@@ -5,7 +5,7 @@
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
 //! * [`arbitrary::any`] for the primitive integers and `bool`,
 //! * integer and float range strategies (`0usize..30`, `0.4f64..1.0`, ...),
-//! * tuple strategies, [`Strategy::prop_map`], [`collection::vec`],
+//! * tuple strategies, [`strategy::Strategy::prop_map`], [`collection::vec`],
 //!   [`option::of`], [`strategy::Just`],
 //! * [`test_runner::ProptestConfig::with_cases`] and the `PROPTEST_CASES`
 //!   environment override.

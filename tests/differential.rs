@@ -237,10 +237,10 @@ fn differential_exhaustive_small_trees() {
                 let tree = build_tree(&parents, &edge_pattern, requests);
                 for &w in &capacities {
                     for &dmax in &dmaxes {
-                        let inst = Instance::new(tree.clone(), w, dmax)
-                            .expect("positive capacity");
-                        let label =
-                            format!("exhaustive n={n} parents={parents:?} req#{ri} W={w} dmax={dmax:?}");
+                        let inst = Instance::new(tree.clone(), w, dmax).expect("positive capacity");
+                        let label = format!(
+                            "exhaustive n={n} parents={parents:?} req#{ri} W={w} dmax={dmax:?}"
+                        );
                         tally.absorb(check_instance(&inst, &label));
                         instances += 1;
                     }
@@ -261,7 +261,11 @@ fn differential_exhaustive_small_trees() {
     // the exhaustive source alone must clear it with a wide margin.
     assert!(instances >= 1000, "expected >= 1000 enumerated instances, got {instances}");
     assert!(tally.compared >= 200, "only {} compared instances", tally.compared);
-    assert!(tally.multiple_exact >= 100, "only {} multiple_bin optimality checks", tally.multiple_exact);
+    assert!(
+        tally.multiple_exact >= 100,
+        "only {} multiple_bin optimality checks",
+        tally.multiple_exact
+    );
     assert!(tally.single_gen_vs_opt >= 200);
     assert!(tally.single_nod_vs_opt >= 200);
 }
@@ -284,9 +288,8 @@ fn differential_random_binary_instances() {
             for w in [6u64, 11, 25] {
                 for dmax in [None, Some(4u64), Some(9)] {
                     let inst = Instance::new(tree.clone(), w, dmax).expect("capacity > 0");
-                    let label = format!(
-                        "random-binary clients={clients} seed={seed} W={w} dmax={dmax:?}"
-                    );
+                    let label =
+                        format!("random-binary clients={clients} seed={seed} W={w} dmax={dmax:?}");
                     tally.absorb(check_instance(&inst, &label));
                 }
             }
@@ -300,13 +303,18 @@ fn differential_random_binary_instances() {
             let tree = random_binary_tree(clients, &edge, &requests, &mut rng);
             for dmax in [None, Some(9u64), Some(13)] {
                 let inst = Instance::new(tree.clone(), 25, dmax).expect("capacity > 0");
-                let label = format!("random-binary-large clients={clients} seed={seed} dmax={dmax:?}");
+                let label =
+                    format!("random-binary-large clients={clients} seed={seed} dmax={dmax:?}");
                 tally.absorb(check_instance(&inst, &label));
             }
         }
     }
     assert!(tally.compared >= 200, "only {} compared instances", tally.compared);
-    assert!(tally.multiple_exact >= 50, "only {} multiple_bin optimality checks", tally.multiple_exact);
+    assert!(
+        tally.multiple_exact >= 50,
+        "only {} multiple_bin optimality checks",
+        tally.multiple_exact
+    );
 }
 
 #[test]

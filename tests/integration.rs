@@ -37,8 +37,9 @@ fn every_algorithm_produces_feasible_solutions_on_random_instances() {
             } else {
                 inst.clone()
             };
-            let stats = validate(&check_inst, algorithm.policy(), &solution)
-                .unwrap_or_else(|e| panic!("{} produced an invalid solution: {e}", algorithm.name()));
+            let stats = validate(&check_inst, algorithm.policy(), &solution).unwrap_or_else(|e| {
+                panic!("{} produced an invalid solution: {e}", algorithm.name())
+            });
             assert!(stats.replica_count >= 1);
             assert!(
                 stats.replica_count as u64 >= bounds::volume_lower_bound(&check_inst),

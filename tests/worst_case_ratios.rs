@@ -44,8 +44,8 @@ fn single_gen_tight_optimum_confirmed_by_exact_solver() {
     // must be the true optimum, not merely an upper bound.
     for (m, delta) in [(1usize, 2usize), (1, 3), (2, 2)] {
         let t = single_gen_tight(m, delta);
-        let opt = exact::optimal_replica_count(&t.instance, Policy::Single)
-            .expect("Im is feasible");
+        let opt =
+            exact::optimal_replica_count(&t.instance, Policy::Single).expect("Im is feasible");
         assert_eq!(
             opt, t.optimal_replicas,
             "paper's claimed optimum is wrong on Im(m={m}, delta={delta})"

@@ -66,6 +66,14 @@ fn main() {
                 let seed = 0xE6 ^ (clients as u64).rotate_left(17) ^ u64::from(dmax);
                 let inst = instance_for(algorithm, clients, dmax, seed);
                 let reference = solve(algorithm, &inst, &mut scratch);
+                // Stage counters of the reference solve (deterministic;
+                // only the stage-engine algorithm populates them — the
+                // scratch may hold another solve's counters otherwise).
+                let stage = if algorithm == "multiple-bin" {
+                    *scratch.stage_stats()
+                } else {
+                    rp_core::StageStats::default()
+                };
                 stats.push((
                     group_name.clone(),
                     clients.to_string(),
@@ -78,6 +86,9 @@ fn main() {
                         median_ns: 0,
                         mean_ns: 0,
                         samples: 0,
+                        stage_subsets: stage.subsets_enumerated,
+                        stage_routed: stage.subsets_routed,
+                        stage_pruned: stage.subsets_pruned,
                     },
                 ));
                 group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {

@@ -23,7 +23,7 @@ commands:
               [--seed S] [--out FILE]
   solve       run an algorithm on an instance
               --instance FILE  --algorithm single-gen|single-nod|multiple-bin|clients-only|multiple-greedy
-              [--out FILE]
+              [--out FILE] [--stage-stats]
   exact       compute the exact optimum (small instances)
               --instance FILE  --policy single|multiple
   validate    check a solution file against an instance
@@ -129,7 +129,9 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
     let name: String = args.require("algorithm")?;
     let algorithm =
         Algorithm::from_name(&name).ok_or_else(|| format!("unknown algorithm `{name}`"))?;
-    let solution = rp_core::solve(&instance, algorithm).map_err(|e| e.to_string())?;
+    let mut scratch = rp_core::SolverScratch::new();
+    let solution =
+        rp_core::solve_with(&instance, algorithm, &mut scratch).map_err(|e| e.to_string())?;
     let stats = validate(&instance, algorithm.policy(), &solution).map_err(|e| e.to_string())?;
     let mut out = String::new();
     out.push_str(&format!(
@@ -141,6 +143,23 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
         stats.avg_utilisation,
         stats.max_distance,
     ));
+    if args.has_flag("stage-stats") {
+        let s = scratch.stage_stats();
+        out.push_str(&format!(
+            "stage stats:\n  stages: {}\n  subsets enumerated: {}\n  subsets routed: {}\n  \
+             subsets pruned: {}\n  shared-prefix routes: {}\n  dp sizes skipped: {}\n  \
+             dp bound skips: {}\n  dp fallbacks: {}\n  repairs: {}\n",
+            s.stages,
+            s.subsets_enumerated,
+            s.subsets_routed,
+            s.subsets_pruned,
+            s.prefix_routes,
+            s.dp_sizes_skipped,
+            s.dp_bound_skips,
+            s.dp_fallbacks,
+            s.repairs,
+        ));
+    }
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, io::write_solution(&solution))
@@ -345,6 +364,9 @@ mod tests {
             median_ns,
             mean_ns: median_ns,
             samples: 5,
+            stage_subsets: 0,
+            stage_routed: 0,
+            stage_pruned: 0,
         };
         ScalingReport { quick: true, cells: vec![cell(true, median_dmax), cell(false, median_nod)] }
             .to_json()
@@ -454,6 +476,22 @@ mod tests {
             run(&["solve", "--instance", inst_s, "--algorithm", "multiple-bin", "--out", sol_s])
                 .unwrap();
         assert!(out.contains("replicas:"));
+        assert!(!out.contains("stage stats"), "counters are opt-in");
+
+        let out = run(&[
+            "solve",
+            "--instance",
+            inst_s,
+            "--algorithm",
+            "multiple-bin",
+            "--stage-stats",
+            "--out",
+            sol_s,
+        ])
+        .unwrap();
+        assert!(out.contains("stage stats:"), "{out}");
+        assert!(out.contains("subsets routed:"));
+        assert!(out.contains("repairs: 0"));
 
         let out =
             run(&["validate", "--instance", inst_s, "--solution", sol_s, "--policy", "multiple"])

@@ -31,6 +31,16 @@ pub enum SolveError {
         /// The offending client.
         client: NodeId,
     },
+    /// A stage placement failed to route at commit time — a solver
+    /// invariant violation. Earlier versions silently repaired this in
+    /// release builds (self-serving every stage client, degrading the
+    /// solution); it is now surfaced so callers can fall back explicitly.
+    /// Never observed in practice; tracked by
+    /// [`StageStats::repairs`](crate::stage::StageStats).
+    StageRepair {
+        /// Root of the stage subtree whose placement failed to route.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -45,6 +55,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::ClientUnservable { client } => {
                 write!(f, "client {client} cannot be served even by its whole root path")
+            }
+            SolveError::StageRepair { node } => {
+                write!(f, "stage placement at {node} failed to route (solver invariant violation)")
             }
         }
     }
@@ -63,5 +76,7 @@ mod tests {
         assert!(s.contains("12") && s.contains('7'));
         assert!(SolveError::NotBinary { arity: 5 }.to_string().contains('5'));
         assert!(SolveError::ClientUnservable { client: NodeId(1) }.to_string().contains("n1"));
+        let s = SolveError::StageRepair { node: NodeId(3) }.to_string();
+        assert!(s.contains("n3") && s.contains("failed to route"));
     }
 }

@@ -47,12 +47,14 @@ pub mod multiple_bin;
 pub mod scratch;
 pub mod single_gen;
 pub mod single_nod;
+pub mod stage;
 
 pub use error::SolveError;
 pub use multiple_bin::{multiple_bin, multiple_bin_with};
 pub use scratch::SolverScratch;
 pub use single_gen::{single_gen, single_gen_with};
 pub use single_nod::{single_nod, single_nod_with};
+pub use stage::{StageEngine, StageStats};
 
 use rp_tree::{Instance, Policy, Solution};
 
@@ -119,10 +121,22 @@ impl Algorithm {
 
 /// Runs the selected algorithm on the instance.
 pub fn solve(instance: &Instance, algorithm: Algorithm) -> Result<Solution, SolveError> {
+    let mut scratch = SolverScratch::new();
+    solve_with(instance, algorithm, &mut scratch)
+}
+
+/// [`solve`] with caller-provided scratch state: the arena-based algorithms
+/// reuse its buffers across solves (the baselines allocate their own), and
+/// the solve's stage counters are left in [`SolverScratch::stage_stats`].
+pub fn solve_with(
+    instance: &Instance,
+    algorithm: Algorithm,
+    scratch: &mut SolverScratch,
+) -> Result<Solution, SolveError> {
     match algorithm {
-        Algorithm::SingleGen => single_gen(instance),
-        Algorithm::SingleNod => single_nod(instance),
-        Algorithm::MultipleBin => multiple_bin(instance),
+        Algorithm::SingleGen => single_gen_with(instance, scratch),
+        Algorithm::SingleNod => single_nod_with(instance, scratch),
+        Algorithm::MultipleBin => multiple_bin_with(instance, scratch),
         Algorithm::ClientsOnly => baselines::clients_only(instance),
         Algorithm::MultipleGreedy => baselines::multiple_greedy(instance),
     }

@@ -2,45 +2,29 @@
 //! Multiple policy on binary trees with distance constraints, valid when
 //! every client can be served locally (`r_i ≤ W`, Theorem 6).
 //!
+//! This module is the thin sweep driver; the stage machinery it triggers
+//! lives in [`crate::stage`].
+//!
 //! The sweep processes nodes bottom-up. Every node `j` maintains `req(j)`,
-//! the list of triples `(d, w, i)` — `w` requests of client `i` at distance
-//! `d` from `j` — that are still waiting to be served at `j` or above,
-//! sorted by non-increasing `d` (most distance-constrained first).
+//! the list of fragments `(d, w, i)` — `w` requests of client `i` at
+//! distance `d` from `j` — that are still waiting to be served at `j` or
+//! above, sorted by non-increasing `d` (most distance-constrained first).
 //!
 //! Replicas are only ever placed when some pending request is **stuck**: it
 //! cannot travel above `j` without violating `dmax` (at the root every
 //! pending request is stuck, `δ_r = +∞` in the paper). Pending volume alone
 //! never forces a replica — under the Multiple policy a volume larger than
 //! `W` can still be split over several replicas higher up, so placing early
-//! would waste a server that the optimum defers.
+//! would waste a server that the optimum defers. A stuck event hands the
+//! stuck prefix to the stage engine
+//! ([`StageEngine::serve_stuck`](crate::stage::StageEngine)), which places
+//! the minimum number of new replicas inside `subtree(j)` and re-routes the
+//! subtree's assignments; see [`crate::stage`] for the router, the pruned
+//! placement search and the DP fallback.
 //!
-//! A stuck event at `j` triggers a *stage* (`serve_stuck`): place the
-//! minimum number of new replicas inside `subtree(j)` so that every request
-//! already assigned within the subtree (re-routable, since replica positions
-//! are fixed but assignments are not) plus the newly stuck ones can be
-//! feasibly served. Feasibility of a candidate placement is decided by an
-//! earliest-deadline-first router (`edf_route`): every request's
-//! *deadline* — the highest ancestor that may serve it — is known in
-//! advance, requests are swept bottom-up, and each replica serves its
-//! must-serve-now requests first, then fills up with the nearest-deadline
-//! pending ones. Among minimum placements the stage prefers the one whose
-//! remaining spare can absorb the most travelling volume (tight deadlines
-//! first), then deeper placements — spare reach is what future stages can
-//! exploit, and shallow nodes kept free retain the widest service range.
-//! When the candidate enumeration would be too large the stage falls back
-//! to an exact-but-reassignment-free dynamic program (`run_stage_dp`)
-//! over the then-fungible stuck volume.
-//!
-//! ## Data layout
-//!
-//! Stages revisit overlapping subtrees thousands of times on large trees,
-//! so the whole pass runs on the flat [`rp_tree::TreeArena`] plus the dense
-//! slabs of [`SolverScratch`]: `subtree(j)` is a contiguous post-order
-//! slice, per-client demand / pending volume and per-replica loads are
-//! plain `Vec` rows indexed by node, stage eligibility uses a monotone
-//! stamp, and the router's merge lists recycle their allocations across
-//! calls. [`multiple_bin_with`] reuses one scratch across solves;
-//! [`multiple_bin`] is the one-shot wrapper.
+//! The whole pass runs on the flat [`rp_tree::TreeArena`] plus the dense
+//! slabs of [`SolverScratch`]; [`multiple_bin_with`] reuses one scratch
+//! across solves and [`multiple_bin`] is the one-shot wrapper.
 //!
 //! The paper proves the optimal replica count is achievable in polynomial
 //! time (Theorem 6); this reconstruction is validated differentially — the
@@ -49,9 +33,10 @@
 //! exact agreement whenever `r_i ≤ W`.
 
 use crate::error::SolveError;
-use crate::scratch::{AssignPair, SolverScratch, Triple};
+use crate::scratch::SolverScratch;
+use crate::stage::{PendingRequest, StageEngine};
 use rp_tree::arena::{TreeArena, NO_PARENT};
-use rp_tree::{Dist, Instance, NodeId, Requests, Solution};
+use rp_tree::{Dist, Instance, NodeId, Solution};
 
 /// Runs Algorithm 3 (`multiple-bin`) and returns its placement and
 /// assignment. The result is optimal for binary trees when every client
@@ -73,11 +58,14 @@ pub fn multiple_bin(instance: &Instance) -> Result<Solution, SolveError> {
 /// [`multiple_bin`] with caller-provided scratch state: the arena and every
 /// work buffer are rebuilt in place, so consecutive solves reuse their
 /// allocations. Results are identical to fresh-scratch solves (pinned by
-/// `tests/scratch_reuse.rs`).
+/// `tests/scratch_reuse.rs`). Stage counters of the solve are left in
+/// [`SolverScratch::stage_stats`].
 ///
 /// # Errors
 ///
-/// Same as [`multiple_bin`].
+/// Same as [`multiple_bin`], plus [`SolveError::StageRepair`] if a stage
+/// placement fails to route at commit time (a solver invariant violation,
+/// surfaced instead of silently degrading the solution).
 pub fn multiple_bin_with(
     instance: &Instance,
     scratch: &mut SolverScratch,
@@ -109,7 +97,7 @@ pub fn multiple_bin_with(
                 continue;
             }
             if can_go_above(&scratch.arena, dmax, j, 0) {
-                scratch.req[ji].push(Triple { d: 0, w: r, client: j });
+                scratch.req[ji].push(PendingRequest { d: 0, w: r, client: j });
             } else {
                 // The client is too far even from its own parent: serve it
                 // locally (paper line 5).
@@ -129,7 +117,7 @@ pub fn multiple_bin_with(
             let c = scratch.arena.children(j)[k];
             let edge = scratch.arena.edge(c);
             let mut list = std::mem::take(&mut scratch.req[c as usize]);
-            temp.extend(list.iter().map(|t| Triple { d: t.d + edge, ..*t }));
+            temp.extend(list.iter().map(|t| PendingRequest { d: t.d + edge, ..*t }));
             list.clear();
             scratch.req[c as usize] = list; // hand the allocation back
         }
@@ -145,7 +133,7 @@ pub fn multiple_bin_with(
             // get stuck at some ancestor, that stage routes them back down
             // into any spare capacity left today — deferring the decision
             // can only help.
-            serve_stuck(scratch, w, j, &temp[..split], &temp[split..]);
+            StageEngine::new(scratch, w).serve_stuck(j, &temp[..split], &temp[split..])?;
             temp.drain(0..split);
         }
         scratch.req[ji] = temp;
@@ -176,692 +164,6 @@ fn can_go_above(arena: &TreeArena, dmax: Option<Dist>, j: u32, d: Dist) -> bool 
         None => true,
         Some(dmax) => d.saturating_add(arena.edge(j)) <= dmax,
     }
-}
-
-/// A stage: serve the newly stuck requests inside `subtree(j)` with the
-/// minimum number of new replicas, re-routing the subtree's existing
-/// assignments (replica positions are fixed; loads are not).
-fn serve_stuck(
-    scratch: &mut SolverScratch,
-    w: Requests,
-    j: u32,
-    stuck: &[Triple],
-    travelling: &[Triple],
-) {
-    debug_assert!(!stuck.is_empty());
-    let stamp = scratch.next_stage();
-    {
-        let s = &mut *scratch;
-        // All demand that must live inside subtree(j): what the subtree's
-        // replicas already serve, plus the newly stuck volume.
-        debug_assert!(s.demand_clients.is_empty());
-        s.existing.clear();
-        for &u in s.arena.subtree_post(j) {
-            if s.in_r[u as usize] {
-                s.existing.push(u);
-                for &(c, amount) in &s.assigned[u as usize] {
-                    if s.demand[c as usize] == 0 {
-                        s.demand_clients.push(c);
-                    }
-                    s.demand[c as usize] += amount as u128;
-                }
-            }
-        }
-        for t in stuck {
-            if s.demand[t.client as usize] == 0 {
-                s.demand_clients.push(t.client);
-            }
-            s.demand[t.client as usize] += t.w as u128;
-        }
-
-        // Candidate hosts for new replicas: free nodes that are eligible for
-        // at least one demand fragment, i.e. lie between a demanding client
-        // and its deadline. Marked by walking each client's path once.
-        for i in 0..s.demand_clients.len() {
-            let c = s.demand_clients[i];
-            let stop = s.deadline[c as usize];
-            let mut at = c;
-            loop {
-                s.eligible_mark[at as usize] = stamp;
-                if at == stop {
-                    break;
-                }
-                at = s.arena.parent(at);
-                debug_assert_ne!(at, NO_PARENT, "deadline is an ancestor");
-            }
-        }
-        s.candidates.clear();
-        for &u in s.arena.subtree_pre(j) {
-            if !s.in_r[u as usize] && s.eligible_mark[u as usize] == stamp {
-                s.candidates.push(u);
-            }
-        }
-    }
-
-    if !best_placement(scratch, w, j, travelling) {
-        // Candidate space too large (or — not observed in practice — no
-        // feasible set within the enumeration): fall back to the
-        // reassignment-free dynamic program over the stuck volume.
-        fallback_placement(scratch, w, j, stuck);
-    }
-
-    // Commit: clear the subtree's assignments and re-route everything over
-    // the old and new replicas together.
-    {
-        let s = &mut *scratch;
-        for &u in s.arena.subtree_post(j) {
-            s.assigned[u as usize].clear();
-            s.load[u as usize] = 0;
-        }
-        for &u in s.best_set.iter() {
-            debug_assert!(!s.in_r[u as usize]);
-            s.in_r[u as usize] = true;
-        }
-    }
-    // Safety net: prove the placement routes before writing anything.
-    // `best_placement` results are pre-checked, but the DP fallback models
-    // old assignments as fixed while the commit re-routes them — if the
-    // routings ever disagree, repair by self-serving (always feasible: every
-    // client fits its own replica) instead of silently dropping volume in
-    // release builds.
-    if route_on_committed(scratch, w, j, false) != Some(0) {
-        debug_assert!(false, "stage placement did not route; repairing via self-serve");
-        for i in 0..scratch.demand_clients.len() {
-            let c = scratch.demand_clients[i];
-            scratch.in_r[c as usize] = true;
-        }
-    }
-    let leftover = route_on_committed(scratch, w, j, true);
-    debug_assert_eq!(leftover, Some(0), "the stage solver guarantees full coverage");
-
-    // Release the stage's demand rows for the next stage.
-    let s = &mut *scratch;
-    for &c in s.demand_clients.iter() {
-        s.demand[c as usize] = 0;
-    }
-    s.demand_clients.clear();
-}
-
-/// Routes the stage demand over the committed replica set (`in_r`),
-/// optionally writing the assignment into `assigned` / `load`.
-fn route_on_committed(
-    scratch: &mut SolverScratch,
-    w: Requests,
-    j: u32,
-    commit: bool,
-) -> Option<u128> {
-    let SolverScratch {
-        arena,
-        deadline,
-        deadline_depth,
-        in_r,
-        assigned,
-        load,
-        demand,
-        demand_clients,
-        pending,
-        carried,
-        carried_touched,
-        route_loads,
-        here_buf,
-        ..
-    } = scratch;
-    edf_route(
-        arena,
-        w as u128,
-        deadline,
-        deadline_depth,
-        arena.subtree_post(j),
-        j,
-        in_r,
-        demand,
-        demand_clients,
-        pending,
-        carried,
-        carried_touched,
-        route_loads,
-        here_buf,
-        if commit { Some((assigned, load)) } else { None },
-    )
-}
-
-/// Searches placements of increasing size for the best feasible one and
-/// stores it in `scratch.best_set`; `false` when the enumeration would be
-/// too large (or found nothing feasible).
-fn best_placement(scratch: &mut SolverScratch, w: Requests, j: u32, travelling: &[Triple]) -> bool {
-    let SolverScratch {
-        arena,
-        deadline,
-        deadline_depth,
-        demand,
-        demand_clients,
-        existing,
-        candidates,
-        route_replica,
-        subset_idx,
-        best_set,
-        pending,
-        carried,
-        carried_touched,
-        route_loads,
-        here_buf,
-        remaining,
-        travel_clients,
-        spare_nodes,
-        breakdown,
-        ..
-    } = scratch;
-    let order = arena.subtree_post(j);
-    let cap = w as u128;
-    let total: u128 = demand_clients.iter().map(|&c| demand[c as usize]).sum();
-    let have = (existing.len() as u128) * cap;
-    // Volume lower bound on the number of new replicas.
-    let r0 = total.saturating_sub(have).div_ceil(cap) as usize;
-
-    // Size-adaptive enumeration budget: the per-set feasibility check costs
-    // O(subtree), so large subtrees only get a few candidate sets before the
-    // stage falls back to the dynamic program. Small stages (where the exact
-    // oracle can check us) always get the full search. The budget is shared
-    // across all subset sizes of the stage, so a run of routing-infeasible
-    // sizes cannot multiply the cap.
-    let mut budget = (5_000_000u128 / (order.len() as u128).max(1)).min(200_000);
-
-    // Replica bitmap shared by every candidate set: existing bits stay, the
-    // chosen bits are toggled around each routing call.
-    for &u in existing.iter() {
-        route_replica[u as usize] = true;
-    }
-
-    let mut found = false;
-    for r in r0..=candidates.len() {
-        // C(n, r) guard.
-        let mut count: u128 = 1;
-        for i in 0..r {
-            count = count.saturating_mul((candidates.len() - i) as u128) / (i as u128 + 1);
-        }
-        if count > budget {
-            break;
-        }
-        budget -= count;
-
-        let mut best: Option<PlacementScore> = None;
-        let mut cur = PlacementScore::default();
-        subset_idx.clear();
-        subset_idx.extend(0..r);
-        loop {
-            for &i in subset_idx.iter() {
-                route_replica[candidates[i] as usize] = true;
-            }
-            let routed = edf_route(
-                arena,
-                cap,
-                deadline,
-                deadline_depth,
-                order,
-                j,
-                route_replica,
-                demand,
-                demand_clients,
-                pending,
-                carried,
-                carried_touched,
-                route_loads,
-                here_buf,
-                None,
-            );
-            for &i in subset_idx.iter() {
-                route_replica[candidates[i] as usize] = false;
-            }
-            if routed == Some(0) {
-                score_spare(
-                    arena,
-                    cap,
-                    deadline_depth,
-                    existing,
-                    candidates,
-                    subset_idx,
-                    route_loads,
-                    travelling,
-                    remaining,
-                    travel_clients,
-                    spare_nodes,
-                    breakdown,
-                    &mut cur,
-                );
-                let better = best.as_ref().map(|b| cur > *b).unwrap_or(true);
-                if better {
-                    best_set.clear();
-                    best_set.extend(subset_idx.iter().map(|&i| candidates[i]));
-                    match best.as_mut() {
-                        Some(b) => std::mem::swap(b, &mut cur),
-                        None => best = Some(std::mem::take(&mut cur)),
-                    }
-                }
-            }
-            if !next_combination(subset_idx, candidates.len()) {
-                break;
-            }
-        }
-        if best.is_some() {
-            found = true;
-            break;
-        }
-    }
-    for &u in existing.iter() {
-        route_replica[u as usize] = false;
-    }
-    found
-}
-
-/// Advances `idx` to the next size-`|idx|` combination of `0..n` in
-/// lexicographic order; `false` when exhausted.
-fn next_combination(idx: &mut [usize], n: usize) -> bool {
-    let r = idx.len();
-    let mut i = r;
-    while i > 0 {
-        i -= 1;
-        if idx[i] < n - r + i {
-            idx[i] += 1;
-            for k in i + 1..r {
-                idx[k] = idx[k - 1] + 1;
-            }
-            return true;
-        }
-    }
-    false
-}
-
-/// Earliest-deadline-first routing of `demand` over the replicas flagged in
-/// `is_replica`, inside `subtree(j)` (`order` is its post-order slice).
-///
-/// Sweeps bottom-up; a replica first serves the requests whose deadline is
-/// the replica's own node (their last chance), then fills remaining capacity
-/// with pending requests of the nearest (deepest) deadline. Returns
-/// `Some(unserved volume at j)` — 0 means feasible, with the per-replica
-/// loads left in `loads` — or `None` if some request passed its deadline
-/// (infeasible). All work rows touched are restored to their resting state
-/// before returning, so back-to-back calls need no extra reset.
-///
-/// With `commit` set, the assignment is appended to the given
-/// `assigned` / `load` slabs (call only with a feasible placement).
-#[allow(clippy::too_many_arguments)]
-fn edf_route(
-    arena: &TreeArena,
-    cap: u128,
-    deadline: &[u32],
-    deadline_depth: &[u32],
-    order: &[u32],
-    j: u32,
-    is_replica: &[bool],
-    demand: &[u128],
-    demand_clients: &[u32],
-    pending: &mut [u128],
-    carried: &mut [Vec<u32>],
-    carried_touched: &mut Vec<u32>,
-    loads: &mut [u128],
-    here_buf: &mut Vec<u32>,
-    mut commit: Option<(&mut [Vec<AssignPair>], &mut [Requests])>,
-) -> Option<u128> {
-    let mut ok = true;
-    let mut unserved_at_j = 0u128;
-    for &u in order {
-        let ui = u as usize;
-        // `here`: clients with pending volume sitting at `u`, built from the
-        // node's own demand plus the children's carried lists (disjoint
-        // client sets — subtrees do not overlap).
-        let mut here = std::mem::take(here_buf);
-        debug_assert!(here.is_empty());
-        if demand[ui] > 0 {
-            pending[ui] = demand[ui];
-            here.push(u);
-        }
-        for &c in arena.children(u) {
-            let list = &mut carried[c as usize];
-            if !list.is_empty() {
-                here.extend(list.iter().copied().filter(|&x| pending[x as usize] > 0));
-                list.clear();
-            }
-        }
-        here.sort_unstable();
-        debug_assert!(here.windows(2).all(|w| w[0] != w[1]));
-
-        if is_replica[ui] {
-            loads[ui] = 0;
-            // Must-serve-now: requests whose deadline is this node. Then
-            // nearest deadline (deepest ancestor) first; the id-sort above
-            // makes ties deterministic.
-            here.sort_by_key(|&c| {
-                (deadline[c as usize] != u, std::cmp::Reverse(deadline_depth[c as usize]))
-            });
-            let mut spare = cap;
-            for &c in here.iter() {
-                if spare == 0 {
-                    break;
-                }
-                let rem = &mut pending[c as usize];
-                let take = spare.min(*rem);
-                *rem -= take;
-                spare -= take;
-                if take > 0 {
-                    loads[ui] += take;
-                    if let Some((assigned, load)) = commit.as_mut() {
-                        assigned[ui].push((c, take as Requests));
-                        load[ui] += take as Requests;
-                    }
-                }
-            }
-            here.retain(|&c| pending[c as usize] > 0);
-        }
-
-        // Anything still pending whose deadline is here cannot move up.
-        if here.iter().any(|&c| deadline[c as usize] == u && u != j) {
-            ok = false;
-            *here_buf = here;
-            break;
-        }
-        if u == j {
-            unserved_at_j = here.iter().map(|&c| pending[c as usize]).sum();
-            *here_buf = here;
-        } else {
-            if !here.is_empty() {
-                carried_touched.push(u);
-            }
-            // Store `here` as u's carried list; the old (empty) list becomes
-            // the staging buffer for the next node, recycling capacity.
-            std::mem::swap(&mut carried[ui], &mut here);
-            *here_buf = here;
-        }
-    }
-
-    // Restore the resting state: every touched carried list and pending row
-    // back to empty/zero (cheap — proportional to what the call used).
-    for &v in carried_touched.iter() {
-        carried[v as usize].clear();
-    }
-    carried_touched.clear();
-    for &c in demand_clients {
-        pending[c as usize] = 0;
-    }
-    here_buf.clear();
-    if ok {
-        Some(unserved_at_j)
-    } else {
-        None
-    }
-}
-
-/// Ranking of one stage placement (derived lexicographic order): total
-/// travelling volume its spare can absorb, then that volume broken down by
-/// deadline depth (deepest — i.e. tightest — first), then the summed depth
-/// of the new replicas (deeper placements keep shallow, wide-reach nodes
-/// free for demand that merges in later).
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
-struct PlacementScore {
-    absorbable: u128,
-    by_deadline: Vec<(u64, u128)>,
-    depth_sum: u128,
-}
-
-/// Scores a feasible placement by what its leftover spare can do for the
-/// travelling requests (see [`PlacementScore`]); `loads` is the routing
-/// result [`edf_route`] left behind for this placement. The result is
-/// written into `out` (buffers reused across calls).
-#[allow(clippy::too_many_arguments)]
-fn score_spare(
-    arena: &TreeArena,
-    cap: u128,
-    deadline_depth: &[u32],
-    existing: &[u32],
-    candidates: &[u32],
-    subset_idx: &[usize],
-    loads: &[u128],
-    travelling: &[Triple],
-    remaining: &mut [u128],
-    travel_clients: &mut Vec<u32>,
-    spare_nodes: &mut Vec<u32>,
-    breakdown: &mut Vec<(u64, u128)>,
-    out: &mut PlacementScore,
-) {
-    // Travelling volume reachable by the spare, deepest spare first
-    // (total-optimal for laminar reach); within a spare, tightest deadline
-    // first, so the secondary score reflects how much hard-to-place volume
-    // the spare can save later.
-    travel_clients.clear();
-    for t in travelling {
-        if remaining[t.client as usize] == 0 {
-            travel_clients.push(t.client);
-        }
-        remaining[t.client as usize] += t.w as u128;
-    }
-    travel_clients.sort_by_key(|&c| std::cmp::Reverse(deadline_depth[c as usize]));
-    spare_nodes.clear();
-    spare_nodes.extend(existing.iter().copied());
-    spare_nodes.extend(subset_idx.iter().map(|&i| candidates[i]));
-    spare_nodes.sort_by_key(|&u| std::cmp::Reverse(arena.depth(u)));
-
-    let mut absorbable = 0u128;
-    breakdown.clear();
-    for &u in spare_nodes.iter() {
-        let mut s = cap - loads[u as usize];
-        if s == 0 {
-            continue;
-        }
-        for &c in travel_clients.iter() {
-            let rem = &mut remaining[c as usize];
-            if *rem == 0 || !arena.is_ancestor_or_self(u, c) {
-                continue;
-            }
-            let take = s.min(*rem);
-            s -= take;
-            *rem -= take;
-            absorbable += take;
-            breakdown.push((deadline_depth[c as usize] as u64, take));
-            if s == 0 {
-                break;
-            }
-        }
-    }
-    for &c in travel_clients.iter() {
-        remaining[c as usize] = 0;
-    }
-
-    out.absorbable = absorbable;
-    out.by_deadline.clear();
-    // Aggregate per deadline depth, deepest (tightest) first.
-    breakdown.sort_unstable_by_key(|b| std::cmp::Reverse(b.0));
-    for &(d, v) in breakdown.iter() {
-        match out.by_deadline.last_mut() {
-            Some(last) if last.0 == d => last.1 += v,
-            _ => out.by_deadline.push((d, v)),
-        }
-    }
-    out.depth_sum = subset_idx.iter().map(|&i| arena.depth(candidates[i]) as u128).sum();
-}
-
-/// Large-but-safe sentinel for infeasible dynamic-program states.
-const INFEASIBLE: u128 = u128::MAX / 4;
-
-/// Backtrack record of one node of the stage dynamic program: whether each
-/// `r` opens a replica here (and at which redirected `r`), plus one argmin
-/// array per child of the layered min-plus convolution. Constant work per
-/// cell — no vectors are cloned during the forward pass.
-#[derive(Debug, Clone, Default)]
-struct StageNode {
-    /// For each `r`: whether a replica is opened at the node.
-    placed: Vec<bool>,
-    /// For each `r`: the `r` actually used (the monotonicity fix-up may
-    /// redirect to a smaller value).
-    used_r: Vec<usize>,
-    /// `child_split[k][r]`: replicas given to child `k` when the first
-    /// `k + 1` children share `r` replicas.
-    child_split: Vec<Vec<usize>>,
-}
-
-/// Reassignment-free fallback for oversized stages: dynamic program over the
-/// (then fungible) stuck volume, existing spare included. Writes the chosen
-/// placement into `scratch.best_set`.
-fn fallback_placement(scratch: &mut SolverScratch, w: Requests, j: u32, stuck: &[Triple]) {
-    let cap = w as u128;
-    {
-        let s = &mut *scratch;
-        s.dp_clients.clear();
-        for t in stuck {
-            if s.dp_demand[t.client as usize] == 0 {
-                s.dp_clients.push(t.client);
-            }
-            s.dp_demand[t.client as usize] += t.w as u128;
-        }
-    }
-    let total: u128 = scratch.dp_clients.iter().map(|&c| scratch.dp_demand[c as usize]).sum();
-    let clients = scratch.dp_clients.len();
-    // ⌈V/W⌉ is usually enough; obstructions by existing full replicas can
-    // push the optimum higher, so widen on demand (self-serving every client
-    // bounds it by the client count).
-    let mut rmax = ((total.div_ceil(cap) as usize) + 2).min(clients);
-    loop {
-        if run_stage_dp(scratch, cap, j, rmax) {
-            break;
-        }
-        assert!(rmax < clients, "every stuck client can self-serve, so m(#clients) = 0");
-        rmax = (rmax * 2).min(clients);
-    }
-    let s = &mut *scratch;
-    for &c in s.dp_clients.iter() {
-        s.dp_demand[c as usize] = 0;
-    }
-    s.dp_clients.clear();
-}
-
-/// One pass of the stage dynamic program: `m_u(r)` is the minimal stuck
-/// volume that must leave `subtree(u)` when `r` new replicas are opened
-/// inside it, given the replicas already placed. Children combine by
-/// min-plus convolution; a free node may spend one replica to subtract `W`;
-/// an existing partial replica contributes its spare for free. Exact because
-/// the stuck volume is fungible inside the subtree (distances never bind
-/// moving towards a client).
-///
-/// Returns `true` (placement written to `scratch.best_set`) when some
-/// `r ≤ rmax` reaches `m_j(r) = 0`.
-fn run_stage_dp(scratch: &mut SolverScratch, cap: u128, j: u32, rmax: usize) -> bool {
-    let SolverScratch { arena, in_r, load, dp_demand, best_set, .. } = scratch;
-    let sub = arena.subtree_post(j);
-    let start = arena.post_position(j) + 1 - sub.len();
-    // Per-node records, indexed by position inside the subtree slice
-    // (children always precede parents there).
-    let mut nodes: Vec<StageNode> = Vec::with_capacity(sub.len());
-    let mut mstore: Vec<Vec<u128>> = Vec::with_capacity(sub.len());
-
-    for &v in sub {
-        let own = dp_demand[v as usize];
-
-        // Min-plus convolution over the children: `base[r]` is the minimal
-        // pass-up volume of the processed children with `r` new replicas
-        // among them; each layer records its argmin per `r`.
-        //
-        // Every vector is truncated to (free nodes of its subtree) + 1
-        // entries: a subtree cannot usefully host more new replicas than it
-        // has free nodes, so beyond that the (monotone) vector is flat and
-        // the extra cells would only inflate the convolution — the classic
-        // size-capped tree-knapsack bound, which keeps the whole stage at
-        // O(|subtree| · rmax) instead of O(|subtree| · rmax²). Entries below
-        // the cap are exactly the untruncated values.
-        let mut base: Vec<u128> = vec![own];
-        let mut child_split: Vec<Vec<usize>> = Vec::new();
-        for &c in arena.children(v) {
-            let mc = &mstore[arena.post_position(c) - start];
-            let len = (base.len() + mc.len() - 1).min(rmax + 1);
-            let mut next = vec![INFEASIBLE; len];
-            let mut argmin = vec![0usize; len];
-            for (rp, &vp) in base.iter().enumerate() {
-                for (sc, &vc) in mc.iter().enumerate() {
-                    let r = rp + sc;
-                    if r >= len {
-                        break;
-                    }
-                    let val = vp.saturating_add(vc);
-                    if val < next[r] {
-                        next[r] = val;
-                        argmin[r] = sc;
-                    }
-                }
-            }
-            base = next;
-            child_split.push(argmin);
-        }
-
-        // Apply the node itself; a free node adds one more useful slot.
-        let own_slot = usize::from(!in_r[v as usize]);
-        let mlen = (base.len() + own_slot).min(rmax + 1);
-        let mut m = vec![INFEASIBLE; mlen];
-        let mut placed = vec![false; mlen];
-        let mut used_r: Vec<usize> = (0..mlen).collect();
-        for (r, slot) in m.iter_mut().enumerate() {
-            if in_r[v as usize] {
-                // Existing replica: its spare is free capacity.
-                let spare = cap - load[v as usize] as u128;
-                if r < base.len() {
-                    *slot = base[r].saturating_sub(spare).min(INFEASIBLE);
-                }
-            } else {
-                let keep = if r < base.len() { base[r] } else { INFEASIBLE };
-                let place = if r >= 1 && r - 1 < base.len() {
-                    base[r - 1].saturating_sub(cap)
-                } else {
-                    INFEASIBLE
-                };
-                // Prefer placing on ties: capacity high in the subtree can
-                // also serve travelling requests later.
-                if place <= keep && place < INFEASIBLE {
-                    *slot = place;
-                    placed[r] = true;
-                }
-                if !placed[r] {
-                    *slot = keep;
-                }
-            }
-        }
-        // Monotonicity: extra replicas never hurt (leave them unused).
-        for r in 1..mlen {
-            if m[r] > m[r - 1] {
-                m[r] = m[r - 1];
-                placed[r] = placed[r - 1];
-                used_r[r] = used_r[r - 1];
-            }
-        }
-        nodes.push(StageNode { placed, used_r, child_split });
-        mstore.push(m);
-    }
-
-    let m_root = mstore.last().expect("subtree is non-empty");
-    let Some(rmin) = (0..m_root.len()).find(|&r| m_root[r] == 0) else {
-        return false;
-    };
-
-    // Collect the nodes where the chosen solution opens new replicas:
-    // unwind the node layer, then the child convolution layers in reverse.
-    best_set.clear();
-    let mut stack: Vec<(u32, usize)> = vec![(j, rmin)];
-    let mut splits: Vec<usize> = Vec::new();
-    while let Some((v, r)) = stack.pop() {
-        let node = &nodes[arena.post_position(v) - start];
-        let r = node.used_r[r];
-        if node.placed[r] {
-            best_set.push(v);
-        }
-        let mut rest = r - usize::from(node.placed[r]);
-        let children = arena.children(v);
-        debug_assert_eq!(children.len(), node.child_split.len());
-        splits.clear();
-        for k in (0..children.len()).rev() {
-            let sc = node.child_split[k][rest];
-            rest -= sc;
-            splits.push(sc);
-        }
-        for (i, &c) in children.iter().enumerate() {
-            stack.push((c, splits[children.len() - 1 - i]));
-        }
-    }
-    true
 }
 
 #[cfg(test)]
@@ -978,14 +280,19 @@ mod tests {
         let stats = validate(&inst, Policy::Multiple, &sol).unwrap();
         assert_eq!(stats.replica_count, 2);
         // The far client can only be served inside {far, n1}; the optimum
-        // (2 replicas, checked above) requires it to be served whole by one
-        // of them while the near client absorbs the other. Which of the two
-        // hosts it is a score tie — both placements are optimal — so only
-        // the eligibility is pinned, not the tie-break.
-        let servers = sol.servers_of(far);
-        assert_eq!(servers.len(), 1);
-        assert!(servers[0] == far || servers[0] == n1, "far served outside its reach");
-        let _ = near;
+        // needs both a replica reaching it and a second one for the
+        // leftover volume. The first stage opens n1 (the far requests are
+        // stuck there); the root stage then picks its second replica among
+        // {far}, {near} and {root}, all feasible and equal on absorbable
+        // spare — the score prefers deeper hosts (shallow nodes keep the
+        // widest reach free), and between the depth-tied {far} and {near}
+        // the canonical placement order (lexicographically smallest
+        // pre-order positions, documented in `rp_tree::arena`) commits
+        // {far}. The full placement is therefore pinned, not just the
+        // eligibility: far self-serves, near is served whole at n1.
+        assert_eq!(sol.servers_of(far), vec![far]);
+        assert_eq!(sol.servers_of(near), vec![n1]);
+        assert!(sol.is_replica(far) && sol.is_replica(n1));
     }
 
     #[test]
@@ -1124,5 +431,36 @@ mod tests {
             let fresh = multiple_bin(&inst).expect("feasible");
             assert_eq!(reused, fresh, "trial {trial}: reused scratch diverged");
         }
+    }
+
+    #[test]
+    fn stage_stats_reflect_the_solve() {
+        // A distance-constrained instance runs stages; the counters must be
+        // populated, reset per solve, and consistent (enumerated = routed
+        // seed probes aside + pruned).
+        let mut rng = StdRng::seed_from_u64(99);
+        let tree = random_binary_tree(
+            24,
+            &EdgeDist::Uniform { lo: 1, hi: 3 },
+            &RequestDist::Uniform { lo: 1, hi: 9 },
+            &mut rng,
+        );
+        let inst = wrap_instance(tree, 2.0, Some(0.6));
+        let mut scratch = SolverScratch::new();
+        multiple_bin_with(&inst, &mut scratch).unwrap();
+        let stats = *scratch.stage_stats();
+        assert!(stats.stages > 0, "dmax instances trigger stages: {stats:?}");
+        assert!(stats.subsets_routed > 0);
+        assert_eq!(stats.repairs, 0);
+        // Counter identity: every enumerated subset is either routed or
+        // pruned; `subsets_routed` additionally counts one incumbent-seed
+        // probe per enumerating stage.
+        let seeds = (stats.subsets_routed + stats.subsets_pruned)
+            .checked_sub(stats.subsets_enumerated)
+            .expect("routed + pruned covers every enumerated subset");
+        assert!(seeds <= stats.stages, "at most one seed probe per stage: {stats:?}");
+        // Counters are per-solve: a second run reproduces them exactly.
+        multiple_bin_with(&inst, &mut scratch).unwrap();
+        assert_eq!(*scratch.stage_stats(), stats);
     }
 }

@@ -11,8 +11,9 @@
 //!   `SolverScratch::prepare`;
 //! * nested buffers (`Vec<Vec<…>>`) are cleared, never dropped, so their
 //!   heap blocks survive across stages *and* across solves;
-//! * per-stage marks use a monotone stamp (`SolverScratch::next_stage`)
-//!   instead of O(|T|) clears.
+//! * the stage engine's router state lives in its own `RouterBufs`
+//!   sub-struct (`crate::stage::router`) so routing calls can borrow it as
+//!   one unit next to the tree and demand rows.
 //!
 //! Callers that solve many instances in a row (benchmarks, experiment
 //! sweeps, servers) should create one scratch and thread it through
@@ -21,17 +22,10 @@
 //! scratch internally, so results never depend on reuse (a property pinned
 //! by `tests/scratch_reuse.rs`).
 
+use crate::stage::router::RouterBufs;
+use crate::stage::{PendingRequest, StageStats};
 use rp_tree::arena::TreeArena;
 use rp_tree::{Dist, Requests, Tree};
-
-/// `w` requests of `client`, currently at distance `d` from the node whose
-/// pending list contains the triple (the `req(j)` entries of Algorithm 3).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Triple {
-    pub d: Dist,
-    pub w: Requests,
-    pub client: u32,
-}
 
 /// One `(client, amount)` assignment fragment on a replica.
 pub(crate) type AssignPair = (u32, Requests);
@@ -48,9 +42,9 @@ pub(crate) struct Group {
 
 /// Reusable state for all three algorithms (see the module docs).
 ///
-/// The scratch is deliberately opaque: its only public surface is
-/// construction — everything else is an implementation detail of the
-/// solvers.
+/// The scratch is deliberately opaque: its public surface is construction
+/// plus the read-only [`SolverScratch::stage_stats`] counters — everything
+/// else is an implementation detail of the solvers.
 #[derive(Debug, Default)]
 pub struct SolverScratch {
     /// Flat view of the instance's tree.
@@ -62,8 +56,8 @@ pub struct SolverScratch {
     pub(crate) deadline_depth: Vec<u32>,
 
     // --- multiple-bin sweep state ---
-    /// `req(j)` pending-triple lists, per node.
-    pub(crate) req: Vec<Vec<Triple>>,
+    /// `req(j)` pending-request lists, per node.
+    pub(crate) req: Vec<Vec<PendingRequest>>,
     /// Assignment fragments of the replica at each node (empty when none).
     pub(crate) assigned: Vec<Vec<AssignPair>>,
     /// Whether each node currently holds a replica.
@@ -76,32 +70,51 @@ pub struct SolverScratch {
     pub(crate) demand: Vec<u128>,
     /// Clients with non-zero [`SolverScratch::demand`] (cleanup list).
     pub(crate) demand_clients: Vec<u32>,
+    /// Every replica placed so far in the solve (in placement order).
+    pub(crate) replicas: Vec<u32>,
     /// Replicas already inside the stage subtree.
     pub(crate) existing: Vec<u32>,
     /// Free nodes eligible to host a new replica this stage.
     pub(crate) candidates: Vec<u32>,
-    /// Stage stamp per node; `== stage_id` means eligible this stage.
-    pub(crate) eligible_mark: Vec<u32>,
+    /// Active-forest position of each candidate (parallel to `candidates`).
+    pub(crate) cand_pos: Vec<u32>,
+    /// The stage's *active forest*: the union of the demand clients' paths
+    /// to the stage root, sorted by post-order position — the only nodes a
+    /// routing sweep has to visit.
+    pub(crate) active_nodes: Vec<u32>,
+    /// Stage stamp per node; `== stage_id` means active this stage.
+    pub(crate) active_mark: Vec<u32>,
+    /// Position of each node in `active_nodes` (valid where active).
+    pub(crate) active_pos: Vec<u32>,
     /// Monotone stamp distinguishing stages without clearing marks.
     pub(crate) stage_id: u32,
+    /// Minimum deadline depth of the demand below each node — the
+    /// eligibility aggregate of the stage engine (valid on active nodes).
+    pub(crate) min_dd: Vec<u32>,
     /// Replica bitmap handed to the router while enumerating candidates.
     pub(crate) route_replica: Vec<bool>,
     /// Current candidate subset (indices into `candidates`).
     pub(crate) subset_idx: Vec<usize>,
     /// Best feasible placement found so far in a stage.
     pub(crate) best_set: Vec<u32>,
+    /// Node-list staging buffer for placements being scored.
+    pub(crate) pick_buf: Vec<u32>,
+    /// Stage counters of the current / last solve.
+    pub(crate) stats: StageStats,
 
-    // --- EDF router state ---
-    /// Remaining unserved volume per client during one routing call.
-    pub(crate) pending: Vec<u128>,
-    /// Clients pending at each node, children-merged bottom-up.
-    pub(crate) carried: Vec<Vec<u32>>,
-    /// Nodes whose `carried` list may be non-empty (cleanup list).
-    pub(crate) carried_touched: Vec<u32>,
-    /// Per-replica load accumulated by the routing call.
-    pub(crate) route_loads: Vec<u128>,
-    /// Staging buffer for the per-node pending list (recycled via swap).
-    pub(crate) here_buf: Vec<u32>,
+    // --- EDF router state (see `stage::router`) ---
+    /// Live rows and checkpoints of the stage router.
+    pub(crate) router: RouterBufs,
+
+    // --- enumeration prune state ---
+    /// Demand clients not covered by any existing replica.
+    pub(crate) uncovered: Vec<u32>,
+    /// Per-candidate cover mask over the first 64 uncovered clients.
+    pub(crate) cand_cover: Vec<u64>,
+    /// Per-candidate reach mask over the first 64 travelling clients.
+    pub(crate) cand_reach: Vec<u64>,
+    /// `(client, volume)` of the travelling clients behind the reach bits.
+    pub(crate) travel_bits: Vec<(u32, u128)>,
 
     // --- placement scoring state ---
     /// Travelling volume still absorbable, per client.
@@ -139,6 +152,13 @@ impl SolverScratch {
         SolverScratch::default()
     }
 
+    /// The stage-engine counters of the solve last run through this
+    /// scratch (zeroed at the start of each solve; only `multiple-bin`
+    /// stages populate them).
+    pub fn stage_stats(&self) -> &StageStats {
+        &self.stats
+    }
+
     /// Rebuilds the arena for `tree` and resets the node-indexed state
     /// shared by every solver. Called once at the start of each solve.
     pub(crate) fn prepare(&mut self, tree: &Tree) {
@@ -146,28 +166,35 @@ impl SolverScratch {
         let n = self.arena.len();
         clear_nested(&mut self.req, n);
         clear_nested(&mut self.assigned, n);
-        clear_nested(&mut self.carried, n);
         clear_nested(&mut self.sg_clients, n);
         clear_nested(&mut self.sn_groups, n);
         reset(&mut self.in_r, n, false);
         reset(&mut self.load, n, 0);
         reset(&mut self.demand, n, 0);
-        reset(&mut self.pending, n, 0);
-        reset(&mut self.route_loads, n, 0);
         reset(&mut self.route_replica, n, false);
         reset(&mut self.remaining, n, 0);
         reset(&mut self.dp_demand, n, 0);
-        reset(&mut self.eligible_mark, n, 0);
+        reset(&mut self.min_dd, n, u32::MAX);
+        reset(&mut self.active_mark, n, 0);
+        reset(&mut self.active_pos, n, 0);
         reset(&mut self.sg_total, n, 0);
         reset(&mut self.sg_allow, n, None);
+        self.router.prepare(n);
+        self.stats = StageStats::default();
         self.stage_id = 0;
         self.demand_clients.clear();
+        self.replicas.clear();
         self.existing.clear();
         self.candidates.clear();
+        self.cand_pos.clear();
+        self.active_nodes.clear();
         self.subset_idx.clear();
         self.best_set.clear();
-        self.carried_touched.clear();
-        self.here_buf.clear();
+        self.pick_buf.clear();
+        self.uncovered.clear();
+        self.cand_cover.clear();
+        self.cand_reach.clear();
+        self.travel_bits.clear();
         self.travel_clients.clear();
         self.spare_nodes.clear();
         self.breakdown.clear();
@@ -175,20 +202,14 @@ impl SolverScratch {
     }
 
     /// Computes the deadline arrays for `dmax` (the Multiple sweep's
-    /// distance budgets).
+    /// distance budgets) — O(log depth) per node via the arena's
+    /// binary-lifting tables.
     pub(crate) fn prepare_deadlines(&mut self, dmax: Option<Dist>) {
         self.arena.compute_deadlines(dmax, &mut self.deadline);
         let n = self.arena.len();
         self.deadline_depth.clear();
         self.deadline_depth.extend(self.deadline.iter().map(|&d| self.arena.depth(d)));
         debug_assert_eq!(self.deadline_depth.len(), n);
-    }
-
-    /// Starts a new stage: bumps the eligibility stamp (clearing marks
-    /// implicitly) and returns the fresh stamp.
-    pub(crate) fn next_stage(&mut self) -> u32 {
-        self.stage_id += 1;
-        self.stage_id
     }
 }
 
@@ -228,6 +249,7 @@ mod tests {
         s.in_r[1] = true;
         s.assigned[1].push((2, 5));
         s.demand_clients.push(2);
+        s.stats.stages = 7;
 
         // Re-preparing (even for a smaller tree) drops stale state.
         let small = TreeBuilder::new().freeze().unwrap();
@@ -236,7 +258,7 @@ mod tests {
         assert!(!s.in_r[0]);
         assert!(s.assigned[0].is_empty());
         assert!(s.demand_clients.is_empty());
-        assert_eq!(s.stage_id, 0);
+        assert_eq!(s.stage_stats(), &StageStats::default());
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The fungible stage dynamic program, used two ways by the stage engine:
+//!
+//! * **Lower bound** ([`lower_bound`], relaxed mode): over the *full* stage
+//!   demand with existing replicas contributing their whole capacity (the
+//!   stage may re-route them), dropping the deadline constraints. Any
+//!   routable placement of `r` new replicas induces a fungible flow of the
+//!   same shape, so the smallest `r` with zero leftover is a true lower
+//!   bound on the enumeration — subset sizes below it are pruned without
+//!   routing a single candidate set, and the minimising placement seeds the
+//!   enumeration's incumbent.
+//! * **Fallback** ([`fallback_placement`], strict mode): for stages whose
+//!   candidate space exceeds the enumeration budget — the dynamic program
+//!   over the (then fungible) stuck volume with existing assignments kept
+//!   fixed, exactly as in the paper's oversized-stage regime.
+//!
+//! Both run the same size-capped min-plus convolution over the stage
+//! subtree ([`run_stage_dp`]), O(|subtree| · rmax).
+
+use crate::scratch::SolverScratch;
+use crate::stage::PendingRequest;
+use rp_tree::Requests;
+
+/// Large-but-safe sentinel for infeasible dynamic-program states.
+const INFEASIBLE: u128 = u128::MAX / 4;
+
+/// Backtrack record of one node of the stage dynamic program: whether each
+/// `r` opens a replica here (and at which redirected `r`), plus one argmin
+/// array per child of the layered min-plus convolution. Constant work per
+/// cell — no vectors are cloned during the forward pass.
+#[derive(Debug, Clone, Default)]
+struct StageNode {
+    /// For each `r`: whether a replica is opened at the node.
+    placed: Vec<bool>,
+    /// For each `r`: the `r` actually used (the monotonicity fix-up may
+    /// redirect to a smaller value).
+    used_r: Vec<usize>,
+    /// `child_split[k][r]`: replicas given to child `k` when the first
+    /// `k + 1` children share `r` replicas.
+    child_split: Vec<Vec<usize>>,
+}
+
+/// Runs the relaxed dynamic program as a lower bound on the enumeration:
+/// the smallest `r ≤ rmax` for which the full stage demand fits `r` new
+/// replicas plus the existing ones at full capacity, ignoring deadlines.
+/// Runs over the stage's active forest — the enumeration only ever places
+/// on active nodes, so the bound stays valid (and tighter) while the pass
+/// is O(|active| · rmax) instead of O(|subtree| · rmax). The minimising
+/// placement is left in `scratch.best_set` (a seed for the incumbent).
+/// `None` when every `r ≤ rmax` leaves volume unserved.
+pub(crate) fn lower_bound(
+    scratch: &mut SolverScratch,
+    cap: u128,
+    j: u32,
+    rmax: usize,
+) -> Option<usize> {
+    let SolverScratch {
+        arena,
+        in_r,
+        load,
+        demand,
+        best_set,
+        active_nodes,
+        active_pos,
+        active_mark,
+        stage_id,
+        ..
+    } = scratch;
+    let stamp = *stage_id;
+    dp_core(
+        arena,
+        in_r,
+        load,
+        demand,
+        best_set,
+        active_nodes,
+        j,
+        rmax,
+        cap,
+        true,
+        &|v| active_pos[v as usize] as usize,
+        &|c| active_mark[c as usize] == stamp,
+    )
+}
+
+/// Reassignment-free fallback for oversized stages: dynamic program over the
+/// (then fungible) stuck volume, existing spare included. Writes the chosen
+/// placement into `scratch.best_set`.
+pub(crate) fn fallback_placement(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    j: u32,
+    stuck: &[PendingRequest],
+) {
+    let cap = w as u128;
+    {
+        let s = &mut *scratch;
+        s.dp_clients.clear();
+        for t in stuck {
+            if s.dp_demand[t.client as usize] == 0 {
+                s.dp_clients.push(t.client);
+            }
+            s.dp_demand[t.client as usize] += t.w as u128;
+        }
+    }
+    let total: u128 = scratch.dp_clients.iter().map(|&c| scratch.dp_demand[c as usize]).sum();
+    let clients = scratch.dp_clients.len();
+    // ⌈V/W⌉ is usually enough; obstructions by existing full replicas can
+    // push the optimum higher, so widen on demand (self-serving every client
+    // bounds it by the client count).
+    let mut rmax = ((total.div_ceil(cap) as usize) + 2).min(clients);
+    loop {
+        if run_strict_dp(scratch, cap, j, rmax).is_some() {
+            break;
+        }
+        assert!(rmax < clients, "every stuck client can self-serve, so m(#clients) = 0");
+        rmax = (rmax * 2).min(clients);
+    }
+    let s = &mut *scratch;
+    for &c in s.dp_clients.iter() {
+        s.dp_demand[c as usize] = 0;
+    }
+    s.dp_clients.clear();
+}
+
+/// The strict (fallback) configuration of [`dp_core`]: demand is the stuck
+/// volume, existing replicas contribute only their spare, and every subtree
+/// node participates.
+fn run_strict_dp(scratch: &mut SolverScratch, cap: u128, j: u32, rmax: usize) -> Option<usize> {
+    let SolverScratch { arena, in_r, load, dp_demand, best_set, .. } = scratch;
+    let sub = arena.subtree_post(j);
+    let start = arena.post_position(j) + 1 - sub.len();
+    dp_core(
+        arena,
+        in_r,
+        load,
+        dp_demand,
+        best_set,
+        sub,
+        j,
+        rmax,
+        cap,
+        false,
+        &|v| arena.post_position(v) - start,
+        &|_| true,
+    )
+}
+
+/// One pass of the stage dynamic program over `order` (a post-order node
+/// sequence; `pos` maps a node to its index, `child_ok` filters the
+/// children that participate): `m_u(r)` is the minimal volume that must
+/// leave `u`'s part of the forest when `r` new replicas are opened inside
+/// it, given the replicas already placed. Children combine by min-plus
+/// convolution; a free node may spend one replica to subtract `W`; an
+/// existing replica contributes for free — its spare capacity in strict
+/// mode (`full_cap_existing = false`), its whole capacity in the
+/// re-routing relaxation. Exact for the fungible volume because distances
+/// never bind moving towards a client.
+///
+/// Returns the smallest `r ≤ rmax` reaching `m_j(r) = 0` (placement
+/// written to `best_set`), or `None`.
+#[allow(clippy::too_many_arguments)]
+fn dp_core(
+    arena: &rp_tree::arena::TreeArena,
+    in_r: &[bool],
+    load: &[Requests],
+    demand: &[u128],
+    best_set: &mut Vec<u32>,
+    order: &[u32],
+    j: u32,
+    rmax: usize,
+    cap: u128,
+    full_cap_existing: bool,
+    pos: &impl Fn(u32) -> usize,
+    child_ok: &impl Fn(u32) -> bool,
+) -> Option<usize> {
+    // Per-node records, indexed by position inside `order` (children always
+    // precede parents there).
+    let mut nodes: Vec<StageNode> = Vec::with_capacity(order.len());
+    let mut mstore: Vec<Vec<u128>> = Vec::with_capacity(order.len());
+
+    for &v in order {
+        let own = demand[v as usize];
+
+        // Min-plus convolution over the children: `base[r]` is the minimal
+        // pass-up volume of the processed children with `r` new replicas
+        // among them; each layer records its argmin per `r`.
+        //
+        // Every vector is truncated to (free nodes of its subtree) + 1
+        // entries: a subtree cannot usefully host more new replicas than it
+        // has free nodes, so beyond that the (monotone) vector is flat and
+        // the extra cells would only inflate the convolution — the classic
+        // size-capped tree-knapsack bound, which keeps the whole stage at
+        // O(|subtree| · rmax) instead of O(|subtree| · rmax²). Entries below
+        // the cap are exactly the untruncated values.
+        let mut base: Vec<u128> = vec![own];
+        let mut child_split: Vec<Vec<usize>> = Vec::new();
+        for &c in arena.children(v) {
+            if !child_ok(c) {
+                continue;
+            }
+            let mc = &mstore[pos(c)];
+            let len = (base.len() + mc.len() - 1).min(rmax + 1);
+            let mut next = vec![INFEASIBLE; len];
+            let mut argmin = vec![0usize; len];
+            for (rp, &vp) in base.iter().enumerate() {
+                for (sc, &vc) in mc.iter().enumerate() {
+                    let r = rp + sc;
+                    if r >= len {
+                        break;
+                    }
+                    let val = vp.saturating_add(vc);
+                    if val < next[r] {
+                        next[r] = val;
+                        argmin[r] = sc;
+                    }
+                }
+            }
+            base = next;
+            child_split.push(argmin);
+        }
+
+        // Apply the node itself; a free node adds one more useful slot.
+        let own_slot = usize::from(!in_r[v as usize]);
+        let mlen = (base.len() + own_slot).min(rmax + 1);
+        let mut m = vec![INFEASIBLE; mlen];
+        let mut placed = vec![false; mlen];
+        let mut used_r: Vec<usize> = (0..mlen).collect();
+        for (r, slot) in m.iter_mut().enumerate() {
+            if in_r[v as usize] {
+                // Existing replica: spare capacity in strict mode, full
+                // capacity in the re-routing relaxation.
+                let spare = if full_cap_existing { cap } else { cap - load[v as usize] as u128 };
+                if r < base.len() {
+                    *slot = base[r].saturating_sub(spare).min(INFEASIBLE);
+                }
+            } else {
+                let keep = if r < base.len() { base[r] } else { INFEASIBLE };
+                let place = if r >= 1 && r - 1 < base.len() {
+                    base[r - 1].saturating_sub(cap)
+                } else {
+                    INFEASIBLE
+                };
+                // Prefer placing on ties: capacity high in the subtree can
+                // also serve travelling requests later.
+                if place <= keep && place < INFEASIBLE {
+                    *slot = place;
+                    placed[r] = true;
+                }
+                if !placed[r] {
+                    *slot = keep;
+                }
+            }
+        }
+        // Monotonicity: extra replicas never hurt (leave them unused).
+        for r in 1..mlen {
+            if m[r] > m[r - 1] {
+                m[r] = m[r - 1];
+                placed[r] = placed[r - 1];
+                used_r[r] = used_r[r - 1];
+            }
+        }
+        nodes.push(StageNode { placed, used_r, child_split });
+        mstore.push(m);
+    }
+
+    let m_root = mstore.last().expect("subtree is non-empty");
+    let rmin = (0..m_root.len()).find(|&r| m_root[r] == 0)?;
+
+    // Collect the nodes where the chosen solution opens new replicas:
+    // unwind the node layer, then the child convolution layers in reverse.
+    best_set.clear();
+    let mut stack: Vec<(u32, usize)> = vec![(j, rmin)];
+    let mut splits: Vec<usize> = Vec::new();
+    let mut kids: Vec<u32> = Vec::new();
+    while let Some((v, r)) = stack.pop() {
+        let node = &nodes[pos(v)];
+        let r = node.used_r[r];
+        if node.placed[r] {
+            best_set.push(v);
+        }
+        let mut rest = r - usize::from(node.placed[r]);
+        kids.clear();
+        kids.extend(arena.children(v).iter().copied().filter(|&c| child_ok(c)));
+        debug_assert_eq!(kids.len(), node.child_split.len());
+        splits.clear();
+        for k in (0..kids.len()).rev() {
+            let sc = node.child_split[k][rest];
+            rest -= sc;
+            splits.push(sc);
+        }
+        for (i, &c) in kids.iter().enumerate() {
+            stack.push((c, splits[kids.len() - 1 - i]));
+        }
+    }
+    Some(rmin)
+}

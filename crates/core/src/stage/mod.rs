@@ -1,0 +1,292 @@
+//! The stage engine behind the Multiple-policy sweep (`multiple-bin`).
+//!
+//! Algorithm 3 places replicas lazily: the bottom-up sweep only acts when
+//! pending requests get **stuck** at a node `j` — they cannot travel above
+//! it without violating `dmax`. Serving them is a *stage*: place the
+//! minimum number of new replicas inside `subtree(j)` so that everything
+//! already assigned in the subtree (re-routable — replica positions are
+//! fixed, assignments are not) plus the newly stuck volume fits. The same
+//! route-then-place stage pattern recurs across the distance- and
+//! QoS-constrained variants of the problem, so it lives here as its own
+//! subsystem, split by concern:
+//!
+//! * [`mod@self`] — the [`StageEngine`] driver: stage demand collection,
+//!   candidate eligibility, commit, and the [`StageStats`] counters;
+//! * `router` — earliest-deadline-first feasibility routing, with
+//!   checkpointed incremental re-routing across similar placements;
+//! * `enumerate` — the pruned branch-and-bound search for the best
+//!   minimum-size placement;
+//! * `dp` — the fungible stage dynamic program, serving both as the
+//!   enumeration's lower bound / incumbent seed and as the exact
+//!   reassignment-free fallback for oversized stages.
+//!
+//! Everything runs on the dense slabs of [`SolverScratch`]; the engine owns
+//! no state of its own.
+
+pub(crate) mod dp;
+pub(crate) mod enumerate;
+pub(crate) mod router;
+
+use crate::error::SolveError;
+use crate::scratch::SolverScratch;
+use router::RouteEnv;
+use rp_tree::{Dist, NodeId, Requests};
+
+/// `w` requests of `client`, currently at distance `d` from the node whose
+/// pending list contains them (the `req(j)` entries of Algorithm 3).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRequest {
+    /// Distance already travelled from the issuing client.
+    pub d: Dist,
+    /// Number of requests in the fragment.
+    pub w: Requests,
+    /// The issuing client (raw node index).
+    pub client: u32,
+}
+
+/// Counters of one solve's stage work, exposed through
+/// [`SolverScratch::stage_stats`](crate::SolverScratch::stage_stats), the
+/// scaling bench report and `rp solve --stage-stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stages run (stuck events served).
+    pub stages: u64,
+    /// Candidate subsets considered by the enumeration.
+    pub subsets_enumerated: u64,
+    /// Subsets actually routed (full or incremental).
+    pub subsets_routed: u64,
+    /// Subsets skipped by the coverage / incumbent / shared-prefix bounds.
+    pub subsets_pruned: u64,
+    /// Shared-prefix routes of the incremental router.
+    pub prefix_routes: u64,
+    /// Subset sizes proven infeasible by the stage-DP lower bound.
+    pub dp_sizes_skipped: u64,
+    /// Stages whose whole enumeration the lower bound proved infeasible.
+    pub dp_bound_skips: u64,
+    /// Stages solved by the reassignment-free DP fallback.
+    pub dp_fallbacks: u64,
+    /// Stage commits whose placement failed to route (each aborts the
+    /// solve with [`SolveError::StageRepair`]; always 0 in a valid build).
+    pub repairs: u64,
+}
+
+/// A scoped view driving one stage over a prepared [`SolverScratch`]: the
+/// `multiple-bin` sweep constructs one per stuck event. Public so callers
+/// can name the subsystem (stats via
+/// [`SolverScratch::stage_stats`](crate::SolverScratch::stage_stats)); the
+/// driving methods are crate-internal because they assume sweep invariants
+/// (demand rows, deadline arrays) only the solvers uphold.
+#[derive(Debug)]
+pub struct StageEngine<'a> {
+    scratch: &'a mut SolverScratch,
+    w: Requests,
+}
+
+impl<'a> StageEngine<'a> {
+    /// Creates the stage view for one stuck event.
+    pub(crate) fn new(scratch: &'a mut SolverScratch, w: Requests) -> Self {
+        StageEngine { scratch, w }
+    }
+
+    /// Runs one stage: serve the newly stuck requests inside `subtree(j)`
+    /// with the minimum number of new replicas, re-routing the subtree's
+    /// existing assignments (replica positions are fixed; loads are not).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::StageRepair`] if the chosen placement fails to route
+    /// at commit time — a solver invariant violation that release builds
+    /// surface instead of silently degrading.
+    pub(crate) fn serve_stuck(
+        &mut self,
+        j: u32,
+        stuck: &[PendingRequest],
+        travelling: &[PendingRequest],
+    ) -> Result<(), SolveError> {
+        debug_assert!(!stuck.is_empty());
+        let scratch = &mut *self.scratch;
+        let w = self.w;
+        scratch.stats.stages += 1;
+        {
+            let s = &mut *scratch;
+            s.stage_id += 1;
+            let stamp = s.stage_id;
+            // All demand that must live inside subtree(j): what the
+            // subtree's replicas already serve, plus the newly stuck volume.
+            // Subtree membership is an O(1) post-order range test against
+            // the solve's replica list.
+            debug_assert!(s.demand_clients.is_empty());
+            let hi = s.arena.post_position(j);
+            let lo = hi + 1 - s.arena.subtree_size(j);
+            s.existing.clear();
+            for i in 0..s.replicas.len() {
+                let u = s.replicas[i];
+                if !(lo..=hi).contains(&s.arena.post_position(u)) {
+                    continue;
+                }
+                s.existing.push(u);
+                for k in 0..s.assigned[u as usize].len() {
+                    let (c, amount) = s.assigned[u as usize][k];
+                    if s.demand[c as usize] == 0 {
+                        s.demand_clients.push(c);
+                    }
+                    s.demand[c as usize] += amount as u128;
+                }
+            }
+            for t in stuck {
+                if s.demand[t.client as usize] == 0 {
+                    s.demand_clients.push(t.client);
+                }
+                s.demand[t.client as usize] += t.w as u128;
+            }
+
+            // The stage's active forest: only nodes on a demand client's
+            // path to `j` can ever carry volume, host a useful replica or
+            // constrain the routing, so every per-stage pass below (and
+            // every routing sweep) walks this set instead of the whole
+            // subtree. Built by walking each client's path until it merges
+            // into an already-marked one — O(|active|) total.
+            s.active_nodes.clear();
+            for i in 0..s.demand_clients.len() {
+                let mut at = s.demand_clients[i];
+                loop {
+                    if s.active_mark[at as usize] == stamp {
+                        break;
+                    }
+                    s.active_mark[at as usize] = stamp;
+                    s.active_nodes.push(at);
+                    if at == j {
+                        break;
+                    }
+                    at = s.arena.parent(at);
+                }
+            }
+            {
+                let SolverScratch { arena, active_nodes, active_pos, .. } = s;
+                active_nodes.sort_unstable_by_key(|&u| arena.post_position(u));
+                for (i, &u) in active_nodes.iter().enumerate() {
+                    active_pos[u as usize] = i as u32;
+                }
+            }
+            debug_assert_eq!(s.active_nodes.last(), Some(&j));
+
+            // Candidate hosts for new replicas: free active nodes eligible
+            // for at least one demand fragment, i.e. lying between a
+            // demanding client and its deadline. One bottom-up min-relax of
+            // the deadline depth along the active forest decides
+            // eligibility — `u` is on some demand path iff a demanding
+            // client below it has a deadline at or above `u` — replacing
+            // the former O(depth)-per-client path walks.
+            for i in 0..s.active_nodes.len() {
+                let u = s.active_nodes[i] as usize;
+                s.min_dd[u] = if s.demand[u] > 0 { s.deadline_depth[u] } else { u32::MAX };
+            }
+            for i in 0..s.active_nodes.len() {
+                let u = s.active_nodes[i];
+                if u != j {
+                    let p = s.arena.parent(u) as usize;
+                    s.min_dd[p] = s.min_dd[p].min(s.min_dd[u as usize]);
+                }
+            }
+            s.candidates.clear();
+            s.cand_pos.clear();
+            for (i, &u) in s.active_nodes.iter().enumerate() {
+                if !s.in_r[u as usize] && s.min_dd[u as usize] <= s.arena.depth(u) {
+                    s.candidates.push(u);
+                    s.cand_pos.push(i as u32);
+                }
+            }
+
+            // Replicas stranded off the active forest (zero assignments, no
+            // demand path through them) are simply never visited by the
+            // sweeps; the router's epoch stamps make their load rows read
+            // as zero wherever the scorer looks.
+        }
+
+        if !enumerate::best_placement(scratch, w, j, travelling) {
+            // Candidate space too large, or every affordable subset size is
+            // provably infeasible: fall back to the reassignment-free
+            // dynamic program over the stuck volume.
+            scratch.stats.dp_fallbacks += 1;
+            dp::fallback_placement(scratch, w, j, stuck);
+        }
+
+        // Commit: clear the subtree's assignments (only its replicas hold
+        // any) and re-route everything over the old and new replicas
+        // together.
+        {
+            let s = &mut *scratch;
+            for i in 0..s.existing.len() {
+                let u = s.existing[i] as usize;
+                s.assigned[u].clear();
+                s.load[u] = 0;
+            }
+            for i in 0..s.best_set.len() {
+                let u = s.best_set[i];
+                debug_assert!(!s.in_r[u as usize]);
+                s.in_r[u as usize] = true;
+                s.replicas.push(u);
+            }
+        }
+        // Prove the placement routes before writing anything. Enumeration
+        // results are pre-checked, but the DP fallback models old
+        // assignments as fixed while the commit re-routes them — if the
+        // routings ever disagreed, surface a structured error instead of
+        // silently degrading the solution in release builds.
+        if route_on_committed(scratch, w, j, false) != Some(0) {
+            scratch.stats.repairs += 1;
+            return Err(SolveError::StageRepair { node: NodeId(j) });
+        }
+        let leftover = route_on_committed(scratch, w, j, true);
+        debug_assert_eq!(leftover, Some(0), "the stage solver guarantees full coverage");
+
+        // Release the stage's demand rows for the next stage.
+        let s = &mut *scratch;
+        for &c in s.demand_clients.iter() {
+            s.demand[c as usize] = 0;
+        }
+        s.demand_clients.clear();
+        Ok(())
+    }
+}
+
+/// Routes the stage demand over the committed replica set (`in_r`),
+/// optionally writing the assignment into `assigned` / `load`.
+fn route_on_committed(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    j: u32,
+    commit: bool,
+) -> Option<u128> {
+    let SolverScratch {
+        arena,
+        deadline,
+        deadline_depth,
+        in_r,
+        assigned,
+        load,
+        demand,
+        demand_clients,
+        active_nodes,
+        router: bufs,
+        ..
+    } = scratch;
+    let total_demand: u128 = demand_clients.iter().map(|&c| demand[c as usize]).sum();
+    let env = RouteEnv {
+        arena,
+        cap: w as u128,
+        deadline,
+        deadline_depth,
+        order: active_nodes,
+        j,
+        total_demand,
+    };
+    router::route_full(
+        &env,
+        in_r,
+        demand,
+        demand_clients,
+        bufs,
+        if commit { Some((assigned.as_mut_slice(), load.as_mut_slice())) } else { None },
+    )
+}

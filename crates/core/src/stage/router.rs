@@ -1,0 +1,378 @@
+//! Earliest-deadline-first routing of stage demand over a replica set.
+//!
+//! The router decides feasibility of a candidate placement: it sweeps the
+//! stage subtree bottom-up (post-order), carrying each client's unserved
+//! volume towards the stage root. A replica first serves the requests whose
+//! deadline is the replica's own node (their last chance), then fills the
+//! remaining capacity with pending requests of the nearest (deepest)
+//! deadline. A placement is feasible iff the sweep finishes with no request
+//! past its deadline and no volume left at the stage root.
+//!
+//! Because the enumeration probes thousands of placements that differ in a
+//! single node, the router supports **checkpointed incremental re-routing**:
+//! [`route_prefix`] routes the part of the post-order sweep shared by a run
+//! of sibling placements once and snapshots the live state (frontier carried
+//! lists and their pending volumes); [`route_suffix`] then resumes from the
+//! snapshot for each placement, re-routing only the requests the changed
+//! candidate can affect, and rewinds back to the snapshot afterwards. The
+//! snapshot is sound because the sweep state at post-order position `p`
+//! depends only on the replica flags of nodes at positions `< p`.
+//!
+//! All state lives in [`RouterBufs`], dense rows recycled across calls,
+//! stages and solves.
+
+use crate::scratch::AssignPair;
+use rp_tree::arena::TreeArena;
+use rp_tree::Requests;
+
+/// Immutable context of one stage's routing calls: the tree, the capacity,
+/// the deadline arrays, the stage's active forest (`order`, sorted by
+/// post-order position, ending at `j`) and the stage's total demand (the
+/// early-exit threshold: once that much volume is served the rest of the
+/// sweep is a no-op).
+pub(crate) struct RouteEnv<'a> {
+    pub arena: &'a TreeArena,
+    pub cap: u128,
+    pub deadline: &'a [u32],
+    pub deadline_depth: &'a [u32],
+    pub order: &'a [u32],
+    pub j: u32,
+    pub total_demand: u128,
+}
+
+/// The router's reusable state: live rows of the current sweep plus the
+/// checkpoint of the shared prefix (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct RouterBufs {
+    /// Remaining unserved volume per client during one routing call.
+    pub(crate) pending: Vec<u128>,
+    /// Clients pending at each node, children-merged bottom-up.
+    pub(crate) carried: Vec<Vec<u32>>,
+    /// Nodes whose `carried` list may be non-empty (cleanup list).
+    pub(crate) carried_touched: Vec<u32>,
+    /// Per-replica load accumulated by the routing call.
+    pub(crate) loads: Vec<u128>,
+    /// Epoch stamp of each `loads` row: a row is only meaningful for the
+    /// current route if its stamp matches (sweeps may exit early and leave
+    /// stale rows behind; see [`RouterBufs::routed_load`]).
+    loads_at: Vec<u32>,
+    /// Monotone sweep counter behind [`RouterBufs::loads_at`].
+    epoch: u32,
+    /// Epoch of the live prefix checkpoint (0 = none): prefix-written load
+    /// rows stay valid for every suffix of the run.
+    prefix_epoch: u32,
+    /// Volume served so far by the current route (prefix + suffix).
+    served: u128,
+    /// Staging buffer for the per-node pending list (recycled via swap).
+    pub(crate) here_buf: Vec<u32>,
+    /// Checkpointed frontier: `(node, client)` pairs of every carried list
+    /// whose consuming parent lies in the suffix.
+    ck_carried: Vec<(u32, u32)>,
+    /// Checkpointed pending volume of every frontier client.
+    ck_pending: Vec<(u32, u128)>,
+    /// Length of `carried_touched` at the checkpoint.
+    ck_touched_len: usize,
+    /// `served` at the checkpoint.
+    ck_served: u128,
+}
+
+impl RouterBufs {
+    /// Sizes the node-indexed rows for an `n`-node tree and drops any state
+    /// left over from a previous solve. Allocations are kept.
+    pub(crate) fn prepare(&mut self, n: usize) {
+        self.pending.clear();
+        self.pending.resize(n, 0);
+        self.loads.clear();
+        self.loads.resize(n, 0);
+        self.loads_at.clear();
+        self.loads_at.resize(n, 0);
+        self.epoch = 0;
+        self.prefix_epoch = 0;
+        self.served = 0;
+        if self.carried.len() < n {
+            self.carried.resize_with(n, Vec::new);
+        }
+        for list in self.carried.iter_mut() {
+            list.clear();
+        }
+        self.carried_touched.clear();
+        self.here_buf.clear();
+        self.ck_carried.clear();
+        self.ck_pending.clear();
+        self.ck_touched_len = 0;
+        self.ck_served = 0;
+    }
+
+    /// The load the *current* route put on replica `u` — 0 when the sweep
+    /// exited early before reaching it (or never visited it at all).
+    pub(crate) fn routed_load(&self, u: u32) -> u128 {
+        let at = self.loads_at[u as usize];
+        if at == self.epoch || (self.prefix_epoch != 0 && at == self.prefix_epoch) {
+            self.loads[u as usize]
+        } else {
+            0
+        }
+    }
+}
+
+/// Routes the whole stage subtree in one call and restores the resting
+/// state afterwards. Returns `Some(unserved volume at j)` — 0 means the
+/// placement is feasible, with the per-replica loads left in
+/// [`RouterBufs::loads`] — or `None` if some request passed its deadline.
+///
+/// With `commit` set, the assignment is appended to the given
+/// `assigned` / `load` slabs (call only with a feasible placement).
+pub(crate) fn route_full(
+    env: &RouteEnv<'_>,
+    is_replica: &[bool],
+    demand: &[u128],
+    demand_clients: &[u32],
+    bufs: &mut RouterBufs,
+    commit: Option<(&mut [Vec<AssignPair>], &mut [Requests])>,
+) -> Option<u128> {
+    bufs.epoch += 1;
+    bufs.prefix_epoch = 0;
+    bufs.served = 0;
+    let res = sweep(env, 0, env.order.len(), is_replica, demand, bufs, commit);
+    restore_resting(bufs, demand_clients);
+    res
+}
+
+/// Routes `order[..barrier]` — the sweep prefix shared by a run of
+/// placements — and snapshots the live state so [`route_suffix`] can resume
+/// from it repeatedly. Returns `false` when the prefix is already
+/// infeasible for every placement of the run (a request's deadline passed
+/// below the barrier); the state is then restored to resting.
+///
+/// The caller must set the replica flags of every prefix node before the
+/// call and must finish the run with [`end_inner_run`].
+pub(crate) fn route_prefix(
+    env: &RouteEnv<'_>,
+    barrier: usize,
+    is_replica: &[bool],
+    demand: &[u128],
+    demand_clients: &[u32],
+    bufs: &mut RouterBufs,
+) -> bool {
+    debug_assert!(bufs.ck_carried.is_empty() && bufs.ck_pending.is_empty());
+    bufs.epoch += 1;
+    bufs.prefix_epoch = bufs.epoch;
+    bufs.served = 0;
+    if sweep(env, 0, barrier, is_replica, demand, bufs, None).is_none() {
+        restore_resting(bufs, demand_clients);
+        return false;
+    }
+    snapshot(bufs);
+    true
+}
+
+/// Advances the live prefix state from position `from` to `to` — the
+/// replica flags must be the run's shared prefix (the varying candidate
+/// cleared) — and re-snapshots there, so subsequent suffixes start at `to`.
+/// Loads written here carry the prefix epoch, staying valid for every
+/// later suffix of the run. Returns `false` when the prefix becomes
+/// infeasible on the way (every remaining placement of the run shares that
+/// failure); the state is then restored to resting.
+pub(crate) fn advance_checkpoint(
+    env: &RouteEnv<'_>,
+    from: usize,
+    to: usize,
+    is_replica: &[bool],
+    demand: &[u128],
+    demand_clients: &[u32],
+    bufs: &mut RouterBufs,
+) -> bool {
+    let saved_epoch = bufs.epoch;
+    bufs.epoch = bufs.prefix_epoch;
+    bufs.served = bufs.ck_served;
+    let ok = sweep(env, from, to, is_replica, demand, bufs, None).is_some();
+    bufs.epoch = saved_epoch;
+    if !ok {
+        restore_resting(bufs, demand_clients);
+        return false;
+    }
+    bufs.ck_carried.clear();
+    bufs.ck_pending.clear();
+    snapshot(bufs);
+    true
+}
+
+/// Records the live state as the run's checkpoint: the frontier carried
+/// lists (every still-populated list waits for a parent beyond the
+/// checkpoint; consumed lists are empty), the pending volume of their
+/// clients — a client sits in exactly one carried list, so the snapshot is
+/// disjoint — and the served tally.
+fn snapshot(bufs: &mut RouterBufs) {
+    bufs.ck_served = bufs.served;
+    bufs.ck_touched_len = bufs.carried_touched.len();
+    for i in 0..bufs.ck_touched_len {
+        let v = bufs.carried_touched[i];
+        for k in 0..bufs.carried[v as usize].len() {
+            let c = bufs.carried[v as usize][k];
+            bufs.ck_carried.push((v, c));
+            bufs.ck_pending.push((c, bufs.pending[c as usize]));
+        }
+    }
+}
+
+/// Resumes the sweep from the [`route_prefix`] snapshot, routing
+/// `order[barrier..]` with the current replica flags, then rewinds the
+/// state back to the snapshot so the next suffix can run. Same verdict as
+/// [`route_full`]; the loads of prefix replicas (from the prefix run) and
+/// suffix replicas (from this run) are both valid right after the call.
+pub(crate) fn route_suffix(
+    env: &RouteEnv<'_>,
+    barrier: usize,
+    is_replica: &[bool],
+    demand: &[u128],
+    bufs: &mut RouterBufs,
+) -> Option<u128> {
+    bufs.epoch += 1;
+    bufs.served = bufs.ck_served;
+    let res = sweep(env, barrier, env.order.len(), is_replica, demand, bufs, None);
+    // Rewind to the snapshot: drop carried lists created by the suffix,
+    // refill the (possibly consumed) frontier lists, restore the frontier
+    // clients' pending rows. Demand rows of suffix clients need no reset —
+    // the next suffix overwrites them on visit.
+    for i in bufs.ck_touched_len..bufs.carried_touched.len() {
+        let v = bufs.carried_touched[i];
+        bufs.carried[v as usize].clear();
+    }
+    bufs.carried_touched.truncate(bufs.ck_touched_len);
+    let mut prev = u32::MAX;
+    for i in 0..bufs.ck_carried.len() {
+        let (v, c) = bufs.ck_carried[i];
+        if v != prev {
+            bufs.carried[v as usize].clear();
+            prev = v;
+        }
+        bufs.carried[v as usize].push(c);
+    }
+    for &(c, p) in &bufs.ck_pending {
+        bufs.pending[c as usize] = p;
+    }
+    bufs.here_buf.clear();
+    res
+}
+
+/// Ends an incremental run: discards the snapshot and restores the resting
+/// state (all carried lists empty, all pending rows zero). No-op when no
+/// prefix was routed.
+pub(crate) fn end_inner_run(bufs: &mut RouterBufs, demand_clients: &[u32]) {
+    restore_resting(bufs, demand_clients);
+}
+
+/// Restores every row the sweep may have touched to its resting state:
+/// cheap — proportional to what the calls actually used.
+fn restore_resting(bufs: &mut RouterBufs, demand_clients: &[u32]) {
+    for &v in bufs.carried_touched.iter() {
+        bufs.carried[v as usize].clear();
+    }
+    bufs.carried_touched.clear();
+    for &c in demand_clients {
+        bufs.pending[c as usize] = 0;
+    }
+    bufs.here_buf.clear();
+    bufs.ck_carried.clear();
+    bufs.ck_pending.clear();
+    bufs.ck_touched_len = 0;
+}
+
+/// The EDF sweep over `order[from..to]`. Returns `None` on a passed
+/// deadline, otherwise `Some(unserved volume at j)` (meaningful only when
+/// the range reaches the end of the order, where `j` sits).
+fn sweep(
+    env: &RouteEnv<'_>,
+    from: usize,
+    to: usize,
+    is_replica: &[bool],
+    demand: &[u128],
+    bufs: &mut RouterBufs,
+    mut commit: Option<(&mut [Vec<AssignPair>], &mut [Requests])>,
+) -> Option<u128> {
+    let RouteEnv { arena, cap, deadline, deadline_depth, order, j, .. } = *env;
+    let mut ok = true;
+    let mut unserved_at_j = 0u128;
+    for &u in &order[from..to] {
+        let ui = u as usize;
+        // `here`: clients with pending volume sitting at `u`, built from the
+        // node's own demand plus the children's carried lists (disjoint
+        // client sets — subtrees do not overlap).
+        let mut here = std::mem::take(&mut bufs.here_buf);
+        debug_assert!(here.is_empty());
+        if demand[ui] > 0 {
+            bufs.pending[ui] = demand[ui];
+            here.push(u);
+        }
+        for &c in arena.children(u) {
+            let list = &mut bufs.carried[c as usize];
+            if !list.is_empty() {
+                here.extend(list.iter().copied().filter(|&x| bufs.pending[x as usize] > 0));
+                list.clear();
+            }
+        }
+        here.sort_unstable();
+        debug_assert!(here.windows(2).all(|w| w[0] != w[1]));
+
+        if is_replica[ui] {
+            bufs.loads[ui] = 0;
+            bufs.loads_at[ui] = bufs.epoch;
+            // Must-serve-now: requests whose deadline is this node. Then
+            // nearest deadline (deepest ancestor) first; the id-sort above
+            // makes ties deterministic.
+            here.sort_by_key(|&c| {
+                (deadline[c as usize] != u, std::cmp::Reverse(deadline_depth[c as usize]))
+            });
+            let mut spare = cap;
+            for &c in here.iter() {
+                if spare == 0 {
+                    break;
+                }
+                let rem = &mut bufs.pending[c as usize];
+                let take = spare.min(*rem);
+                *rem -= take;
+                spare -= take;
+                if take > 0 {
+                    bufs.loads[ui] += take;
+                    bufs.served += take;
+                    if let Some((assigned, load)) = commit.as_mut() {
+                        assigned[ui].push((c, take as Requests));
+                        load[ui] += take as Requests;
+                    }
+                }
+            }
+            here.retain(|&c| bufs.pending[c as usize] > 0);
+        }
+
+        // Anything still pending whose deadline is here cannot move up.
+        if here.iter().any(|&c| deadline[c as usize] == u && u != j) {
+            ok = false;
+            bufs.here_buf = here;
+            break;
+        }
+        if u == j {
+            unserved_at_j = here.iter().map(|&c| bufs.pending[c as usize]).sum();
+            bufs.here_buf = here;
+        } else {
+            if !here.is_empty() {
+                bufs.carried_touched.push(u);
+            }
+            // Store `here` as u's carried list; the old (empty) list becomes
+            // the staging buffer for the next node, recycling capacity.
+            std::mem::swap(&mut bufs.carried[ui], &mut here);
+            bufs.here_buf = here;
+            // Early exit: once the whole stage demand is served, the rest
+            // of the sweep is a no-op (no pending volume anywhere, so no
+            // deadline can be missed and nothing reaches `j`). Loads of
+            // unvisited replicas read as 0 via the epoch stamps.
+            if bufs.served == env.total_demand {
+                break;
+            }
+        }
+    }
+    if ok {
+        Some(unserved_at_j)
+    } else {
+        None
+    }
+}

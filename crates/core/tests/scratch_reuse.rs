@@ -64,6 +64,21 @@ fn instance_mix() -> Vec<(String, Instance)> {
     // iterative sweeps where recursion used to sit.
     out.push(("chain/64".into(), wrap_instance(chain(64, 1, 6), 4.0, Some(0.4))));
 
+    // Family 4b: deep-path trees (depth ≫ log n) — the regime where the
+    // arena's binary-lifting deadline queries and the stage engine's
+    // active-forest walks replace O(depth) scans; naive-walk parity is
+    // separately pinned by `crates/treenet/tests/proptest_lifting.rs`.
+    out.push(("chain/200".into(), wrap_instance(chain(200, 1, 5), 4.0, Some(0.3))));
+    let deep_requests: Vec<u64> = (0..160).map(|i| 1 + (i * 5) % 8).collect();
+    out.push((
+        "caterpillar/deep160".into(),
+        wrap_instance(caterpillar(&deep_requests, 2, 1), 3.0, Some(0.25)),
+    ));
+    out.push((
+        "caterpillar/deep160-nod".into(),
+        wrap_instance(caterpillar(&deep_requests, 1, 2), 2.5, None),
+    ));
+
     // Family 5: the paper's tight worst-case gadgets.
     out.push(("fig3/m3d2".into(), single_gen_tight(3, 2).instance));
     out.push(("fig4/k4".into(), single_nod_tight(4).instance));

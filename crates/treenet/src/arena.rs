@@ -15,6 +15,11 @@
 //!   containment;
 //! * **parent / edge / depth / root-distance** arrays, replacing pointer
 //!   chasing through `Tree`'s node structs;
+//! * **binary-lifting ancestor tables** — `up[k][v]` is the `2^k`-th
+//!   ancestor of `v`, with the maximum single edge on the jumped-over path
+//!   alongside — turning the O(depth) ancestor walks of the solvers
+//!   ([`TreeArena::kth_ancestor`], [`TreeArena::deadline_of`],
+//!   [`TreeArena::max_edge_to_ancestor`]) into O(log depth) jumps;
 //! * the children of every node flattened into one array addressed by a
 //!   per-node **child range** (CSR layout);
 //! * per-node **request counts** and client flags.
@@ -27,6 +32,17 @@
 //! highest ancestor allowed to serve a client under `dmax`) depend on the
 //! instance, not just the tree, so they are computed by
 //! [`TreeArena::compute_deadlines`] on demand.
+//!
+//! ## Canonical placement order
+//!
+//! Pre-order positions double as the workspace-wide **canonical placement
+//! order**: whenever a solver must pick between otherwise equivalent replica
+//! placements (same count, same score), it commits the set whose sorted
+//! pre-order positions are lexicographically smallest. Pre-order visits
+//! parents before children and siblings in insertion order, so the canonical
+//! set is the one preferring nodes encountered earliest in a root-down,
+//! left-to-right reading of the tree. `rp-core`'s stage engine implements
+//! this rule and its tests pin it.
 
 use crate::tree::Tree;
 use crate::{Dist, Requests};
@@ -67,6 +83,13 @@ pub struct TreeArena {
     requests: Vec<Requests>,
     /// Whether each node is a client leaf.
     is_client: Vec<bool>,
+    /// Binary-lifting ancestor table: `up[k][v]` is the `2^k`-th ancestor of
+    /// `v` ([`NO_PARENT`] when the jump leaves the tree). Level 0 is the
+    /// parent array.
+    up: Vec<Vec<u32>>,
+    /// `up_max_edge[k][v]` — the maximum single edge length on the path
+    /// jumped over by `up[k][v]` (the `2^k` edges ending at `v`'s side).
+    up_max_edge: Vec<Vec<Dist>>,
 }
 
 impl TreeArena {
@@ -128,6 +151,38 @@ impl TreeArena {
             }
             self.subtree_size[v as usize] = size;
         }
+
+        // Binary-lifting tables: level k doubles level k - 1. Levels reuse
+        // their allocations across rebuilds; stale deeper levels are dropped.
+        let max_depth = self.depth.iter().copied().max().unwrap_or(0);
+        let levels = (u32::BITS - max_depth.leading_zeros()).max(1) as usize;
+        self.up.truncate(levels);
+        self.up_max_edge.truncate(levels);
+        while self.up.len() < levels {
+            self.up.push(Vec::new());
+            self.up_max_edge.push(Vec::new());
+        }
+        self.up[0].clear();
+        self.up[0].extend_from_slice(&self.parent);
+        self.up_max_edge[0].clear();
+        self.up_max_edge[0].extend_from_slice(&self.edge);
+        for k in 1..levels {
+            let (done, rest) = self.up.split_at_mut(k);
+            let prev = &done[k - 1];
+            let (edone, erest) = self.up_max_edge.split_at_mut(k);
+            let eprev = &edone[k - 1];
+            let cur = &mut rest[0];
+            let ecur = &mut erest[0];
+            resize_with(cur, n, NO_PARENT);
+            resize_with(ecur, n, 0);
+            for v in 0..n {
+                let half = prev[v];
+                if half != NO_PARENT {
+                    cur[v] = prev[half as usize];
+                    ecur[v] = eprev[v].max(eprev[half as usize]);
+                }
+            }
+        }
     }
 
     /// Number of nodes.
@@ -184,6 +239,13 @@ impl TreeArena {
         self.post_pos[v as usize] as usize
     }
 
+    /// Position of `v` in the pre-order sequence — the key of the canonical
+    /// placement order (see the module docs).
+    #[inline]
+    pub fn pre_position(&self, v: u32) -> usize {
+        self.pre_pos[v as usize] as usize
+    }
+
     /// Children of `v`, in insertion order.
     #[inline]
     pub fn children(&self, v: u32) -> &[u32] {
@@ -237,6 +299,67 @@ impl TreeArena {
         d >= a && d < a + self.subtree_size[ancestor as usize]
     }
 
+    /// The `k`-th ancestor of `v` (`k = 0` is `v` itself, `k = 1` its
+    /// parent), or [`NO_PARENT`] when `k > depth(v)`. O(log depth) via the
+    /// binary-lifting table.
+    pub fn kth_ancestor(&self, v: u32, k: u32) -> u32 {
+        if k > self.depth[v as usize] {
+            return NO_PARENT;
+        }
+        let mut at = v;
+        let mut rem = k;
+        while rem > 0 {
+            let bit = rem.trailing_zeros() as usize;
+            at = self.up[bit][at as usize];
+            debug_assert_ne!(at, NO_PARENT, "guarded by the depth check");
+            rem &= rem - 1;
+        }
+        at
+    }
+
+    /// The maximum single edge length on the path from `v` up to `ancestor`
+    /// (the edges of `v..=ancestor`'s lower endpoints), or `None` when
+    /// `ancestor` is not an ancestor of `v`. `Some(0)` for `v` itself.
+    /// O(log depth) via the binary-lifting table.
+    pub fn max_edge_to_ancestor(&self, v: u32, ancestor: u32) -> Option<Dist> {
+        if !self.is_ancestor_or_self(ancestor, v) {
+            return None;
+        }
+        let mut rem = self.depth[v as usize] - self.depth[ancestor as usize];
+        let mut at = v;
+        let mut max_edge = 0;
+        while rem > 0 {
+            let bit = rem.trailing_zeros() as usize;
+            max_edge = max_edge.max(self.up_max_edge[bit][at as usize]);
+            at = self.up[bit][at as usize];
+            rem &= rem - 1;
+        }
+        debug_assert_eq!(at, ancestor);
+        Some(max_edge)
+    }
+
+    /// The *deadline* of `v` under the distance bound `dmax`: the highest
+    /// ancestor `a` with `root_dist(v) - root_dist(a) ≤ dmax` — i.e. the
+    /// last node at which requests issued at `v` can still be served
+    /// (`δ_r = +∞` in the paper: nothing travels above the root). With
+    /// `dmax = None` the deadline is the root. O(log depth): the served
+    /// distance is monotone in the jump height, so each lifting level is
+    /// tried once, highest first.
+    pub fn deadline_of(&self, v: u32, dmax: Option<Dist>) -> u32 {
+        let Some(dmax) = dmax else {
+            return *self.pre.first().unwrap_or(&0);
+        };
+        let from = self.root_dist[v as usize];
+        let mut at = v;
+        for k in (0..self.up.len()).rev() {
+            let a = self.up[k][at as usize];
+            if a != NO_PARENT && from - self.root_dist[a as usize] <= dmax {
+                at = a;
+            }
+        }
+        at
+    }
+
     /// Per-node *deadline* under the distance bound `dmax`: the highest
     /// ancestor allowed to serve requests issued at the node (requests
     /// travelling upwards get stuck exactly there; the paper's `δ_r = +∞`
@@ -254,21 +377,11 @@ impl TreeArena {
                 out[..n].fill(root);
             }
             Some(dmax) => {
-                // Pre-order guarantees a parent's deadline chain is already
-                // final, but deadlines are per-source so each node walks its
-                // own path: `deadline(v)` is the highest ancestor `a` with
-                // `root_dist(v) - root_dist(a) ≤ dmax`.
-                for &v in &self.pre {
-                    let from = self.root_dist(v);
-                    let mut at = v;
-                    loop {
-                        let p = self.parent(at);
-                        if p == NO_PARENT || from - self.root_dist(p) > dmax {
-                            break;
-                        }
-                        at = p;
-                    }
-                    out[v as usize] = at;
+                // Deadlines are per-source, so each node answers its own
+                // [`TreeArena::deadline_of`] query — O(log depth) binary
+                // lifting instead of the former O(depth) parent walk.
+                for v in 0..n as u32 {
+                    out[v as usize] = self.deadline_of(v, Some(dmax));
                 }
             }
         }
@@ -376,6 +489,53 @@ mod tests {
     }
 
     #[test]
+    fn lifting_matches_naive_walks() {
+        let tree = sample();
+        let arena = TreeArena::new(&tree);
+        for v in 0..arena.len() as u32 {
+            // kth_ancestor against a parent walk, past the root included.
+            let mut at = v;
+            let mut k = 0;
+            loop {
+                assert_eq!(arena.kth_ancestor(v, k), at, "kth_ancestor({v}, {k})");
+                if arena.parent(at) == NO_PARENT {
+                    break;
+                }
+                at = arena.parent(at);
+                k += 1;
+            }
+            assert_eq!(arena.kth_ancestor(v, k + 1), NO_PARENT);
+
+            // max_edge_to_ancestor against a max over the walked edges.
+            let mut at = v;
+            let mut max_edge = 0;
+            loop {
+                assert_eq!(arena.max_edge_to_ancestor(v, at), Some(max_edge));
+                if arena.parent(at) == NO_PARENT {
+                    break;
+                }
+                max_edge = max_edge.max(arena.edge(at));
+                at = arena.parent(at);
+            }
+        }
+        // Non-ancestors have no path.
+        assert_eq!(arena.max_edge_to_ancestor(2, 4), None);
+    }
+
+    #[test]
+    fn deadline_of_matches_compute_deadlines() {
+        let tree = sample();
+        let arena = TreeArena::new(&tree);
+        let mut out = Vec::new();
+        for dmax in [None, Some(0), Some(2), Some(4), Some(100)] {
+            arena.compute_deadlines(dmax, &mut out);
+            for v in 0..arena.len() as u32 {
+                assert_eq!(arena.deadline_of(v, dmax), out[v as usize], "deadline({v}, {dmax:?})");
+            }
+        }
+    }
+
+    #[test]
     fn rebuild_reuses_allocations_and_matches_fresh_build() {
         let tree = sample();
         let mut arena = TreeArena::new(&tree);
@@ -390,6 +550,14 @@ mod tests {
         assert_eq!(arena.preorder(), fresh.preorder());
         assert_eq!(arena.len(), other.len());
         assert_eq!(arena.subtree_size(0), 3);
+        // The lifting tables are rebuilt too, including dropping stale
+        // levels when the new tree is shallower.
+        for v in 0..arena.len() as u32 {
+            for k in 0..4 {
+                assert_eq!(arena.kth_ancestor(v, k), fresh.kth_ancestor(v, k));
+            }
+            assert_eq!(arena.deadline_of(v, Some(2)), fresh.deadline_of(v, Some(2)));
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The scaling run behind `BENCH_scaling.json`: every algorithm across the
 //! clients × {dmax on/off} grid (256 → 16384 clients; quick mode stops at
-//! 1024), with median/mean solve times and solve stats per cell.
+//! 4096), with median/mean solve times and solve stats per cell.
 //!
 //! Usage:
 //!
@@ -18,22 +18,27 @@
 
 use criterion::{BenchmarkId, Criterion};
 use rp_bench::scaling::{grid_sizes, ScalingCell, ScalingReport};
-use rp_bench::{binary_instance, kary_instance};
+use rp_bench::{binary_instance, deep_fallback_instance, kary_instance};
 use rp_core::{baselines, multiple_bin_with, single_gen_with, single_nod_with, SolverScratch};
 use rp_tree::{Instance, Solution};
 use std::hint::black_box;
 use std::time::Duration;
 
 /// The benched algorithms; `multiple-bin` runs on binary trees (its input
-/// class), the rest on the arity-4 trees the E6 experiment uses.
-const ALGORITHMS: [&str; 4] = ["single-gen", "single-nod", "multiple-bin", "multiple-greedy"];
+/// class), the rest on the arity-4 trees the E6 experiment uses. The
+/// `multiple-bin-deep` rows are `multiple-bin` again, but on the
+/// tight-capacity caterpillars of the `deep_fallback` family
+/// ([`deep_fallback_instance`]) so the grid exercises the strict stage-DP
+/// fallback at every size, not only at 16384 clients.
+const ALGORITHMS: [&str; 5] =
+    ["single-gen", "single-nod", "multiple-bin", "multiple-bin-deep", "multiple-greedy"];
 
 fn instance_for(algorithm: &str, clients: usize, dmax: bool, seed: u64) -> Instance {
     let fraction = if dmax { Some(0.7) } else { None };
-    if algorithm == "multiple-bin" {
-        binary_instance(clients, fraction, seed)
-    } else {
-        kary_instance(clients, 4, fraction, seed)
+    match algorithm {
+        "multiple-bin" => binary_instance(clients, fraction, seed),
+        "multiple-bin-deep" => deep_fallback_instance(clients, dmax, seed),
+        _ => kary_instance(clients, 4, fraction, seed),
     }
 }
 
@@ -41,10 +46,15 @@ fn solve(algorithm: &str, inst: &Instance, scratch: &mut SolverScratch) -> Solut
     match algorithm {
         "single-gen" => single_gen_with(inst, scratch).expect("feasible"),
         "single-nod" => single_nod_with(inst, scratch).expect("feasible"),
-        "multiple-bin" => multiple_bin_with(inst, scratch).expect("feasible"),
+        "multiple-bin" | "multiple-bin-deep" => multiple_bin_with(inst, scratch).expect("feasible"),
         "multiple-greedy" => baselines::multiple_greedy(inst).expect("feasible"),
         other => unreachable!("unknown algorithm {other}"),
     }
+}
+
+/// Whether the stage counters of a solve are meaningful for `algorithm`.
+fn is_stage_algorithm(algorithm: &str) -> bool {
+    algorithm.starts_with("multiple-bin")
 }
 
 fn main() {
@@ -69,7 +79,7 @@ fn main() {
                 // Stage counters of the reference solve (deterministic;
                 // only the stage-engine algorithm populates them — the
                 // scratch may hold another solve's counters otherwise).
-                let stage = if algorithm == "multiple-bin" {
+                let stage = if is_stage_algorithm(algorithm) {
                     *scratch.stage_stats()
                 } else {
                     rp_core::StageStats::default()
@@ -89,6 +99,8 @@ fn main() {
                         stage_subsets: stage.subsets_enumerated,
                         stage_routed: stage.subsets_routed,
                         stage_pruned: stage.subsets_pruned,
+                        dp_node_visits: stage.dp_node_visits,
+                        dp_fallbacks: stage.dp_fallbacks,
                     },
                 ));
                 group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {

@@ -26,7 +26,7 @@
 pub mod scaling;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rp_instances::random::{random_binary_tree, random_kary_tree, wrap_instance};
 use rp_instances::{EdgeDist, RequestDist};
 use rp_tree::Instance;
@@ -61,6 +61,57 @@ pub fn kary_instance(
     wrap_instance(tree, 3.0, dmax_fraction)
 }
 
+/// Deterministic `deep_fallback` instance: a **wide binary caterpillar** —
+/// a short spine (≤ ~128 nodes) whose every node hangs a wide, *shallow*
+/// balanced leg of `max(8, clients/128)` clients — under a tight capacity
+/// (~1.8 average clients per server) and a short distance budget. A stuck
+/// event then strands one or more *whole legs* at a spine ancestor: the
+/// volume bound `r0` on new replicas is large, so `C(candidates, r0)`
+/// blows the enumeration cost model and the stage goes straight to the
+/// strict stage-DP fallback — the regime the `deep_fallback` rows of the
+/// scaling grid exist to watch at every size, not only at 16384 clients.
+/// Two shapes deliberately avoided: one-client-per-spine-node caterpillars
+/// strand one client at a time (`r0 ≤ 2`, everything enumerates), and long
+/// spines make the stage engine's per-stage re-routing quadratic in the
+/// spine length, drowning the DP signal this family exists to measure.
+pub fn deep_fallback_instance(clients: usize, dmax_active: bool, seed: u64) -> Instance {
+    let leg = (clients / 128).max(8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let requests: Vec<u64> = (0..clients.max(1)).map(|_| rng.gen_range(1..=9u64)).collect();
+    let mut b = rp_tree::TreeBuilder::new();
+    let mut spine = b.root();
+    for (i, leg_reqs) in requests.chunks(leg).enumerate() {
+        if i > 0 {
+            spine = b.add_internal(spine, 2);
+        }
+        // A dedicated leg root keeps the spine binary; the leg splits
+        // below it as a balanced binary subtree with the clients at the
+        // leaves (wide and shallow — depth log₂ leg).
+        let leg_root = b.add_internal(spine, 1);
+        add_balanced_leg(&mut b, leg_root, leg_reqs);
+    }
+    let tree = b.freeze().expect("caterpillar-of-legs construction is always valid");
+    wrap_instance(tree, 1.8, if dmax_active { Some(0.3) } else { None })
+}
+
+/// Hangs a balanced binary subtree below `parent` with `reqs` as its leaf
+/// clients (all edges 1).
+fn add_balanced_leg(b: &mut rp_tree::TreeBuilder, parent: rp_tree::NodeId, reqs: &[u64]) {
+    match reqs {
+        [] => {}
+        [r] => {
+            b.add_client(parent, 1, *r);
+        }
+        _ => {
+            let mid = reqs.len() / 2;
+            let left = b.add_internal(parent, 1);
+            add_balanced_leg(b, left, &reqs[..mid]);
+            let right = b.add_internal(parent, 1);
+            add_balanced_leg(b, right, &reqs[mid..]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +124,10 @@ mod tests {
         assert_eq!(a.tree().len(), b.tree().len());
         let k = kary_instance(32, 4, None, 9);
         assert!(k.tree().arity() <= 4);
+        let d = deep_fallback_instance(24, true, 9);
+        let e = deep_fallback_instance(24, true, 9);
+        assert_eq!(d.capacity(), e.capacity());
+        assert!(d.tree().is_binary(), "multiple-bin must accept the family");
+        assert!(d.dmax().is_some() && deep_fallback_instance(24, false, 9).dmax().is_none());
     }
 }

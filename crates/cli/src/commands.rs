@@ -34,6 +34,7 @@ commands:
               <id>  [--full] [--csv]
   bench-gate  compare a BENCH_scaling.json against a checked-in baseline
               --current FILE  --baseline FILE  [--max-regress F] [--clients N]
+              [--algorithm NAME]
 ";
 
 /// Dispatches a parsed command line and returns the output to print.
@@ -148,7 +149,7 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
         out.push_str(&format!(
             "stage stats:\n  stages: {}\n  subsets enumerated: {}\n  subsets routed: {}\n  \
              subsets pruned: {}\n  shared-prefix routes: {}\n  dp sizes skipped: {}\n  \
-             dp bound skips: {}\n  dp fallbacks: {}\n  repairs: {}\n",
+             dp bound skips: {}\n  dp fallbacks: {}\n  dp node visits: {}\n  repairs: {}\n",
             s.stages,
             s.subsets_enumerated,
             s.subsets_routed,
@@ -157,6 +158,7 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
             s.dp_sizes_skipped,
             s.dp_bound_skips,
             s.dp_fallbacks,
+            s.dp_node_visits,
             s.repairs,
         ));
     }
@@ -281,8 +283,9 @@ fn cmd_experiment(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// CI perf gate: compares the `multiple-bin` medians of a fresh
-/// `BENCH_scaling.json` against a checked-in baseline and fails (returns
+/// CI perf gate: compares one algorithm's medians (default `multiple-bin`,
+/// override with `--algorithm`) of a fresh `BENCH_scaling.json` against a
+/// checked-in baseline and fails (returns
 /// `Err`, i.e. a non-zero exit) when any gated cell regressed beyond the
 /// allowed fraction. Cells missing from either report are skipped — the
 /// baseline may have been recorded on a different grid — but at least one
@@ -292,6 +295,7 @@ fn cmd_bench_gate(args: &Args) -> Result<String, String> {
     let baseline_path: String = args.require("baseline")?;
     let max_regress: f64 = args.get_or("max-regress", 0.30)?;
     let clients: u64 = args.get_or("clients", 1024)?;
+    let algorithm = args.get("algorithm").unwrap_or("multiple-bin").to_string();
     let read = |path: &str| -> Result<rp_bench::scaling::ScalingReport, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         rp_bench::scaling::ScalingReport::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -311,12 +315,10 @@ fn cmd_bench_gate(args: &Args) -> Result<String, String> {
     for dmax in [true, false] {
         let label = if dmax { "dmax" } else { "nod" };
         let (Some(cur), Some(base)) = (
-            current.median_of("multiple-bin", dmax, clients),
-            baseline.median_of("multiple-bin", dmax, clients),
+            current.median_of(&algorithm, dmax, clients),
+            baseline.median_of(&algorithm, dmax, clients),
         ) else {
-            out.push_str(&format!(
-                "multiple-bin/{label}/{clients}: not in both reports, skipped\n"
-            ));
+            out.push_str(&format!("{algorithm}/{label}/{clients}: not in both reports, skipped\n"));
             continue;
         };
         compared += 1;
@@ -324,17 +326,17 @@ fn cmd_bench_gate(args: &Args) -> Result<String, String> {
         let ratio = cur as f64 / (base as f64).max(1.0);
         let verdict = if (cur as f64) <= limit { "ok" } else { "REGRESSED" };
         out.push_str(&format!(
-            "multiple-bin/{label}/{clients}: current {cur} ns vs baseline {base} ns \
+            "{algorithm}/{label}/{clients}: current {cur} ns vs baseline {base} ns \
              ({ratio:.2}x, limit {:.2}x) {verdict}\n",
             1.0 + max_regress
         ));
         if (cur as f64) > limit {
-            failures.push(format!("multiple-bin/{label}/{clients} at {ratio:.2}x"));
+            failures.push(format!("{algorithm}/{label}/{clients} at {ratio:.2}x"));
         }
     }
     if compared == 0 {
         return Err(format!(
-            "no comparable multiple-bin cells at {clients} clients between \
+            "no comparable {algorithm} cells at {clients} clients between \
              {current_path} and {baseline_path}"
         ));
     }
@@ -367,6 +369,8 @@ mod tests {
             stage_subsets: 0,
             stage_routed: 0,
             stage_pruned: 0,
+            dp_node_visits: 0,
+            dp_fallbacks: 0,
         };
         ScalingReport { quick: true, cells: vec![cell(true, median_dmax), cell(false, median_nod)] }
             .to_json()
@@ -438,6 +442,20 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("no comparable"), "{err}");
+
+        // The gated algorithm is selectable; a family absent from the
+        // report is rejected the same way.
+        let err = run(&[
+            "bench-gate",
+            "--current",
+            a.to_str().unwrap(),
+            "--baseline",
+            a.to_str().unwrap(),
+            "--algorithm",
+            "multiple-bin-deep",
+        ])
+        .unwrap_err();
+        assert!(err.contains("no comparable multiple-bin-deep"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -491,6 +509,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("stage stats:"), "{out}");
         assert!(out.contains("subsets routed:"));
+        assert!(out.contains("dp node visits:"));
         assert!(out.contains("repairs: 0"));
 
         let out =

@@ -41,6 +41,17 @@ pub enum SolveError {
         /// Root of the stage subtree whose placement failed to route.
         node: NodeId,
     },
+    /// The stage DP fallback exhausted its replica budget: even a replica
+    /// on every free node of the stage's active forest leaves stuck volume
+    /// unserved. The sweep only creates feasible stages, so this is a
+    /// modelling bug — earlier versions `assert!`ed here, aborting long
+    /// solves; it is now a structured error like [`SolveError::StageRepair`].
+    StageDpExhausted {
+        /// Root of the stage subtree whose stuck volume stayed unserved.
+        node: NodeId,
+        /// The widest replica budget the dynamic program tried.
+        rmax: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -58,6 +69,13 @@ impl fmt::Display for SolveError {
             }
             SolveError::StageRepair { node } => {
                 write!(f, "stage placement at {node} failed to route (solver invariant violation)")
+            }
+            SolveError::StageDpExhausted { node, rmax } => {
+                write!(
+                    f,
+                    "stage DP at {node} exhausted its replica budget (rmax {rmax}) \
+                     with stuck volume unserved (solver invariant violation)"
+                )
             }
         }
     }
@@ -78,5 +96,7 @@ mod tests {
         assert!(SolveError::ClientUnservable { client: NodeId(1) }.to_string().contains("n1"));
         let s = SolveError::StageRepair { node: NodeId(3) }.to_string();
         assert!(s.contains("n3") && s.contains("failed to route"));
+        let s = SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 }.to_string();
+        assert!(s.contains("n6") && s.contains("17") && s.contains("unserved"));
     }
 }

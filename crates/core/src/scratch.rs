@@ -40,6 +40,89 @@ pub(crate) struct Group {
     pub clients: Vec<AssignPair>,
 }
 
+/// One generation of the stage DP's pooled storage (`stage::dp`): every
+/// per-node vector of the former `StageNode`/`mstore` design lives here as
+/// a slice of a contiguous slab, addressed through per-position offsets.
+/// Slabs are cleared (capacity kept) per DP pass, so a steady-state pass
+/// performs no heap allocation; the previous generation is retained by
+/// [`DpPool`] so an `rmax` widening can copy its unchanged prefix cells
+/// instead of re-running the min-plus convolutions.
+#[derive(Debug, Default)]
+pub(crate) struct DpSlabs {
+    /// Concatenated per-node `m_v(r)` vectors (minimal pass-up volume).
+    pub(crate) m: Vec<u128>,
+    /// Parallel to `m`: whether `r` opens a replica at the node.
+    pub(crate) placed: Vec<bool>,
+    /// Parallel to `m`: the `r` actually used after the monotonicity
+    /// fix-up (it may redirect to a smaller value).
+    pub(crate) used_r: Vec<u32>,
+    /// Start of each node's `m` slice, indexed by order position; entry
+    /// `p + 1` is pushed when node `p` completes, so `m_off[p]..m_off[p+1]`
+    /// is valid for every processed node.
+    pub(crate) m_off: Vec<u32>,
+    /// Concatenated min-plus convolution layers: the running values after
+    /// each participating child…
+    pub(crate) layer_m: Vec<u128>,
+    /// …and the argmin split per `r` (replicas given to that child).
+    pub(crate) layer_arg: Vec<u32>,
+    /// Start of each node's layer block, same offset discipline as
+    /// [`DpSlabs::m_off`]. Per-layer lengths are recomputed from the
+    /// children's `m` lengths, so one offset per node suffices.
+    pub(crate) layer_off: Vec<u32>,
+}
+
+impl DpSlabs {
+    /// Empties every slab while keeping its capacity, and seeds the offset
+    /// sentinels. O(1) amortised — nothing is dropped or allocated.
+    pub(crate) fn reset(&mut self) {
+        self.m.clear();
+        self.placed.clear();
+        self.used_r.clear();
+        self.m_off.clear();
+        self.m_off.push(0);
+        self.layer_m.clear();
+        self.layer_arg.clear();
+        self.layer_off.clear();
+        self.layer_off.push(0);
+    }
+
+    /// The `m` slice of the node at order position `p`.
+    pub(crate) fn m_slice(&self, p: usize) -> &[u128] {
+        &self.m[self.m_off[p] as usize..self.m_off[p + 1] as usize]
+    }
+
+    /// Length of the `m` slice of the node at order position `p`.
+    pub(crate) fn m_len(&self, p: usize) -> usize {
+        (self.m_off[p + 1] - self.m_off[p]) as usize
+    }
+}
+
+/// The stage DP's reusable storage: the current and previous slab
+/// generations (swapped when an `rmax` widening extends the capped
+/// vectors in place) plus the small working rows of one convolution layer
+/// and of the backtracking walk. All buffers survive across stages and
+/// solves, so steady-state fallback stages allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct DpPool {
+    /// Slabs of the pass being computed.
+    pub(crate) cur: DpSlabs,
+    /// Slabs of the previous pass over the same stage (read when
+    /// widening; garbage otherwise).
+    pub(crate) prev: DpSlabs,
+    /// Working values row of the convolution layer under construction.
+    pub(crate) conv_m: Vec<u128>,
+    /// Working argmin row of the convolution layer under construction.
+    pub(crate) conv_arg: Vec<u32>,
+    /// Participating-children buffer of the backtracking walk.
+    pub(crate) kids: Vec<u32>,
+    /// Per-layer length buffer of the backtracking walk.
+    pub(crate) layer_lens: Vec<usize>,
+    /// Backtracking stack of `(node, replicas)` frames.
+    pub(crate) stack: Vec<(u32, usize)>,
+    /// Per-child split buffer of the backtracking walk.
+    pub(crate) splits: Vec<usize>,
+}
+
 /// Reusable state for all three algorithms (see the module docs).
 ///
 /// The scratch is deliberately opaque: its public surface is construction
@@ -131,6 +214,8 @@ pub struct SolverScratch {
     pub(crate) dp_demand: Vec<u128>,
     /// Clients with non-zero [`SolverScratch::dp_demand`].
     pub(crate) dp_clients: Vec<u32>,
+    /// Pooled slab storage of every stage-DP pass (see [`DpPool`]).
+    pub(crate) dp_pool: DpPool,
 
     // --- single-gen state ---
     /// Pending `(client, requests)` fragments per node.
@@ -199,6 +284,49 @@ impl SolverScratch {
         self.spare_nodes.clear();
         self.breakdown.clear();
         self.dp_clients.clear();
+    }
+
+    /// Builds the stage's *active forest* — the union of the `sources`
+    /// nodes' paths up to the stage root `j` — into
+    /// [`SolverScratch::active_nodes`] (sorted by post-order position, so
+    /// children precede parents), stamping [`SolverScratch::active_mark`]
+    /// with the current stage id and filling
+    /// [`SolverScratch::active_pos`]. Built by walking each source's path
+    /// until it merges into an already-marked one — O(|active|) total.
+    /// Every source must lie in `subtree(j)`; with no sources the forest
+    /// degenerates to `{j}`. Callers typically `std::mem::take` the
+    /// source list around the call (it usually lives in this scratch).
+    pub(crate) fn build_active_forest(&mut self, j: u32, sources: &[u32]) {
+        let stamp = self.stage_id;
+        self.active_nodes.clear();
+        for &source in sources {
+            debug_assert!(
+                self.arena.is_ancestor_or_self(j, source),
+                "active-forest sources must live in subtree(j)"
+            );
+            let mut at = source;
+            loop {
+                if self.active_mark[at as usize] == stamp {
+                    break;
+                }
+                self.active_mark[at as usize] = stamp;
+                self.active_nodes.push(at);
+                if at == j {
+                    break;
+                }
+                at = self.arena.parent(at);
+            }
+        }
+        if self.active_mark[j as usize] != stamp {
+            self.active_mark[j as usize] = stamp;
+            self.active_nodes.push(j);
+        }
+        let SolverScratch { arena, active_nodes, active_pos, .. } = self;
+        active_nodes.sort_unstable_by_key(|&u| arena.post_position(u));
+        for (i, &u) in active_nodes.iter().enumerate() {
+            active_pos[u as usize] = i as u32;
+        }
+        debug_assert_eq!(self.active_nodes.last(), Some(&j), "j closes its own forest");
     }
 
     /// Computes the deadline arrays for `dmax` (the Multiple sweep's

@@ -9,35 +9,38 @@
 //!   routing a single candidate set, and the minimising placement seeds the
 //!   enumeration's incumbent.
 //! * **Fallback** ([`fallback_placement`], strict mode): for stages whose
-//!   candidate space exceeds the enumeration budget — the dynamic program
-//!   over the (then fungible) stuck volume with existing assignments kept
-//!   fixed, exactly as in the paper's oversized-stage regime.
+//!   candidate space exceeds the enumeration cost model — the dynamic
+//!   program over the (then fungible) stuck volume with existing
+//!   assignments kept fixed, exactly as in the paper's oversized-stage
+//!   regime.
 //!
-//! Both run the same size-capped min-plus convolution over the stage
-//! subtree ([`run_stage_dp`]), O(|subtree| · rmax).
+//! Both modes run the same size-capped min-plus convolution ([`dp_core`])
+//! over the stage's **active forest** — the union of the demand clients'
+//! paths to the stage root, computed once per stage in `stage/mod.rs` —
+//! never the whole subtree. The restriction is exact: a free node whose
+//! subtree holds no stage demand can never reduce pass-up volume (its
+//! `m ≡ 0` already), and an off-forest existing replica is an ancestor of
+//! no demanding client, so its spare is unusable under the Multiple
+//! policy. A pass is therefore O(|active| · rmax), not O(|subtree| · rmax).
+//!
+//! All DP state lives in the pooled slabs of
+//! [`DpPool`](crate::scratch::DpPool) inside [`SolverScratch`]: one
+//! contiguous `u128` slab holds every per-node `m` vector, flat `u32`/`bool`
+//! slabs hold the argmin split layers and backtrack flags, all addressed by
+//! per-position offsets and reset by truncation — a steady-state pass
+//! performs **zero heap allocation**. When the fallback has to widen `rmax`
+//! (existing full replicas can push the optimum past the volume bound), the
+//! slab generations are swapped and the capped vectors are **extended in
+//! place**: cells below the old cap are exact untruncated values, so they
+//! are copied over and only the new cells pay for min-plus work.
 
-use crate::scratch::SolverScratch;
+use crate::error::SolveError;
+use crate::scratch::{DpPool, SolverScratch};
 use crate::stage::PendingRequest;
-use rp_tree::Requests;
+use rp_tree::{NodeId, Requests};
 
 /// Large-but-safe sentinel for infeasible dynamic-program states.
 const INFEASIBLE: u128 = u128::MAX / 4;
-
-/// Backtrack record of one node of the stage dynamic program: whether each
-/// `r` opens a replica here (and at which redirected `r`), plus one argmin
-/// array per child of the layered min-plus convolution. Constant work per
-/// cell — no vectors are cloned during the forward pass.
-#[derive(Debug, Clone, Default)]
-struct StageNode {
-    /// For each `r`: whether a replica is opened at the node.
-    placed: Vec<bool>,
-    /// For each `r`: the `r` actually used (the monotonicity fix-up may
-    /// redirect to a smaller value).
-    used_r: Vec<usize>,
-    /// `child_split[k][r]`: replicas given to child `k` when the first
-    /// `k + 1` children share `r` replicas.
-    child_split: Vec<Vec<usize>>,
-}
 
 /// Runs the relaxed dynamic program as a lower bound on the enumeration:
 /// the smallest `r ≤ rmax` for which the full stage demand fits `r` new
@@ -63,6 +66,8 @@ pub(crate) fn lower_bound(
         active_pos,
         active_mark,
         stage_id,
+        dp_pool,
+        stats,
         ..
     } = scratch;
     let stamp = *stage_id;
@@ -72,25 +77,36 @@ pub(crate) fn lower_bound(
         load,
         demand,
         best_set,
+        dp_pool,
         active_nodes,
         j,
         rmax,
         cap,
         true,
+        None,
+        &mut stats.dp_node_visits,
         &|v| active_pos[v as usize] as usize,
         &|c| active_mark[c as usize] == stamp,
     )
+    .ok()
 }
 
 /// Reassignment-free fallback for oversized stages: dynamic program over the
 /// (then fungible) stuck volume, existing spare included. Writes the chosen
 /// placement into `scratch.best_set`.
+///
+/// # Errors
+///
+/// [`SolveError::StageDpExhausted`] when even a replica on every free node
+/// of the active forest leaves stuck volume unserved — a modelling bug
+/// (the sweep only creates feasible stages), surfaced as a structured
+/// error instead of aborting a long solve.
 pub(crate) fn fallback_placement(
     scratch: &mut SolverScratch,
     w: Requests,
     j: u32,
     stuck: &[PendingRequest],
-) {
+) -> Result<(), SolveError> {
     let cap = w as u128;
     {
         let s = &mut *scratch;
@@ -103,45 +119,87 @@ pub(crate) fn fallback_placement(
         }
     }
     let total: u128 = scratch.dp_clients.iter().map(|&c| scratch.dp_demand[c as usize]).sum();
-    let clients = scratch.dp_clients.len();
+    // No `r` beyond the active forest's free-node count can help: the DP's
+    // vectors are truncated there (a subtree cannot host more new replicas
+    // than it has free nodes), so `m_j` is flat past it.
+    let free_active = scratch.active_nodes.iter().filter(|&&u| !scratch.in_r[u as usize]).count();
     // ⌈V/W⌉ is usually enough; obstructions by existing full replicas can
-    // push the optimum higher, so widen on demand (self-serving every client
-    // bounds it by the client count).
-    let mut rmax = ((total.div_ceil(cap) as usize) + 2).min(clients);
-    loop {
-        if run_strict_dp(scratch, cap, j, rmax).is_some() {
-            break;
+    // push the optimum higher, so widen on demand.
+    let mut rmax = ((total.div_ceil(cap) as usize) + 2).min(free_active);
+    let mut widen_from = None;
+    let found = loop {
+        match run_strict_dp(scratch, cap, j, rmax, widen_from) {
+            Ok(_) => break true,
+            Err(leftover) => {
+                if rmax >= free_active {
+                    break false;
+                }
+                // Informed widening: one extra replica absorbs at most `W`
+                // of the leftover, so `rmin ≥ rmax + ⌈leftover/W⌉` — jump
+                // straight there instead of doubling (the jump is usually
+                // exact, and overshooting is what makes widening passes
+                // expensive). A 9/8 geometric floor guarantees progress
+                // towards `free_active` when the bound increments slowly.
+                let informed = rmax + (leftover.div_ceil(cap) as usize).max(1);
+                widen_from = Some(rmax);
+                rmax = informed.max(rmax + rmax / 8).min(free_active);
+            }
         }
-        assert!(rmax < clients, "every stuck client can self-serve, so m(#clients) = 0");
-        rmax = (rmax * 2).min(clients);
-    }
+    };
     let s = &mut *scratch;
     for &c in s.dp_clients.iter() {
         s.dp_demand[c as usize] = 0;
     }
     s.dp_clients.clear();
+    if found {
+        Ok(())
+    } else {
+        Err(SolveError::StageDpExhausted { node: NodeId(j), rmax: rmax as u64 })
+    }
 }
 
 /// The strict (fallback) configuration of [`dp_core`]: demand is the stuck
-/// volume, existing replicas contribute only their spare, and every subtree
-/// node participates.
-fn run_strict_dp(scratch: &mut SolverScratch, cap: u128, j: u32, rmax: usize) -> Option<usize> {
-    let SolverScratch { arena, in_r, load, dp_demand, best_set, .. } = scratch;
-    let sub = arena.subtree_post(j);
-    let start = arena.post_position(j) + 1 - sub.len();
+/// volume, existing replicas contribute only their spare, and the pass
+/// walks the stage's active forest. `widen_from` carries the previous
+/// pass's `rmax` when the capped vectors are being extended in place.
+fn run_strict_dp(
+    scratch: &mut SolverScratch,
+    cap: u128,
+    j: u32,
+    rmax: usize,
+    widen_from: Option<usize>,
+) -> Result<usize, u128> {
+    let SolverScratch {
+        arena,
+        in_r,
+        load,
+        dp_demand,
+        best_set,
+        active_nodes,
+        active_pos,
+        active_mark,
+        stage_id,
+        dp_pool,
+        stats,
+        ..
+    } = scratch;
+    let stamp = *stage_id;
     dp_core(
         arena,
         in_r,
         load,
         dp_demand,
         best_set,
-        sub,
+        dp_pool,
+        active_nodes,
         j,
         rmax,
         cap,
         false,
-        &|v| arena.post_position(v) - start,
-        &|_| true,
+        widen_from,
+        &mut stats.dp_node_visits,
+        &|v| active_pos[v as usize] as usize,
+        &|c| active_mark[c as usize] == stamp,
     )
 }
 
@@ -156,8 +214,19 @@ fn run_strict_dp(scratch: &mut SolverScratch, cap: u128, j: u32, rmax: usize) ->
 /// re-routing relaxation. Exact for the fungible volume because distances
 /// never bind moving towards a client.
 ///
+/// Every vector is truncated to min(free nodes of its part, `rmax`) + 1
+/// entries — the classic size-capped tree-knapsack bound, which keeps the
+/// whole pass at O(|order| · rmax) instead of O(|order| · rmax²). Entries
+/// below the cap are exactly the untruncated values, which is what makes
+/// the `widen_from` extension sound: when the caller re-runs the pass with
+/// a larger `rmax`, cells below the old cap are copied from the previous
+/// slab generation (left in `pool.prev` by the caller's swap — see
+/// [`DpPool`]) and only the newly uncovered cells run the convolution.
+///
 /// Returns the smallest `r ≤ rmax` reaching `m_j(r) = 0` (placement
-/// written to `best_set`), or `None`.
+/// written to `best_set`), or the leftover volume `m_j(rmax)` — the
+/// fallback turns it into the informed widening bound
+/// `rmin ≥ rmax + ⌈leftover / W⌉` (one replica absorbs at most `W`).
 #[allow(clippy::too_many_arguments)]
 fn dp_core(
     arena: &rp_tree::arena::TreeArena,
@@ -165,126 +234,204 @@ fn dp_core(
     load: &[Requests],
     demand: &[u128],
     best_set: &mut Vec<u32>,
+    pool: &mut DpPool,
     order: &[u32],
     j: u32,
     rmax: usize,
     cap: u128,
     full_cap_existing: bool,
+    widen_from: Option<usize>,
+    node_visits: &mut u64,
     pos: &impl Fn(u32) -> usize,
     child_ok: &impl Fn(u32) -> bool,
-) -> Option<usize> {
-    // Per-node records, indexed by position inside `order` (children always
-    // precede parents there).
-    let mut nodes: Vec<StageNode> = Vec::with_capacity(order.len());
-    let mut mstore: Vec<Vec<u128>> = Vec::with_capacity(order.len());
+) -> Result<usize, u128> {
+    if widen_from.is_some() {
+        // The previous pass's slabs become the copy source; its buffers are
+        // recycled as the new current generation.
+        std::mem::swap(&mut pool.cur, &mut pool.prev);
+    }
+    let DpPool { cur, prev, conv_m, conv_arg, .. } = pool;
+    cur.reset();
+    let cap_r = rmax + 1;
+    let old_cap_r = widen_from.map(|r| r + 1);
 
-    for &v in order {
-        let own = demand[v as usize];
+    for (p, &v) in order.iter().enumerate() {
+        *node_visits += 1;
+        let vi = v as usize;
+        let own = demand[vi];
 
-        // Min-plus convolution over the children: `base[r]` is the minimal
-        // pass-up volume of the processed children with `r` new replicas
-        // among them; each layer records its argmin per `r`.
-        //
-        // Every vector is truncated to (free nodes of its subtree) + 1
-        // entries: a subtree cannot usefully host more new replicas than it
-        // has free nodes, so beyond that the (monotone) vector is flat and
-        // the extra cells would only inflate the convolution — the classic
-        // size-capped tree-knapsack bound, which keeps the whole stage at
-        // O(|subtree| · rmax) instead of O(|subtree| · rmax²). Entries below
-        // the cap are exactly the untruncated values.
-        let mut base: Vec<u128> = vec![own];
-        let mut child_split: Vec<Vec<usize>> = Vec::new();
+        // --- min-plus convolution over the participating children ---
+        // The running "base" vector is the previous layer written into the
+        // layer slab (`prev_start`), or the `[own]` singleton before the
+        // first child. Each layer's values are needed again both by the
+        // next layer and by a later widening pass, so they are stored, not
+        // just the argmins.
+        let own_row = [own];
+        let mut prev_len = 1usize;
+        let mut prev_start = usize::MAX; // MAX = base is the `[own]` singleton
+        let mut old_prev_len = 1usize;
+        let mut old_layer_at = old_cap_r.map(|_| prev.layer_off[p] as usize);
         for &c in arena.children(v) {
             if !child_ok(c) {
                 continue;
             }
-            let mc = &mstore[pos(c)];
-            let len = (base.len() + mc.len() - 1).min(rmax + 1);
-            let mut next = vec![INFEASIBLE; len];
-            let mut argmin = vec![0usize; len];
+            let cp = pos(c);
+            let mc_start = cur.m_off[cp] as usize;
+            let mc = &cur.m[mc_start..cur.m_off[cp + 1] as usize];
+            let len = (prev_len + mc.len() - 1).min(cap_r);
+            conv_m.clear();
+            conv_m.resize(len, INFEASIBLE);
+            conv_arg.clear();
+            conv_arg.resize(len, 0);
+
+            // Copy the cells the previous (smaller-cap) pass already
+            // computed: below its cap they are exact, argmins included.
+            let mut computed_from = 0usize;
+            if let (Some(oc), Some(at)) = (old_cap_r, old_layer_at.as_mut()) {
+                let old_mc_len = (prev.m_off[cp + 1] - prev.m_off[cp]) as usize;
+                let old_len = (old_prev_len + old_mc_len - 1).min(oc);
+                let copy = old_len.min(len);
+                conv_m[..copy].copy_from_slice(&prev.layer_m[*at..*at + copy]);
+                conv_arg[..copy].copy_from_slice(&prev.layer_arg[*at..*at + copy]);
+                *at += old_len;
+                old_prev_len = old_len;
+                computed_from = copy;
+            }
+            // Min-plus over the remaining cells, `rp` ascending then `sc`
+            // ascending (the historical pair order — argmin ties keep the
+            // largest child share). Cells `< computed_from` are skipped by
+            // starting each row at the first `sc` reaching them.
+            let base: &[u128] = if prev_start == usize::MAX {
+                &own_row
+            } else {
+                &cur.layer_m[prev_start..prev_start + prev_len]
+            };
             for (rp, &vp) in base.iter().enumerate() {
-                for (sc, &vc) in mc.iter().enumerate() {
-                    let r = rp + sc;
-                    if r >= len {
-                        break;
-                    }
+                if rp >= len {
+                    break;
+                }
+                let sc0 = computed_from.saturating_sub(rp);
+                if sc0 >= mc.len() {
+                    continue; // this row cannot reach any cell ≥ computed_from
+                }
+                for (i, &vc) in mc[sc0..(len - rp).min(mc.len())].iter().enumerate() {
+                    let r = rp + sc0 + i;
                     let val = vp.saturating_add(vc);
-                    if val < next[r] {
-                        next[r] = val;
-                        argmin[r] = sc;
+                    if val < conv_m[r] {
+                        conv_m[r] = val;
+                        conv_arg[r] = (sc0 + i) as u32;
                     }
                 }
             }
-            base = next;
-            child_split.push(argmin);
+            prev_start = cur.layer_m.len();
+            prev_len = len;
+            cur.layer_m.extend_from_slice(conv_m);
+            cur.layer_arg.extend_from_slice(conv_arg);
         }
+        cur.layer_off.push(cur.layer_m.len() as u32);
 
-        // Apply the node itself; a free node adds one more useful slot.
-        let own_slot = usize::from(!in_r[v as usize]);
-        let mlen = (base.len() + own_slot).min(rmax + 1);
-        let mut m = vec![INFEASIBLE; mlen];
-        let mut placed = vec![false; mlen];
-        let mut used_r: Vec<usize> = (0..mlen).collect();
-        for (r, slot) in m.iter_mut().enumerate() {
-            if in_r[v as usize] {
+        // --- apply the node itself; a free node adds one more useful slot ---
+        let own_slot = usize::from(!in_r[vi]);
+        let mlen = (prev_len + own_slot).min(cap_r);
+        let m_start = cur.m.len();
+        let mut computed_from = 0usize;
+        if old_cap_r.is_some() {
+            let old_mlen = (prev.m_off[p + 1] - prev.m_off[p]) as usize;
+            let copy = old_mlen.min(mlen);
+            let o = prev.m_off[p] as usize;
+            cur.m.extend_from_slice(&prev.m[o..o + copy]);
+            cur.placed.extend_from_slice(&prev.placed[o..o + copy]);
+            cur.used_r.extend_from_slice(&prev.used_r[o..o + copy]);
+            computed_from = copy;
+        }
+        let base = |r: usize| -> u128 {
+            if r >= prev_len {
+                return INFEASIBLE;
+            }
+            if prev_start == usize::MAX {
+                own
+            } else {
+                cur.layer_m[prev_start + r]
+            }
+        };
+        for r in computed_from..mlen {
+            let mut slot = INFEASIBLE;
+            let mut was_placed = false;
+            if in_r[vi] {
                 // Existing replica: spare capacity in strict mode, full
                 // capacity in the re-routing relaxation.
-                let spare = if full_cap_existing { cap } else { cap - load[v as usize] as u128 };
-                if r < base.len() {
-                    *slot = base[r].saturating_sub(spare).min(INFEASIBLE);
+                let spare = if full_cap_existing { cap } else { cap - load[vi] as u128 };
+                if r < prev_len {
+                    slot = base(r).saturating_sub(spare).min(INFEASIBLE);
                 }
             } else {
-                let keep = if r < base.len() { base[r] } else { INFEASIBLE };
-                let place = if r >= 1 && r - 1 < base.len() {
-                    base[r - 1].saturating_sub(cap)
-                } else {
-                    INFEASIBLE
-                };
+                let keep = base(r);
+                let place = if r >= 1 { base(r - 1).saturating_sub(cap) } else { INFEASIBLE };
                 // Prefer placing on ties: capacity high in the subtree can
                 // also serve travelling requests later.
                 if place <= keep && place < INFEASIBLE {
-                    *slot = place;
-                    placed[r] = true;
-                }
-                if !placed[r] {
-                    *slot = keep;
+                    slot = place;
+                    was_placed = true;
+                } else {
+                    slot = keep;
                 }
             }
+            cur.m.push(slot);
+            cur.placed.push(was_placed);
+            cur.used_r.push(r as u32);
         }
-        // Monotonicity: extra replicas never hurt (leave them unused).
+        // Monotonicity: extra replicas never hurt (leave them unused). The
+        // copied prefix is already monotone, so the sweep is a no-op there.
         for r in 1..mlen {
-            if m[r] > m[r - 1] {
-                m[r] = m[r - 1];
-                placed[r] = placed[r - 1];
-                used_r[r] = used_r[r - 1];
+            let (i, h) = (m_start + r, m_start + r - 1);
+            if cur.m[i] > cur.m[h] {
+                cur.m[i] = cur.m[h];
+                cur.placed[i] = cur.placed[h];
+                cur.used_r[i] = cur.used_r[h];
             }
         }
-        nodes.push(StageNode { placed, used_r, child_split });
-        mstore.push(m);
+        cur.m_off.push(cur.m.len() as u32);
     }
 
-    let m_root = mstore.last().expect("subtree is non-empty");
-    let rmin = (0..m_root.len()).find(|&r| m_root[r] == 0)?;
+    let m_root = cur.m_slice(order.len() - 1);
+    let Some(rmin) = (0..m_root.len()).find(|&r| m_root[r] == 0) else {
+        // Monotone, so the last entry is the best the cap allows.
+        return Err(*m_root.last().expect("the forest is non-empty"));
+    };
 
     // Collect the nodes where the chosen solution opens new replicas:
     // unwind the node layer, then the child convolution layers in reverse.
+    // Layer lengths are recomputed from the children's `m` lengths (the
+    // slabs store one offset per node, not per layer).
     best_set.clear();
-    let mut stack: Vec<(u32, usize)> = vec![(j, rmin)];
-    let mut splits: Vec<usize> = Vec::new();
-    let mut kids: Vec<u32> = Vec::new();
+    let DpPool { cur, kids, layer_lens, stack, splits, .. } = pool;
+    stack.clear();
+    stack.push((j, rmin));
     while let Some((v, r)) = stack.pop() {
-        let node = &nodes[pos(v)];
-        let r = node.used_r[r];
-        if node.placed[r] {
+        let p = pos(v);
+        let m_start = cur.m_off[p] as usize;
+        let r = cur.used_r[m_start + r] as usize;
+        if cur.placed[m_start + r] {
             best_set.push(v);
         }
-        let mut rest = r - usize::from(node.placed[r]);
+        let mut rest = r - usize::from(cur.placed[m_start + r]);
         kids.clear();
         kids.extend(arena.children(v).iter().copied().filter(|&c| child_ok(c)));
-        debug_assert_eq!(kids.len(), node.child_split.len());
+        layer_lens.clear();
+        let mut base_len = 1usize;
+        for &c in kids.iter() {
+            base_len = (base_len + cur.m_len(pos(c)) - 1).min(rmax + 1);
+            layer_lens.push(base_len);
+        }
+        debug_assert_eq!(
+            cur.layer_off[p] as usize + layer_lens.iter().sum::<usize>(),
+            cur.layer_off[p + 1] as usize
+        );
         splits.clear();
+        let mut layer_start = cur.layer_off[p + 1] as usize;
         for k in (0..kids.len()).rev() {
-            let sc = node.child_split[k][rest];
+            layer_start -= layer_lens[k];
+            let sc = cur.layer_arg[layer_start + rest] as usize;
             rest -= sc;
             splits.push(sc);
         }
@@ -292,5 +439,78 @@ fn dp_core(
             stack.push((c, splits[kids.len() - 1 - i]));
         }
     }
-    Some(rmin)
+    Ok(rmin)
+}
+
+/// Test-only window into the strict stage DP, so the integration proptests
+/// in `crates/core/tests/` can pin the pooled, forest-restricted pass (and
+/// its in-place `rmax` widening) against a naive full-subtree reference.
+/// Hidden: not part of the crate's API surface.
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+    use rp_tree::Tree;
+
+    /// Result of one [`strict_dp`] run.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StrictDpRun {
+        /// The stage root's `m_j(r)` table (size-capped; entries are exact
+        /// untruncated values, and the table is flat beyond the cap).
+        pub m_root: Vec<u128>,
+        /// Smallest `r` with `m_j(r) = 0`, if any reaches zero.
+        pub rmin: Option<usize>,
+        /// The chosen placement (raw node indices) when `rmin` exists.
+        pub chosen: Vec<u32>,
+        /// Size of the active forest the pass ran over.
+        pub active_len: usize,
+    }
+
+    /// Runs the strict stage DP exactly as the oversized-stage fallback
+    /// drives it: active forest built from the demand rows, existing
+    /// `replicas` (node, load) contributing their spare, then one DP pass
+    /// per entry of `rmax_steps` — the first from scratch, each further
+    /// one widening the previous pass's capped vectors in place.
+    pub fn strict_dp(
+        tree: &Tree,
+        j: u32,
+        cap: u64,
+        replicas: &[(u32, u64)],
+        demand: &[(u32, u64)],
+        rmax_steps: &[usize],
+    ) -> StrictDpRun {
+        assert!(!rmax_steps.is_empty(), "at least one rmax step is required");
+        let mut scratch = SolverScratch::new();
+        scratch.prepare(tree);
+        for &(u, l) in replicas {
+            scratch.in_r[u as usize] = true;
+            scratch.load[u as usize] = l;
+        }
+        for &(c, w) in demand {
+            if scratch.dp_demand[c as usize] == 0 {
+                scratch.dp_clients.push(c);
+            }
+            scratch.dp_demand[c as usize] += w as u128;
+        }
+        // Active forest: the same `SolverScratch::build_active_forest`
+        // the stage engine uses, so the harness cannot drift from the
+        // production forest shape.
+        scratch.stage_id = 1;
+        let dp_clients = std::mem::take(&mut scratch.dp_clients);
+        scratch.build_active_forest(j, &dp_clients);
+        scratch.dp_clients = dp_clients;
+
+        let mut rmin = None;
+        let mut widen_from = None;
+        for &rmax in rmax_steps {
+            rmin = run_strict_dp(&mut scratch, cap as u128, j, rmax, widen_from).ok();
+            widen_from = Some(rmax);
+        }
+        let active_len = scratch.active_nodes.len();
+        StrictDpRun {
+            m_root: scratch.dp_pool.cur.m_slice(active_len - 1).to_vec(),
+            rmin,
+            chosen: if rmin.is_some() { scratch.best_set.clone() } else { Vec::new() },
+            active_len,
+        }
+    }
 }

@@ -53,13 +53,23 @@ pub(crate) fn best_placement(
     // Volume lower bound on the number of new replicas.
     let r0 = total.saturating_sub(have).div_ceil(cap) as usize;
 
-    // Size-adaptive enumeration budget: the per-set feasibility check costs
-    // O(subtree), so large subtrees only get a few candidate sets before the
-    // stage falls back to the dynamic program. Small stages (where the exact
-    // oracle can check us) always get the full search. The budget is shared
-    // across all subset sizes of the stage.
-    let order_len = scratch.arena.subtree_size(j) as u128;
-    let mut budget = (5_000_000u128 / order_len.max(1)).min(200_000);
+    // Cost-model enumeration budget, in candidate *sets* the stage may
+    // probe. A probe's worst case is one routing sweep over the stage's
+    // active forest — O(|active|), since PR 3's router never touches the
+    // rest of the subtree — so the affordable probe count is a total work
+    // target divided by |active| (most probes are far cheaper: the O(r)
+    // mask bounds and the shared-prefix router discard or shorten them,
+    // which is priced in via `ENUM_WORK_TARGET`). The candidate count then
+    // decides how far the budget reaches: subset sizes are enumerated only
+    // while `C(n, r)` fits the remaining budget, otherwise the stage falls
+    // back to the O(|active| · rmax) DP. Replacing the old
+    // `5e6 / |subtree|` heuristic with |active| lets mid-size stages in
+    // huge trees — small demand forests under a large subtree — run the
+    // optimal search instead of falling back. Small stages (where the
+    // exact oracle can check us) still always get the full search.
+    const ENUM_WORK_TARGET: u128 = 5_000_000;
+    let active_len = scratch.active_nodes.len() as u128;
+    let mut budget = (ENUM_WORK_TARGET / active_len.max(1)).min(200_000);
 
     // Largest size the budget could reach if every size from `r0` up were
     // enumerated — the horizon the DP lower bound has to inspect.

@@ -18,7 +18,9 @@
 //!   minimum-size placement;
 //! * `dp` — the fungible stage dynamic program, serving both as the
 //!   enumeration's lower bound / incumbent seed and as the exact
-//!   reassignment-free fallback for oversized stages.
+//!   reassignment-free fallback for oversized stages; both modes run over
+//!   the stage's active forest on pooled slab storage
+//!   (O(|active| · rmax) per pass, no steady-state allocation).
 //!
 //! Everything runs on the dense slabs of [`SolverScratch`]; the engine owns
 //! no state of its own.
@@ -26,6 +28,9 @@
 pub(crate) mod dp;
 pub(crate) mod enumerate;
 pub(crate) mod router;
+
+#[doc(hidden)]
+pub use dp::testing as dp_testing;
 
 use crate::error::SolveError;
 use crate::scratch::SolverScratch;
@@ -65,6 +70,12 @@ pub struct StageStats {
     pub dp_bound_skips: u64,
     /// Stages solved by the reassignment-free DP fallback.
     pub dp_fallbacks: u64,
+    /// Nodes processed by the stage DP across all its passes (lower-bound
+    /// probes, fallback runs and `rmax` widenings alike) — the
+    /// observability handle on the fallback-dominated cells: since the DP
+    /// walks the stage's active forest, this stays proportional to
+    /// |active| · passes, not to the subtree sizes.
+    pub dp_node_visits: u64,
     /// Stage commits whose placement failed to route (each aborts the
     /// solve with [`SolveError::StageRepair`]; always 0 in a valid build).
     pub repairs: u64,
@@ -95,8 +106,10 @@ impl<'a> StageEngine<'a> {
     /// # Errors
     ///
     /// [`SolveError::StageRepair`] if the chosen placement fails to route
-    /// at commit time — a solver invariant violation that release builds
-    /// surface instead of silently degrading.
+    /// at commit time, and [`SolveError::StageDpExhausted`] if the DP
+    /// fallback cannot serve the stuck volume even with its widest replica
+    /// budget — solver invariant violations that release builds surface
+    /// instead of silently degrading.
     pub(crate) fn serve_stuck(
         &mut self,
         j: u32,
@@ -110,7 +123,6 @@ impl<'a> StageEngine<'a> {
         {
             let s = &mut *scratch;
             s.stage_id += 1;
-            let stamp = s.stage_id;
             // All demand that must live inside subtree(j): what the
             // subtree's replicas already serve, plus the newly stuck volume.
             // Subtree membership is an O(1) post-order range test against
@@ -144,31 +156,10 @@ impl<'a> StageEngine<'a> {
             // path to `j` can ever carry volume, host a useful replica or
             // constrain the routing, so every per-stage pass below (and
             // every routing sweep) walks this set instead of the whole
-            // subtree. Built by walking each client's path until it merges
-            // into an already-marked one — O(|active|) total.
-            s.active_nodes.clear();
-            for i in 0..s.demand_clients.len() {
-                let mut at = s.demand_clients[i];
-                loop {
-                    if s.active_mark[at as usize] == stamp {
-                        break;
-                    }
-                    s.active_mark[at as usize] = stamp;
-                    s.active_nodes.push(at);
-                    if at == j {
-                        break;
-                    }
-                    at = s.arena.parent(at);
-                }
-            }
-            {
-                let SolverScratch { arena, active_nodes, active_pos, .. } = s;
-                active_nodes.sort_unstable_by_key(|&u| arena.post_position(u));
-                for (i, &u) in active_nodes.iter().enumerate() {
-                    active_pos[u as usize] = i as u32;
-                }
-            }
-            debug_assert_eq!(s.active_nodes.last(), Some(&j));
+            // subtree.
+            let demand_clients = std::mem::take(&mut s.demand_clients);
+            s.build_active_forest(j, &demand_clients);
+            s.demand_clients = demand_clients;
 
             // Candidate hosts for new replicas: free active nodes eligible
             // for at least one demand fragment, i.e. lying between a
@@ -204,11 +195,12 @@ impl<'a> StageEngine<'a> {
         }
 
         if !enumerate::best_placement(scratch, w, j, travelling) {
-            // Candidate space too large, or every affordable subset size is
-            // provably infeasible: fall back to the reassignment-free
-            // dynamic program over the stuck volume.
+            // Candidate space too large for the enumeration cost model, or
+            // every affordable subset size is provably infeasible: fall
+            // back to the reassignment-free dynamic program over the stuck
+            // volume (pooled, active-forest restricted — see `dp`).
             scratch.stats.dp_fallbacks += 1;
-            dp::fallback_placement(scratch, w, j, stuck);
+            dp::fallback_placement(scratch, w, j, stuck)?;
         }
 
         // Commit: clear the subtree's assignments (only its replicas hold

@@ -83,6 +83,13 @@ fn instance_mix() -> Vec<(String, Instance)> {
     out.push(("fig3/m3d2".into(), single_gen_tight(3, 2).instance));
     out.push(("fig4/k4".into(), single_nod_tight(4).instance));
 
+    // Family 7: wide shallow binary trees with tight W — every stage's
+    // candidate space blows the enumeration cost model, so these solves
+    // live in the pooled stage-DP fallback (exercised further, with stats
+    // assertions, by `heavy_fallback_stages_reuse_scratch` below).
+    out.push(("wide-tight/64".into(), wrap_instance(balanced(2, 5, 2, 7, 1), 1.4, Some(0.4))));
+    out.push(("wide-tight/128".into(), wrap_instance(balanced(2, 6, 2, 6, 2), 1.5, None)));
+
     // Family 6: random k-ary (arity 3–4) for the single-policy algorithms.
     for clients in [64usize, 7] {
         let tree = random_kary_tree(
@@ -129,6 +136,43 @@ fn shared_scratch_solves_match_fresh_solves_across_families() {
         }
     }
     assert!(multiple_checked >= 5, "the mix must exercise multiple-bin broadly");
+}
+
+#[test]
+fn heavy_fallback_stages_reuse_scratch() {
+    // The pooled stage-DP fallback keeps its slabs (and their high-water
+    // allocations) across stages AND solves; interleaving fallback-heavy
+    // instances of very different sizes through one scratch must still
+    // match fresh-scratch solves exactly. Wide shallow trees with tight
+    // `W` strand whole subtrees at once, so `C(candidates, r0)` blows the
+    // enumeration cost model and every stage runs the DP.
+    let mut shared = SolverScratch::new();
+    let mix: Vec<(String, Instance)> = [(6usize, 1.4f64), (3, 1.3), (5, 1.5), (2, 1.2), (6, 1.6)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(levels, factor))| {
+            let dmax = if i % 2 == 0 { Some(0.45) } else { None };
+            let inst = wrap_instance(balanced(2, levels, 2, 5 + i as u64, 1), factor, dmax);
+            (format!("wide-tight/levels{levels}"), inst)
+        })
+        .collect();
+    let mut fallback_solves = 0;
+    for (name, inst) in &mix {
+        let reused = multiple_bin_with(inst, &mut shared).expect("multiple-bin feasible");
+        let stats = *shared.stage_stats();
+        assert!(stats.stages > 0, "[{name}] tight W must trigger stages");
+        if stats.dp_fallbacks > 0 {
+            fallback_solves += 1;
+            assert!(stats.dp_node_visits > 0, "[{name}] fallbacks must visit DP nodes");
+        }
+        let fresh = multiple_bin(inst).expect("multiple-bin feasible");
+        assert_eq!(reused, fresh, "[{name}] fallback-heavy solve diverged under scratch reuse");
+        validate(inst, Policy::Multiple, &reused).expect("output valid");
+    }
+    assert!(
+        fallback_solves >= 3,
+        "the family exists to exercise the DP fallback; only {fallback_solves} solves used it"
+    );
 }
 
 #[test]

@@ -124,4 +124,6 @@ impl_tuple_strategy! {
     (A, B, C, D);
     (A, B, C, D, E);
     (A, B, C, D, E, G);
+    (A, B, C, D, E, G, H);
+    (A, B, C, D, E, G, H, I);
 }

@@ -18,7 +18,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use rp_bench::scaling::{grid_sizes, ScalingCell, ScalingReport};
-use rp_bench::{binary_instance, deep_fallback_instance, kary_instance};
+use rp_bench::{binary_instance, deep_fallback_instance, kary_instance, long_spine_instance};
 use rp_core::{baselines, multiple_bin_with, single_gen_with, single_nod_with, SolverScratch};
 use rp_tree::{Instance, Solution};
 use std::hint::black_box;
@@ -29,15 +29,26 @@ use std::time::Duration;
 /// `multiple-bin-deep` rows are `multiple-bin` again, but on the
 /// tight-capacity caterpillars of the `deep_fallback` family
 /// ([`deep_fallback_instance`]) so the grid exercises the strict stage-DP
-/// fallback at every size, not only at 16384 clients.
-const ALGORITHMS: [&str; 5] =
-    ["single-gen", "single-nod", "multiple-bin", "multiple-bin-deep", "multiple-greedy"];
+/// fallback at every size, not only at 16384 clients; the
+/// `multiple-bin-spine` rows run it on the long-caterpillar `long_spine`
+/// family ([`long_spine_instance`]), whose Θ(clients) bounded-scope stages
+/// exercise the incremental stage commit (the family the whole-subtree
+/// commit made quadratic and PR 4 had to shelve).
+const ALGORITHMS: [&str; 6] = [
+    "single-gen",
+    "single-nod",
+    "multiple-bin",
+    "multiple-bin-deep",
+    "multiple-bin-spine",
+    "multiple-greedy",
+];
 
 fn instance_for(algorithm: &str, clients: usize, dmax: bool, seed: u64) -> Instance {
     let fraction = if dmax { Some(0.7) } else { None };
     match algorithm {
         "multiple-bin" => binary_instance(clients, fraction, seed),
         "multiple-bin-deep" => deep_fallback_instance(clients, dmax, seed),
+        "multiple-bin-spine" => long_spine_instance(clients, dmax, seed),
         _ => kary_instance(clients, 4, fraction, seed),
     }
 }
@@ -46,7 +57,9 @@ fn solve(algorithm: &str, inst: &Instance, scratch: &mut SolverScratch) -> Solut
     match algorithm {
         "single-gen" => single_gen_with(inst, scratch).expect("feasible"),
         "single-nod" => single_nod_with(inst, scratch).expect("feasible"),
-        "multiple-bin" | "multiple-bin-deep" => multiple_bin_with(inst, scratch).expect("feasible"),
+        "multiple-bin" | "multiple-bin-deep" | "multiple-bin-spine" => {
+            multiple_bin_with(inst, scratch).expect("feasible")
+        }
         "multiple-greedy" => baselines::multiple_greedy(inst).expect("feasible"),
         other => unreachable!("unknown algorithm {other}"),
     }
@@ -70,6 +83,13 @@ fn main() {
     let mut stats: Vec<(String, String, ScalingCell)> = Vec::new();
     for algorithm in ALGORITHMS {
         for dmax in [true, false] {
+            // The spine family exists for its stage-dense dmax rows; its
+            // NoD variant degenerates to one maximal root stage on a chain
+            // (an EDF-router / stage-DP worst case the deep family already
+            // covers), so those rows are omitted from the grid.
+            if algorithm == "multiple-bin-spine" && !dmax {
+                continue;
+            }
             let group_name = format!("scaling/{algorithm}/{}", if dmax { "dmax" } else { "nod" });
             let mut group = criterion.benchmark_group(group_name.clone());
             for &clients in sizes {
@@ -101,6 +121,8 @@ fn main() {
                         stage_pruned: stage.subsets_pruned,
                         dp_node_visits: stage.dp_node_visits,
                         dp_fallbacks: stage.dp_fallbacks,
+                        commit_touched: stage.commit_touched,
+                        commit_skipped: stage.commit_skipped,
                     },
                 ));
                 group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {

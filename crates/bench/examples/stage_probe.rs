@@ -1,0 +1,34 @@
+//! Quick wall-clock probe for the stage-heavy bench families, outside the
+//! criterion grid: `cargo run --release -p rp-bench --example stage_probe
+//! -- <clients> <deep|spine> <dmax|nod>` times `multiple-bin` on one cell
+//! and dumps the stage counters — handy when iterating on the stage
+//! engine without re-running the whole scaling bench.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(16384);
+    let family = args.get(2).cloned().unwrap_or_else(|| "deep".into());
+    let dmax = args.get(3).map(|s| s == "dmax").unwrap_or(true);
+    let seed = 0xE6u64 ^ (clients as u64).rotate_left(17) ^ u64::from(dmax);
+    let inst = match family.as_str() {
+        "deep" => rp_bench::deep_fallback_instance(clients, dmax, seed),
+        "spine" => rp_bench::long_spine_instance(clients, dmax, seed),
+        _ => panic!(),
+    };
+    let mut scratch = rp_core::SolverScratch::new();
+    // warm
+    let sol = rp_core::multiple_bin_with(&inst, &mut scratch).unwrap();
+    let t0 = std::time::Instant::now();
+    let mut n = 0u32;
+    while t0.elapsed().as_millis() < 2000 {
+        let _ = rp_core::multiple_bin_with(&inst, &mut scratch).unwrap();
+        n += 1;
+    }
+    let per = t0.elapsed().as_secs_f64() / n as f64;
+    println!(
+        "{family} {clients} dmax={dmax}: {:.1} ms/solve over {n} solves, replicas={}",
+        per * 1e3,
+        sol.replica_count()
+    );
+    println!("stats: {:?}", scratch.stage_stats());
+}

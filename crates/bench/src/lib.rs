@@ -94,6 +94,34 @@ pub fn deep_fallback_instance(clients: usize, dmax_active: bool, seed: u64) -> I
     wrap_instance(tree, 1.8, if dmax_active { Some(0.3) } else { None })
 }
 
+/// Deterministic `long_spine` instance: a **long caterpillar** — one spine
+/// node per client, each hanging a single client leaf — under a moderate
+/// capacity (W = 12, requests 1..=9) and a *constant* distance budget
+/// (`dmax = 24`, deliberately not a fraction of the span): requests get
+/// stuck every few spine nodes, so the solve runs Θ(clients) stages whose
+/// affected scopes are bounded windows of the spine. This is the family
+/// PR 4 had to shelve as quadratic — every stage used to re-collect and
+/// re-route the whole subtree below it, Θ(stages × subtree) — and the
+/// incremental stage commit exists to make tractable; the
+/// `multiple-bin-spine` rows of the scaling grid watch exactly that.
+/// Without `dmax` the family degenerates to one maximal root stage on a
+/// chain (nothing ever gets stuck below the root) — a worst case of the
+/// EDF router and the stage DP, not of the incremental commit — so the
+/// scaling grid only carries the family's `dmax` rows (the
+/// `multiple-bin-deep` NoD rows already cover the maximal-stage regime).
+pub fn long_spine_instance(clients: usize, dmax_active: bool, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = rp_tree::TreeBuilder::new();
+    let mut spine = b.root();
+    for _ in 0..clients.max(1) {
+        spine = b.add_internal(spine, 1);
+        b.add_client(spine, 1, rng.gen_range(1..=9u64));
+    }
+    let tree = b.freeze().expect("spine construction is always valid");
+    Instance::new(tree, 12, if dmax_active { Some(24) } else { None })
+        .expect("capacity is positive")
+}
+
 /// Hangs a balanced binary subtree below `parent` with `reqs` as its leaf
 /// clients (all edges 1).
 fn add_balanced_leg(b: &mut rp_tree::TreeBuilder, parent: rp_tree::NodeId, reqs: &[u64]) {
@@ -129,5 +157,29 @@ mod tests {
         assert_eq!(d.capacity(), e.capacity());
         assert!(d.tree().is_binary(), "multiple-bin must accept the family");
         assert!(d.dmax().is_some() && deep_fallback_instance(24, false, 9).dmax().is_none());
+        let s = long_spine_instance(48, true, 9);
+        let t = long_spine_instance(48, true, 9);
+        assert_eq!(s.tree().len(), t.tree().len());
+        assert!(s.tree().is_binary(), "multiple-bin must accept the spine family");
+        assert_eq!(s.dmax(), Some(24), "the spine distance budget is constant, not span-scaled");
+        assert!(long_spine_instance(48, false, 9).dmax().is_none());
+    }
+
+    #[test]
+    fn long_spine_family_is_stage_dense() {
+        // The family exists to run many bounded-scope stages: the dmax
+        // variant must trigger a stage count proportional to the spine
+        // length, with most of the committed volume *skipped* (left
+        // untouched outside the stages' scopes) — the regime the
+        // incremental stage commit exists for.
+        let inst = long_spine_instance(192, true, 3);
+        let mut scratch = rp_core::SolverScratch::new();
+        rp_core::multiple_bin_with(&inst, &mut scratch).expect("feasible");
+        let stats = *scratch.stage_stats();
+        assert!(stats.stages >= 32, "expected a stage-dense solve, got {stats:?}");
+        assert!(
+            stats.commit_skipped > stats.commit_touched,
+            "bounded scopes should skip most committed volume: {stats:?}"
+        );
     }
 }

@@ -149,7 +149,8 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
         out.push_str(&format!(
             "stage stats:\n  stages: {}\n  subsets enumerated: {}\n  subsets routed: {}\n  \
              subsets pruned: {}\n  shared-prefix routes: {}\n  dp sizes skipped: {}\n  \
-             dp bound skips: {}\n  dp fallbacks: {}\n  dp node visits: {}\n  repairs: {}\n",
+             dp bound skips: {}\n  dp fallbacks: {}\n  dp node visits: {}\n  \
+             commit volume touched: {}\n  commit volume skipped: {}\n  repairs: {}\n",
             s.stages,
             s.subsets_enumerated,
             s.subsets_routed,
@@ -159,6 +160,8 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
             s.dp_bound_skips,
             s.dp_fallbacks,
             s.dp_node_visits,
+            s.commit_touched,
+            s.commit_skipped,
             s.repairs,
         ));
     }
@@ -371,6 +374,8 @@ mod tests {
             stage_pruned: 0,
             dp_node_visits: 0,
             dp_fallbacks: 0,
+            commit_touched: 0,
+            commit_skipped: 0,
         };
         ScalingReport { quick: true, cells: vec![cell(true, median_dmax), cell(false, median_nod)] }
             .to_json()
@@ -510,6 +515,8 @@ mod tests {
         assert!(out.contains("stage stats:"), "{out}");
         assert!(out.contains("subsets routed:"));
         assert!(out.contains("dp node visits:"));
+        assert!(out.contains("commit volume touched:"));
+        assert!(out.contains("commit volume skipped:"));
         assert!(out.contains("repairs: 0"));
 
         let out =

@@ -86,6 +86,32 @@ impl std::error::Error for SolveError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
+
+    /// One of each variant, so the tests below cannot silently skip a
+    /// newly added one (the match in [`all_variants`] fails to compile
+    /// until the new variant is listed here).
+    fn all_variants() -> Vec<SolveError> {
+        let variants = vec![
+            SolveError::ClientExceedsCapacity { client: NodeId(4), requests: 12, capacity: 7 },
+            SolveError::NotBinary { arity: 5 },
+            SolveError::ClientUnservable { client: NodeId(1) },
+            SolveError::StageRepair { node: NodeId(3) },
+            SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 },
+        ];
+        for v in &variants {
+            // Exhaustiveness guard: extend `variants` above when this
+            // match gains an arm.
+            match v {
+                SolveError::ClientExceedsCapacity { .. }
+                | SolveError::NotBinary { .. }
+                | SolveError::ClientUnservable { .. }
+                | SolveError::StageRepair { .. }
+                | SolveError::StageDpExhausted { .. } => {}
+            }
+        }
+        variants
+    }
 
     #[test]
     fn display_mentions_the_numbers() {
@@ -98,5 +124,57 @@ mod tests {
         assert!(s.contains("n3") && s.contains("failed to route"));
         let s = SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 }.to_string();
         assert!(s.contains("n6") && s.contains("17") && s.contains("unserved"));
+    }
+
+    #[test]
+    fn every_variant_displays_cli_worthy_text() {
+        // The CLI prints these verbatim (`rp solve` maps them through
+        // `to_string`), so each variant must render non-empty, single-line
+        // prose that stands on its own — no Debug braces, no trailing
+        // newline, distinct from every other variant.
+        let rendered: Vec<String> = all_variants().iter().map(|e| e.to_string()).collect();
+        for (v, s) in all_variants().iter().zip(&rendered) {
+            assert!(!s.is_empty(), "{v:?} renders empty");
+            assert!(!s.contains('\n'), "{v:?} renders multi-line: {s:?}");
+            assert!(!s.contains('{'), "{v:?} leaks Debug formatting: {s:?}");
+            assert_eq!(s.trim(), s, "{v:?} has stray whitespace: {s:?}");
+        }
+        for i in 0..rendered.len() {
+            for k in i + 1..rendered.len() {
+                assert_ne!(rendered[i], rendered[k], "two variants render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn error_source_chains_terminate_immediately() {
+        // Every variant is a root cause: `source()` is `None`, so callers
+        // walking the chain (anyhow-style reporters, the CLI) stop at the
+        // solver. Also exercise the chain through a trait object, the way
+        // `Box<dyn Error>` consumers see it.
+        for e in all_variants() {
+            assert!(e.source().is_none(), "{e:?} should be a root cause");
+            let boxed: Box<dyn Error> = Box::new(e.clone());
+            assert!(boxed.source().is_none());
+            assert_eq!(boxed.to_string(), e.to_string());
+        }
+    }
+
+    #[test]
+    fn variants_compare_and_clone_structurally() {
+        // The differential and unit suites match on errors with `==`
+        // (e.g. `assert_eq!(err, SolveError::NotBinary { arity: 3 })`);
+        // pin that equality is structural and clones are faithful.
+        for e in all_variants() {
+            assert_eq!(e.clone(), e);
+        }
+        assert_ne!(
+            SolveError::StageRepair { node: NodeId(3) },
+            SolveError::StageRepair { node: NodeId(4) },
+        );
+        assert_ne!(
+            SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 },
+            SolveError::StageDpExhausted { node: NodeId(6), rmax: 18 },
+        );
     }
 }

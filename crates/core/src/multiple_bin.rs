@@ -100,10 +100,12 @@ pub fn multiple_bin_with(
                 scratch.req[ji].push(PendingRequest { d: 0, w: r, client: j });
             } else {
                 // The client is too far even from its own parent: serve it
-                // locally (paper line 5).
+                // locally (paper line 5). The committed-load summary is
+                // kept in step so stage commits can price skipped volume.
                 scratch.in_r[ji] = true;
                 scratch.load[ji] = r;
                 scratch.assigned[ji].push((j, r));
+                scratch.load_sums.add(scratch.arena.post_position(j), r as i128);
             }
             continue;
         }

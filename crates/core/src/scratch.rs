@@ -30,6 +30,63 @@ use rp_tree::{Dist, Requests, Tree};
 /// One `(client, amount)` assignment fragment on a replica.
 pub(crate) type AssignPair = (u32, Requests);
 
+/// One buffered assignment write of a stage commit: `amount` requests of
+/// `client` onto the replica at `node`. The commit route appends these to
+/// [`SolverScratch::commit_log`] instead of mutating `assigned` / `load`
+/// directly, so one routing pass both proves feasibility and produces the
+/// writes to flush (see `crate::stage`).
+pub(crate) type CommitEntry = (u32, u32, Requests);
+
+/// A Fenwick (binary indexed) tree over post-order positions holding the
+/// committed load of the replica (if any) at each position — the persistent
+/// per-replica load summary behind the stage engine's
+/// `commit_touched` / `commit_skipped` accounting: the total assigned
+/// volume inside any subtree is one O(log n) range query over the
+/// contiguous post-order slice, so a stage can price what its scoped
+/// collection *skipped* without scanning the subtree it deliberately did
+/// not walk. Updated wherever a `multiple-bin` solve writes `load` (the
+/// sweep's local self-serves and the stage commit flush); the single
+/// solvers never read it, so their `load` writes bypass it.
+#[derive(Debug, Default)]
+pub(crate) struct LoadFenwick {
+    /// 1-based partial sums; cell deltas are signed (commits clear loads),
+    /// totals are always non-negative.
+    tree: Vec<i128>,
+}
+
+impl LoadFenwick {
+    /// Zeroes the structure for `n` post-order positions (capacity kept).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0);
+    }
+
+    /// Adds `delta` to the load recorded at post-order position `pos`.
+    pub(crate) fn add(&mut self, pos: usize, delta: i128) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of the first `i` positions.
+    fn prefix(&self, mut i: usize) -> i128 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Total committed load at post-order positions `lo..=hi`.
+    pub(crate) fn range(&self, lo: usize, hi: usize) -> u128 {
+        debug_assert!(lo <= hi && hi + 1 < self.tree.len());
+        (self.prefix(hi + 1) - self.prefix(lo)) as u128
+    }
+}
+
 /// A pending `single-nod` group: requests of `clients`, aggregated at
 /// `node` (an ancestor of each of them), still to be served at `node` or
 /// above.
@@ -150,13 +207,28 @@ pub struct SolverScratch {
 
     // --- per-stage state ---
     /// Demand that must be served inside the stage subtree, per client.
+    /// During scoped collection the `demand_clients` list doubles as the
+    /// closure work queue (clients are appended as replica assignments are
+    /// collected and processed by index).
     pub(crate) demand: Vec<u128>,
     /// Clients with non-zero [`SolverScratch::demand`] (cleanup list).
     pub(crate) demand_clients: Vec<u32>,
-    /// Every replica placed so far in the solve (in placement order).
-    pub(crate) replicas: Vec<u32>,
-    /// Replicas already inside the stage subtree.
+    /// Replicas in the stage's affected scope (their assignments are
+    /// collected into the demand pool and re-routed by the commit).
     pub(crate) existing: Vec<u32>,
+    /// Per-replica committed-load summary over post-order positions (see
+    /// [`LoadFenwick`]).
+    pub(crate) load_sums: LoadFenwick,
+    /// Buffered assignment writes of the stage commit route (flushed into
+    /// `assigned` / `load` only once the route proves feasible).
+    pub(crate) commit_log: Vec<CommitEntry>,
+    /// Test-only switch: stages compute their affected scope by naive
+    /// whole-subtree fixpoint scans and commit with the historical
+    /// check-then-write double route. Semantics are identical to the
+    /// incremental path (pinned by `tests/proptest_stage_commit.rs`);
+    /// never set in production. Survives [`SolverScratch::prepare`] so one
+    /// flagged scratch can reference-solve many instances.
+    pub(crate) naive_stage_commit: bool,
     /// Free nodes eligible to host a new replica this stage.
     pub(crate) candidates: Vec<u32>,
     /// Active-forest position of each candidate (parallel to `candidates`).
@@ -244,6 +316,17 @@ impl SolverScratch {
         &self.stats
     }
 
+    /// Test-only window: makes stages compute their affected scope by the
+    /// naive whole-subtree fixpoint reference and commit with the
+    /// historical check-then-write double route, instead of the
+    /// incremental closure walk and the fused buffered commit. Results are
+    /// identical by construction — `tests/proptest_stage_commit.rs` pins
+    /// that equivalence. Hidden: not part of the crate's API surface.
+    #[doc(hidden)]
+    pub fn set_naive_stage_commit(&mut self, naive: bool) {
+        self.naive_stage_commit = naive;
+    }
+
     /// Rebuilds the arena for `tree` and resets the node-indexed state
     /// shared by every solver. Called once at the start of each solve.
     pub(crate) fn prepare(&mut self, tree: &Tree) {
@@ -265,10 +348,11 @@ impl SolverScratch {
         reset(&mut self.sg_total, n, 0);
         reset(&mut self.sg_allow, n, None);
         self.router.prepare(n);
+        self.load_sums.reset(n);
+        self.commit_log.clear();
         self.stats = StageStats::default();
         self.stage_id = 0;
         self.demand_clients.clear();
-        self.replicas.clear();
         self.existing.clear();
         self.candidates.clear();
         self.cand_pos.clear();
@@ -317,8 +401,17 @@ impl SolverScratch {
                 at = self.arena.parent(at);
             }
         }
-        if self.active_mark[j as usize] != stamp {
-            self.active_mark[j as usize] = stamp;
+        self.seal_active_forest(j);
+    }
+
+    /// Finishes an active forest whose nodes have been marked and pushed
+    /// (by [`SolverScratch::build_active_forest`] or the stage engine's
+    /// scoped collection walk): ensures the stage root is present, sorts
+    /// by post-order position (children before parents) and fills
+    /// [`SolverScratch::active_pos`].
+    pub(crate) fn seal_active_forest(&mut self, j: u32) {
+        if self.active_mark[j as usize] != self.stage_id {
+            self.active_mark[j as usize] = self.stage_id;
             self.active_nodes.push(j);
         }
         let SolverScratch { arena, active_nodes, active_pos, .. } = self;

@@ -1,7 +1,8 @@
 //! The fungible stage dynamic program, used two ways by the stage engine:
 //!
-//! * **Lower bound** ([`lower_bound`], relaxed mode): over the *full* stage
-//!   demand with existing replicas contributing their whole capacity (the
+//! * **Lower bound** ([`lower_bound`], relaxed mode): over the full
+//!   *scoped* stage demand (the affected-scope pool of `crate::stage`)
+//!   with the scope's replicas contributing their whole capacity (the
 //!   stage may re-route them), dropping the deadline constraints. Any
 //!   routable placement of `r` new replicas induces a fungible flow of the
 //!   same shape, so the smallest `r` with zero leftover is a true lower
@@ -118,6 +119,19 @@ pub(crate) fn fallback_placement(
             s.dp_demand[t.client as usize] += t.w as u128;
         }
     }
+    // Narrow the forest to the *stuck* clients' paths for the DP passes:
+    // a free node off every stuck path has `m ≡ 0` and an off-path
+    // existing replica's spare absorbs no stuck volume, so neither can be
+    // part of a minimum placement (handing either a replica share would
+    // make the stage feasible with fewer — contradicting `rmin`'s
+    // first-zero minimality). The DP therefore returns the same `rmin`
+    // and the same placement as over the stage's full scope forest, at a
+    // fraction of the O(|forest| · rmax) pass cost. The caller restores
+    // the scope forest before the commit route.
+    scratch.stage_id += 1;
+    let dp_clients = std::mem::take(&mut scratch.dp_clients);
+    scratch.build_active_forest(j, &dp_clients);
+    scratch.dp_clients = dp_clients;
     let total: u128 = scratch.dp_clients.iter().map(|&c| scratch.dp_demand[c as usize]).sum();
     // No `r` beyond the active forest's free-node count can help: the DP's
     // vectors are truncated there (a subtree cannot host more new replicas

@@ -1,7 +1,11 @@
 //! Pruned candidate-subset search for the best stage placement.
 //!
-//! PR 2's enumeration routed *every* candidate subset of every size under
-//! the stage budget. This version is branch-and-bound:
+//! The search consumes the stage's *scoped* demand view (see
+//! `crate::stage`): `demand` / `demand_clients` hold the affected-scope
+//! pool, `existing` the scope's replicas and `candidates` the free nodes
+//! of the scope forest — never the whole subtree. PR 2's enumeration
+//! routed *every* candidate subset of every size under the stage budget.
+//! This version is branch-and-bound:
 //!
 //! 1. the relaxed stage-DP ([`super::dp::lower_bound`]) prunes every subset
 //!    size below the true minimum (or the whole enumeration, when even the

@@ -3,17 +3,19 @@
 //! Algorithm 3 places replicas lazily: the bottom-up sweep only acts when
 //! pending requests get **stuck** at a node `j` — they cannot travel above
 //! it without violating `dmax`. Serving them is a *stage*: place the
-//! minimum number of new replicas inside `subtree(j)` so that everything
-//! already assigned in the subtree (re-routable — replica positions are
-//! fixed, assignments are not) plus the newly stuck volume fits. The same
-//! route-then-place stage pattern recurs across the distance- and
-//! QoS-constrained variants of the problem, so it lives here as its own
-//! subsystem, split by concern:
+//! minimum number of new replicas inside `subtree(j)` so that the newly
+//! stuck volume, plus whatever already-assigned volume has to move to make
+//! room (re-routable — replica positions are fixed, assignments are not),
+//! fits. The same route-then-place stage pattern recurs across the
+//! distance- and QoS-constrained variants of the problem, so it lives here
+//! as its own subsystem, split by concern:
 //!
-//! * [`mod@self`] — the [`StageEngine`] driver: stage demand collection,
-//!   candidate eligibility, commit, and the [`StageStats`] counters;
+//! * [`mod@self`] — the [`StageEngine`] driver: scoped demand collection,
+//!   candidate eligibility, the fused buffered commit, and the
+//!   [`StageStats`] counters;
 //! * `router` — earliest-deadline-first feasibility routing, with
-//!   checkpointed incremental re-routing across similar placements;
+//!   checkpointed incremental re-routing across similar placements and a
+//!   buffered-write commit mode;
 //! * `enumerate` — the pruned branch-and-bound search for the best
 //!   minimum-size placement;
 //! * `dp` — the fungible stage dynamic program, serving both as the
@@ -21,6 +23,56 @@
 //!   reassignment-free fallback for oversized stages; both modes run over
 //!   the stage's active forest on pooled slab storage
 //!   (O(|active| · rmax) per pass, no steady-state allocation).
+//!
+//! # Incremental stage commits: the affected scope
+//!
+//! A stage does **not** rebuild the world under `j`. It collects demand
+//! only from its *affected scope* — the closure obtained by seeding the
+//! demand pool with the stuck clients and walking each pool client's
+//! **service path** (the client up to its deadline, truncated at `j`):
+//! every replica the walk crosses joins the scope and its assignments
+//! join the pool (enqueueing their clients for the same walk), until a
+//! fixpoint. Walks stop at already-visited nodes, so collection is
+//! O(|scope forest|), not O(|subtree|), and the commit clears and
+//! re-routes only the scope's replicas; everything else in `subtree(j)`
+//! keeps its assignments untouched.
+//!
+//! The restriction is **exact**, by the ancestry argument that powers the
+//! active forest plus deadline-reachability. A replica can serve a client
+//! only from the client's service path — at or below its deadline, at or
+//! above the client — so a replica off every pool client's service path
+//! can serve none of the pool in any feasible routing; excluding its
+//! capacity loses nothing. Conversely its own clients are not in the pool
+//! (a replica's assignments are deadline-valid, so it sits on its own
+//! clients' service paths and would have been collected through them), so
+//! leaving its assignments in place keeps them served exactly as before.
+//! Displacement chains are fully captured: if freeing capacity on some
+//! replica `u` for stuck volume requires moving `u`'s clients onto
+//! another replica `v`, then `u` is on a stuck client's service path (it
+//! joined the scope on their walk — a newly stuck client's deadline is
+//! `j` itself, since its fragment travelled to `j` legally but cannot
+//! leave, so stuck walks cover the whole `j`-path), `u`'s clients are in
+//! the pool, and `v` — necessarily on one of their service paths to serve
+//! them — is crossed by that client's walk and joins the scope too. And a
+//! minimum-size placement never opens a replica off the scope forest:
+//! such a replica could serve no pool client, so dropping it (after
+//! returning any displaced off-pool clients to their pre-stage replicas,
+//! which hold exactly their old assignments) would stay feasible,
+//! contradicting minimality. Hence the minimum replica count of the
+//! scoped stage equals the minimum of the historical whole-subtree
+//! collection; only the tie-broken choice *among* minimum placements can
+//! differ (the spare of untouched far replicas no longer participates in
+//! scoring).
+//!
+//! The commit itself is a single **buffered-write pass**: one routing
+//! sweep over the committed replica set appends `(node, client, amount)`
+//! entries to a log, and the log is flushed into the persistent
+//! `assigned` / `load` slabs only on a feasible verdict — replacing the
+//! historical check-then-commit double route. A post-order Fenwick tree of
+//! committed loads ([`SolverScratch`]'s `load_sums`) prices what each
+//! stage skipped: the [`StageStats::commit_touched`] /
+//! [`StageStats::commit_skipped`] counters split the subtree's assigned
+//! volume into re-routed scope volume and untouched off-scope volume.
 //!
 //! Everything runs on the dense slabs of [`SolverScratch`]; the engine owns
 //! no state of its own.
@@ -79,6 +131,15 @@ pub struct StageStats {
     /// Stage commits whose placement failed to route (each aborts the
     /// solve with [`SolveError::StageRepair`]; always 0 in a valid build).
     pub repairs: u64,
+    /// Previously-assigned volume collected into stage scopes and
+    /// re-routed by the commits (requests, summed over all stages).
+    pub commit_touched: u64,
+    /// Assigned volume that sat inside stage subtrees but outside the
+    /// stages' affected scopes, and was therefore left untouched — the
+    /// volume the historical whole-subtree collection would have cleared
+    /// and re-routed. The observability handle on the incremental commit:
+    /// stage-dense instances live or die by this staying high.
+    pub commit_skipped: u64,
 }
 
 /// A scoped view driving one stage over a prepared [`SolverScratch`]: the
@@ -100,8 +161,10 @@ impl<'a> StageEngine<'a> {
     }
 
     /// Runs one stage: serve the newly stuck requests inside `subtree(j)`
-    /// with the minimum number of new replicas, re-routing the subtree's
-    /// existing assignments (replica positions are fixed; loads are not).
+    /// with the minimum number of new replicas, re-routing the assignments
+    /// of the stage's *affected scope* (replica positions are fixed; loads
+    /// are not) and leaving the rest of the subtree untouched — see the
+    /// module docs for the scope closure and its exactness argument.
     ///
     /// # Errors
     ///
@@ -123,43 +186,26 @@ impl<'a> StageEngine<'a> {
         {
             let s = &mut *scratch;
             s.stage_id += 1;
-            // All demand that must live inside subtree(j): what the
-            // subtree's replicas already serve, plus the newly stuck volume.
-            // Subtree membership is an O(1) post-order range test against
-            // the solve's replica list.
-            debug_assert!(s.demand_clients.is_empty());
+            // Scoped demand collection (see the module docs): the demand
+            // pool, the affected scope's replicas and the active forest
+            // all come out of one closure walk seeded by the stuck
+            // clients. The naive reference recomputes the same fixpoint by
+            // whole-subtree scans (test-only).
+            let collected = if s.naive_stage_commit {
+                collect_scope_naive(s, j, stuck)
+            } else {
+                collect_scope(s, j, stuck)
+            };
+            // Touched vs. skipped volume: the post-order Fenwick of
+            // committed loads prices the whole subtree in O(log n), so the
+            // skipped share needs no scan of the region the scope
+            // deliberately avoided.
             let hi = s.arena.post_position(j);
             let lo = hi + 1 - s.arena.subtree_size(j);
-            s.existing.clear();
-            for i in 0..s.replicas.len() {
-                let u = s.replicas[i];
-                if !(lo..=hi).contains(&s.arena.post_position(u)) {
-                    continue;
-                }
-                s.existing.push(u);
-                for k in 0..s.assigned[u as usize].len() {
-                    let (c, amount) = s.assigned[u as usize][k];
-                    if s.demand[c as usize] == 0 {
-                        s.demand_clients.push(c);
-                    }
-                    s.demand[c as usize] += amount as u128;
-                }
-            }
-            for t in stuck {
-                if s.demand[t.client as usize] == 0 {
-                    s.demand_clients.push(t.client);
-                }
-                s.demand[t.client as usize] += t.w as u128;
-            }
-
-            // The stage's active forest: only nodes on a demand client's
-            // path to `j` can ever carry volume, host a useful replica or
-            // constrain the routing, so every per-stage pass below (and
-            // every routing sweep) walks this set instead of the whole
-            // subtree.
-            let demand_clients = std::mem::take(&mut s.demand_clients);
-            s.build_active_forest(j, &demand_clients);
-            s.demand_clients = demand_clients;
+            let subtree_vol = s.load_sums.range(lo, hi);
+            debug_assert!(subtree_vol >= collected, "scope volume is part of the subtree volume");
+            s.stats.commit_touched += collected as u64;
+            s.stats.commit_skipped += (subtree_vol - collected) as u64;
 
             // Candidate hosts for new replicas: free active nodes eligible
             // for at least one demand fragment, i.e. lying between a
@@ -198,52 +244,239 @@ impl<'a> StageEngine<'a> {
             // Candidate space too large for the enumeration cost model, or
             // every affordable subset size is provably infeasible: fall
             // back to the reassignment-free dynamic program over the stuck
-            // volume (pooled, active-forest restricted — see `dp`).
+            // volume (pooled, stuck-forest restricted — see `dp`). The
+            // fallback narrows the active forest to the stuck paths for
+            // its passes; rebuild the stage's scope forest for the commit
+            // route below.
             scratch.stats.dp_fallbacks += 1;
             dp::fallback_placement(scratch, w, j, stuck)?;
+            build_scope_forest(scratch, j);
         }
 
-        // Commit: clear the subtree's assignments (only its replicas hold
-        // any) and re-route everything over the old and new replicas
-        // together.
+        // Commit: clear the scope's assignments (off-scope replicas keep
+        // theirs — the module docs' exactness argument) and re-route the
+        // pool over the scope's old and new replicas together.
         {
             let s = &mut *scratch;
             for i in 0..s.existing.len() {
-                let u = s.existing[i] as usize;
-                s.assigned[u].clear();
-                s.load[u] = 0;
+                let u = s.existing[i];
+                let ui = u as usize;
+                if s.load[ui] > 0 {
+                    s.load_sums.add(s.arena.post_position(u), -(s.load[ui] as i128));
+                }
+                s.assigned[ui].clear();
+                s.load[ui] = 0;
             }
             for i in 0..s.best_set.len() {
                 let u = s.best_set[i];
                 debug_assert!(!s.in_r[u as usize]);
                 s.in_r[u as usize] = true;
-                s.replicas.push(u);
             }
         }
-        // Prove the placement routes before writing anything. Enumeration
-        // results are pre-checked, but the DP fallback models old
-        // assignments as fixed while the commit re-routes them — if the
-        // routings ever disagreed, surface a structured error instead of
-        // silently degrading the solution in release builds.
-        if route_on_committed(scratch, w, j, false) != Some(0) {
+        // One buffered-write pass both proves the placement routes and
+        // stages the assignment writes; the log is flushed only on a
+        // feasible verdict. Enumeration results are pre-checked, but the
+        // DP fallback models old assignments as fixed while the commit
+        // re-routes them — if the routings ever disagreed, surface a
+        // structured error instead of silently degrading the solution in
+        // release builds. (The naive reference keeps the historical
+        // check-then-write double route.)
+        if scratch.naive_stage_commit && route_on_committed(scratch, w, j, false) != Some(0) {
             scratch.stats.repairs += 1;
             return Err(SolveError::StageRepair { node: NodeId(j) });
         }
-        let leftover = route_on_committed(scratch, w, j, true);
-        debug_assert_eq!(leftover, Some(0), "the stage solver guarantees full coverage");
-
-        // Release the stage's demand rows for the next stage.
-        let s = &mut *scratch;
-        for &c in s.demand_clients.iter() {
-            s.demand[c as usize] = 0;
+        if route_on_committed(scratch, w, j, true) != Some(0) {
+            scratch.stats.repairs += 1;
+            return Err(SolveError::StageRepair { node: NodeId(j) });
         }
-        s.demand_clients.clear();
+
+        // Flush the buffered writes and release the stage's demand rows.
+        let s = &mut *scratch;
+        let SolverScratch {
+            arena,
+            assigned,
+            load,
+            load_sums,
+            commit_log,
+            demand,
+            demand_clients,
+            ..
+        } = s;
+        for &(u, c, amount) in commit_log.iter() {
+            let ui = u as usize;
+            assigned[ui].push((c, amount));
+            load[ui] += amount;
+            load_sums.add(arena.post_position(u), amount as i128);
+        }
+        commit_log.clear();
+        for &c in demand_clients.iter() {
+            demand[c as usize] = 0;
+        }
+        demand_clients.clear();
         Ok(())
     }
 }
 
-/// Routes the stage demand over the committed replica set (`in_r`),
-/// optionally writing the assignment into `assigned` / `load`.
+/// Scoped demand collection (the incremental path; see the module docs):
+/// seeds the pool with the stuck fragments, then walks each pool client's
+/// *service path* — from the client up to its deadline, truncated at `j` —
+/// marking active-forest nodes and absorbing the assignments of every
+/// replica crossed, whose clients join the pool and the walk queue
+/// (`demand_clients` doubles as that queue). Newly stuck clients always
+/// walk all the way to `j` (a fragment only reaches `j`'s pending list
+/// within its distance budget, so a stuck client's deadline *is* `j`);
+/// collected clients stop at their own deadline, which is what keeps
+/// far-away replica neighbourhoods out of the closure. Walks stop at
+/// already-marked nodes, so the whole closure is O(|scope forest|). Fills
+/// `demand` / `demand_clients`, `existing` and the sealed active forest;
+/// returns the collected (previously-assigned) volume.
+fn collect_scope(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u128 {
+    debug_assert!(s.demand_clients.is_empty());
+    let stamp = s.stage_id;
+    s.existing.clear();
+    s.active_nodes.clear();
+    for t in stuck {
+        if s.demand[t.client as usize] == 0 {
+            s.demand_clients.push(t.client);
+        }
+        s.demand[t.client as usize] += t.w as u128;
+        debug_assert_eq!(
+            s.deadline[t.client as usize], j,
+            "a stuck fragment travelled legally to j but cannot leave it"
+        );
+    }
+    let mut collected = 0u128;
+    let mut next = 0;
+    while next < s.demand_clients.len() {
+        let c = s.demand_clients[next];
+        next += 1;
+        debug_assert!(s.arena.is_ancestor_or_self(j, c), "pool clients live in subtree(j)");
+        let dl = s.deadline[c as usize];
+        let mut at = c;
+        loop {
+            if s.active_mark[at as usize] == stamp {
+                break;
+            }
+            s.active_mark[at as usize] = stamp;
+            s.active_nodes.push(at);
+            if s.in_r[at as usize] {
+                s.existing.push(at);
+                for k in 0..s.assigned[at as usize].len() {
+                    let (x, amount) = s.assigned[at as usize][k];
+                    if s.demand[x as usize] == 0 {
+                        s.demand_clients.push(x);
+                    }
+                    s.demand[x as usize] += amount as u128;
+                    collected += amount as u128;
+                }
+            }
+            if at == j || at == dl {
+                break;
+            }
+            at = s.arena.parent(at);
+        }
+    }
+    s.seal_active_forest(j);
+    canonicalize_scope(s);
+    collected
+}
+
+/// Sorts the scope's replicas by post-order position, so downstream
+/// consumers that are sensitive to `existing` order (the placement
+/// scorer's stable depth sort) see one canonical order regardless of how
+/// the collection discovered the scope.
+fn canonicalize_scope(s: &mut SolverScratch) {
+    let SolverScratch { arena, existing, .. } = s;
+    existing.sort_unstable_by_key(|&u| arena.post_position(u));
+}
+
+/// The naive whole-subtree reference for [`collect_scope`] (test-only,
+/// behind [`SolverScratch::set_naive_stage_commit`]): computes the same
+/// affected-scope fixpoint by repeatedly scanning every replica of
+/// `subtree(j)` for one sitting on a pool client's service path, then
+/// builds the truncated active forest from the final pool —
+/// O(|subtree|²) per stage, but obviously correct.
+/// `tests/proptest_stage_commit.rs` pins the two paths to identical
+/// results.
+fn collect_scope_naive(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u128 {
+    debug_assert!(s.demand_clients.is_empty());
+    s.existing.clear();
+    for t in stuck {
+        if s.demand[t.client as usize] == 0 {
+            s.demand_clients.push(t.client);
+        }
+        s.demand[t.client as usize] += t.w as u128;
+    }
+    let mut collected = 0u128;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in 0..s.arena.subtree_size(j) {
+            let u = s.arena.subtree_post(j)[p];
+            if !s.in_r[u as usize] || s.existing.contains(&u) {
+                continue;
+            }
+            // `u` is in scope iff it sits on some pool client's service
+            // path: at or below the client's deadline, at or above the
+            // client (the same rule the candidate masks use).
+            let on_pool_path = (0..s.demand_clients.len()).any(|i| {
+                let c = s.demand_clients[i];
+                s.arena.is_ancestor_or_self(u, c)
+                    && s.arena.is_ancestor_or_self(s.deadline[c as usize], u)
+            });
+            if !on_pool_path {
+                continue;
+            }
+            s.existing.push(u);
+            for k in 0..s.assigned[u as usize].len() {
+                let (c, amount) = s.assigned[u as usize][k];
+                if s.demand[c as usize] == 0 {
+                    s.demand_clients.push(c);
+                }
+                s.demand[c as usize] += amount as u128;
+                collected += amount as u128;
+            }
+            changed = true;
+        }
+    }
+    build_scope_forest(s, j);
+    canonicalize_scope(s);
+    collected
+}
+
+/// (Re)builds the stage's scope forest — the union of the pool clients'
+/// service paths, each truncated at its deadline or `j` — from the current
+/// `demand_clients`, under a fresh stage stamp. Used by the naive
+/// collection reference and to restore the scope forest after the DP
+/// fallback narrowed the active forest to the stuck paths.
+fn build_scope_forest(s: &mut SolverScratch, j: u32) {
+    s.stage_id += 1;
+    let stamp = s.stage_id;
+    s.active_nodes.clear();
+    for i in 0..s.demand_clients.len() {
+        let c = s.demand_clients[i];
+        let dl = s.deadline[c as usize];
+        let mut at = c;
+        loop {
+            if s.active_mark[at as usize] == stamp {
+                break;
+            }
+            s.active_mark[at as usize] = stamp;
+            s.active_nodes.push(at);
+            if at == j || at == dl {
+                break;
+            }
+            at = s.arena.parent(at);
+        }
+    }
+    s.seal_active_forest(j);
+}
+
+/// Routes the stage demand over the committed replica set (`in_r`). With
+/// `commit` set, the assignment writes are buffered into the scratch's
+/// commit log (cleared first) for the caller to flush on a feasible
+/// verdict; the persistent `assigned` / `load` slabs are never touched
+/// here.
 fn route_on_committed(
     scratch: &mut SolverScratch,
     w: Requests,
@@ -255,12 +488,11 @@ fn route_on_committed(
         deadline,
         deadline_depth,
         in_r,
-        assigned,
-        load,
         demand,
         demand_clients,
         active_nodes,
         router: bufs,
+        commit_log,
         ..
     } = scratch;
     let total_demand: u128 = demand_clients.iter().map(|&c| demand[c as usize]).sum();
@@ -273,12 +505,13 @@ fn route_on_committed(
         j,
         total_demand,
     };
+    commit_log.clear();
     router::route_full(
         &env,
         in_r,
         demand,
         demand_clients,
         bufs,
-        if commit { Some((assigned.as_mut_slice(), load.as_mut_slice())) } else { None },
+        if commit { Some(commit_log) } else { None },
     )
 }

@@ -21,7 +21,7 @@
 //! All state lives in [`RouterBufs`], dense rows recycled across calls,
 //! stages and solves.
 
-use crate::scratch::AssignPair;
+use crate::scratch::CommitEntry;
 use rp_tree::arena::TreeArena;
 use rp_tree::Requests;
 
@@ -120,15 +120,18 @@ impl RouterBufs {
 /// placement is feasible, with the per-replica loads left in
 /// [`RouterBufs::loads`] — or `None` if some request passed its deadline.
 ///
-/// With `commit` set, the assignment is appended to the given
-/// `assigned` / `load` slabs (call only with a feasible placement).
+/// With `commit` set, every assignment the sweep makes is appended to the
+/// log as a `(node, client, amount)` entry — the sweep itself never
+/// mutates the persistent `assigned` / `load` slabs, so one call both
+/// decides feasibility and stages the writes; the caller flushes the log
+/// only on a `Some(0)` verdict (the fused stage commit in `crate::stage`).
 pub(crate) fn route_full(
     env: &RouteEnv<'_>,
     is_replica: &[bool],
     demand: &[u128],
     demand_clients: &[u32],
     bufs: &mut RouterBufs,
-    commit: Option<(&mut [Vec<AssignPair>], &mut [Requests])>,
+    commit: Option<&mut Vec<CommitEntry>>,
 ) -> Option<u128> {
     bufs.epoch += 1;
     bufs.prefix_epoch = 0;
@@ -288,7 +291,7 @@ fn sweep(
     is_replica: &[bool],
     demand: &[u128],
     bufs: &mut RouterBufs,
-    mut commit: Option<(&mut [Vec<AssignPair>], &mut [Requests])>,
+    mut commit: Option<&mut Vec<CommitEntry>>,
 ) -> Option<u128> {
     let RouteEnv { arena, cap, deadline, deadline_depth, order, j, .. } = *env;
     let mut ok = true;
@@ -335,9 +338,8 @@ fn sweep(
                 if take > 0 {
                     bufs.loads[ui] += take;
                     bufs.served += take;
-                    if let Some((assigned, load)) = commit.as_mut() {
-                        assigned[ui].push((c, take as Requests));
-                        load[ui] += take as Requests;
+                    if let Some(log) = commit.as_mut() {
+                        log.push((u, c, take as Requests));
                     }
                 }
             }

@@ -90,6 +90,17 @@ fn instance_mix() -> Vec<(String, Instance)> {
     out.push(("wide-tight/64".into(), wrap_instance(balanced(2, 5, 2, 7, 1), 1.4, Some(0.4))));
     out.push(("wide-tight/128".into(), wrap_instance(balanced(2, 6, 2, 6, 2), 1.5, None)));
 
+    // Family 7b: long spines under a *short constant* distance budget —
+    // the stage-dense regime of the incremental stage commit, where every
+    // spine node runs a stage whose affected scope is a bounded window
+    // (exercised further, with commit-counter assertions, by
+    // `stage_dense_commit_counters_reuse_scratch` below).
+    let spine_requests: Vec<u64> = (0..120).map(|i| 1 + (i * 3) % 9).collect();
+    out.push((
+        "long-spine/120".into(),
+        Instance::new(caterpillar(&spine_requests, 1, 1), 12, Some(8)).unwrap(),
+    ));
+
     // Family 6: random k-ary (arity 3–4) for the single-policy algorithms.
     for clients in [64usize, 7] {
         let tree = random_kary_tree(
@@ -172,6 +183,55 @@ fn heavy_fallback_stages_reuse_scratch() {
     assert!(
         fallback_solves >= 3,
         "the family exists to exercise the DP fallback; only {fallback_solves} solves used it"
+    );
+}
+
+#[test]
+fn stage_dense_commit_counters_reuse_scratch() {
+    // The incremental commit's touched/skipped volume counters must (a)
+    // actually engage on stage-dense instances — bounded scopes skip most
+    // of the committed volume — and (b) be a pure function of the
+    // instance: re-solving through a dirty shared scratch reproduces them
+    // exactly, along with the solution. The mix interleaves long spines
+    // of different lengths with a wide fallback-heavy shape so the
+    // Fenwick load summary and the scope walks see stale state whenever a
+    // bug would expose it.
+    let mut shared = SolverScratch::new();
+    let mut skipped_heavy = 0;
+    let mix: Vec<(String, Instance)> = [120usize, 24, 80, 12, 96]
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let requests: Vec<u64> = (0..len).map(|k| 1 + (k as u64 * 5) % 9).collect();
+            let inst = if i == 3 {
+                wrap_instance(balanced(2, 5, 2, 5, 1), 1.4, Some(0.45))
+            } else {
+                Instance::new(caterpillar(&requests, 1, 1), 11, Some(7)).unwrap()
+            };
+            (format!("stage-dense/{len}"), inst)
+        })
+        .collect();
+    for (name, inst) in &mix {
+        let reused = multiple_bin_with(inst, &mut shared).expect("multiple-bin feasible");
+        let stats = *shared.stage_stats();
+        assert!(stats.stages > 0, "[{name}] the mix must trigger stages");
+        assert_eq!(stats.repairs, 0, "[{name}] commits must route first try");
+        if stats.commit_skipped > stats.commit_touched {
+            skipped_heavy += 1;
+        }
+        let mut fresh_scratch = SolverScratch::new();
+        let fresh = multiple_bin_with(inst, &mut fresh_scratch).expect("multiple-bin feasible");
+        assert_eq!(reused, fresh, "[{name}] stage-dense solve diverged under scratch reuse");
+        assert_eq!(
+            &stats,
+            fresh_scratch.stage_stats(),
+            "[{name}] commit counters must not depend on scratch reuse"
+        );
+        validate(inst, Policy::Multiple, &reused).expect("output valid");
+    }
+    assert!(
+        skipped_heavy >= 3,
+        "long spines exist to skip most committed volume; only {skipped_heavy} solves did"
     );
 }
 

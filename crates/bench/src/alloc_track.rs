@@ -1,0 +1,133 @@
+//! A counting global allocator for the scaling benches.
+//!
+//! The million-client tier exists to show the solvers are *memory-lean*:
+//! the streamed generator never materialises a [`rp_tree::Tree`], and the
+//! arena/scratch layer is supposed to hold the only per-node state. The
+//! `peak_alloc_bytes` column of `BENCH_scaling.json` pins that down with a
+//! real number — the high-water mark of live heap bytes during one solve —
+//! instead of a claim.
+//!
+//! [`CountingAlloc`] wraps [`System`] and maintains two atomics: the live
+//! byte count and its peak. The benches register it with
+//! `#[global_allocator]`; the library deliberately does *not*, so the CLI
+//! and the test suites keep the plain system allocator (the two relaxed
+//! atomic ops per allocation are free in practice, but there is no reason
+//! to pay them outside a measurement).
+//!
+//! The counters track *requested* bytes (`Layout::size`), not the
+//! allocator's internal rounding — the quantity a capacity-planning reader
+//! of the report can reason about.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System-allocator wrapper that tracks live and peak heap bytes.
+///
+/// Register in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: rp_bench::alloc_track::CountingAlloc = rp_bench::alloc_track::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+fn on_alloc(bytes: usize) {
+    let live = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: usize) {
+    CURRENT.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                on_dealloc(layout.size() - new_size);
+            }
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now (zero unless [`CountingAlloc`] is registered).
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed) as u64
+}
+
+/// High-water mark of live heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed) as u64
+}
+
+/// Restarts the peak tracking at the current live count, so the next
+/// [`peak_bytes`] reading isolates one measured region.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the [`GlobalAlloc`] impl directly (the test binary itself
+    /// runs on the system allocator) and watches the counters move.
+    #[test]
+    fn counters_follow_alloc_dealloc_realloc() {
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        reset_peak();
+        let before = current_bytes();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(current_bytes(), before + 1024);
+            assert!(peak_bytes() >= before + 1024);
+            let p = a.realloc(p, layout, 4096);
+            assert!(!p.is_null());
+            assert_eq!(current_bytes(), before + 4096);
+            assert!(peak_bytes() >= before + 4096);
+            let grown = Layout::from_size_align(4096, 8).unwrap();
+            let p = a.realloc(p, grown, 16);
+            assert!(!p.is_null());
+            assert_eq!(current_bytes(), before + 16);
+            let shrunk = Layout::from_size_align(16, 8).unwrap();
+            a.dealloc(p, shrunk);
+        }
+        assert_eq!(current_bytes(), before);
+        let high = peak_bytes();
+        reset_peak();
+        assert!(peak_bytes() <= high);
+        assert_eq!(peak_bytes(), current_bytes());
+    }
+}

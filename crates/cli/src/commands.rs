@@ -23,7 +23,7 @@ commands:
               [--seed S] [--out FILE]
   solve       run an algorithm on an instance
               --instance FILE  --algorithm single-gen|single-nod|multiple-bin|clients-only|multiple-greedy
-              [--out FILE] [--stage-stats]
+              [--out FILE] [--stage-stats] [--threads N]
   exact       compute the exact optimum (small instances)
               --instance FILE  --policy single|multiple
   validate    check a solution file against an instance
@@ -130,9 +130,16 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
     let name: String = args.require("algorithm")?;
     let algorithm =
         Algorithm::from_name(&name).ok_or_else(|| format!("unknown algorithm `{name}`"))?;
+    let threads: usize = args.get_or("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
     let mut scratch = rp_core::SolverScratch::new();
-    let solution =
-        rp_core::solve_with(&instance, algorithm, &mut scratch).map_err(|e| e.to_string())?;
+    let solution = if threads > 1 {
+        solve_parallel(&instance, algorithm, &mut scratch, threads)?
+    } else {
+        rp_core::solve_with(&instance, algorithm, &mut scratch).map_err(|e| e.to_string())?
+    };
     let stats = validate(&instance, algorithm.policy(), &solution).map_err(|e| e.to_string())?;
     let mut out = String::new();
     out.push_str(&format!(
@@ -174,6 +181,31 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
         None => out.push_str(&io::write_solution(&solution)),
     }
     Ok(out)
+}
+
+/// `solve --threads N`: routes the three arena-based algorithms through
+/// their frontier-parallel entry points. Solutions (and stage counters) are
+/// bit-identical to the serial path for every thread count — pinned by
+/// `rp-core`'s determinism tests — so `--threads` is purely a wall-clock
+/// knob. The baselines have no parallel path.
+fn solve_parallel(
+    instance: &Instance,
+    algorithm: Algorithm,
+    scratch: &mut rp_core::SolverScratch,
+    threads: usize,
+) -> Result<Solution, String> {
+    let w = instance.capacity();
+    let dmax = instance.dmax();
+    scratch.load_arena(instance.tree());
+    match algorithm {
+        Algorithm::SingleGen => rp_core::single_gen_par(scratch, w, dmax, threads),
+        Algorithm::SingleNod => rp_core::single_nod_par(scratch, w, threads),
+        Algorithm::MultipleBin => rp_core::multiple_bin_par(scratch, w, dmax, threads),
+        Algorithm::ClientsOnly | Algorithm::MultipleGreedy => {
+            return Err(format!("--threads is not supported for `{}`", algorithm.name()))
+        }
+    }
+    .map_err(|e| e.to_string())
 }
 
 fn cmd_exact(args: &Args) -> Result<String, String> {
@@ -376,6 +408,7 @@ mod tests {
             dp_fallbacks: 0,
             commit_touched: 0,
             commit_skipped: 0,
+            peak_alloc_bytes: 0,
         };
         ScalingReport { quick: true, cells: vec![cell(true, median_dmax), cell(false, median_nod)] }
             .to_json()
@@ -566,5 +599,59 @@ mod tests {
     fn solve_rejects_unknown_algorithm() {
         let err = run(&["solve", "--instance", "/nonexistent", "--algorithm", "magic"]);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn solve_threads_matches_serial_output() {
+        let dir = std::env::temp_dir().join(format!("rp-cli-threads-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.txt");
+        let inst_s = inst.to_str().unwrap();
+        run(&[
+            "gen",
+            "--kind",
+            "binary",
+            "--clients",
+            "64",
+            "--seed",
+            "11",
+            "--dmax-fraction",
+            "0.6",
+            "--out",
+            inst_s,
+        ])
+        .unwrap();
+
+        for algorithm in ["single-gen", "single-nod", "multiple-bin"] {
+            let serial = run(&["solve", "--instance", inst_s, "--algorithm", algorithm]).unwrap();
+            for threads in ["1", "4"] {
+                let par = run(&[
+                    "solve",
+                    "--instance",
+                    inst_s,
+                    "--algorithm",
+                    algorithm,
+                    "--threads",
+                    threads,
+                ])
+                .unwrap();
+                assert_eq!(par, serial, "{algorithm} diverged at --threads {threads}");
+            }
+        }
+
+        let err = run(&[
+            "solve",
+            "--instance",
+            inst_s,
+            "--algorithm",
+            "multiple-greedy",
+            "--threads",
+            "4",
+        ]);
+        assert!(err.is_err(), "baselines have no parallel path");
+        let err =
+            run(&["solve", "--instance", inst_s, "--algorithm", "single-gen", "--threads", "0"]);
+        assert!(err.is_err(), "--threads 0 is rejected");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -36,7 +36,7 @@ use crate::error::SolveError;
 use crate::scratch::SolverScratch;
 use crate::stage::{PendingRequest, StageEngine};
 use rp_tree::arena::{TreeArena, NO_PARENT};
-use rp_tree::{Dist, Instance, NodeId, Solution};
+use rp_tree::{Dist, Instance, NodeId, Requests, Solution};
 
 /// Runs Algorithm 3 (`multiple-bin`) and returns its placement and
 /// assignment. The result is optimal for binary trees when every client
@@ -82,21 +82,84 @@ pub fn multiple_bin_with(
         }
     }
 
-    scratch.prepare(tree);
-    scratch.prepare_deadlines(instance.dmax());
-    let dmax = instance.dmax();
-    let n = scratch.arena.len();
+    scratch.load_arena(tree);
+    run_full(scratch, w, instance.dmax())
+}
 
-    // Bottom-up sweep in post-order (children before parents).
-    for pos in 0..n {
-        let j = scratch.arena.postorder()[pos];
+/// [`multiple_bin`] on the arena already loaded into `scratch` (via
+/// [`SolverScratch::load_arena`] or
+/// [`SolverScratch::load_arena_from_stream`]) — the entry point of the
+/// streaming scaling tier, where no [`rp_tree::Tree`] ever exists. The
+/// parallel driver is [`crate::par::multiple_bin_par`].
+///
+/// # Errors
+///
+/// Same as [`multiple_bin_with`].
+pub fn multiple_bin_arena(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+) -> Result<Solution, SolveError> {
+    crate::scratch::check_binary(scratch.arena())?;
+    crate::scratch::check_clients_fit(scratch.arena(), w)?;
+    run_full(scratch, w, dmax)
+}
+
+/// Prepares the Multiple-policy state and runs the whole-tree serial sweep.
+fn run_full(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+) -> Result<Solution, SolveError> {
+    scratch.prepare_multiple_bin();
+    scratch.prepare_deadlines(dmax);
+    mb_sweep(scratch, w, dmax, None, None)?;
+    debug_assert!(scratch.req.first().is_none_or(|r| r.is_empty()));
+    Ok(collect_solution(scratch))
+}
+
+/// The bottom-up sweep of Algorithm 3 (children before parents).
+///
+/// * `order` — `None` sweeps the full post-order of the loaded arena;
+///   `Some(list)` sweeps exactly `list` (which must be in post-order
+///   relative to itself). The frontier-parallel driver ([`crate::par`]) uses
+///   this for the finish pass over the upper nodes after the disjoint
+///   subtrees were solved by workers.
+/// * `root_exit` — for a sub-arena solve of `subtree(f)`: the length of the
+///   global edge *above* `f`. The local root then behaves exactly like the
+///   interior node `f` of the full-tree sweep — requests whose distance
+///   budget still covers that edge stay pending in the local root's `req`
+///   slot for the caller to merge upwards. `None` means the local root is
+///   the true root (`δ_r = +∞` in the paper: everything pending there is
+///   stuck and must be served).
+///
+/// # Errors
+///
+/// Propagates the stage-engine errors of
+/// [`StageEngine::serve_stuck`].
+pub(crate) fn mb_sweep(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+    root_exit: Option<Dist>,
+    order: Option<&[u32]>,
+) -> Result<(), SolveError> {
+    let count = match order {
+        None => scratch.arena.len(),
+        Some(list) => list.len(),
+    };
+    for pos in 0..count {
+        let j = match order {
+            None => scratch.arena.postorder()[pos],
+            Some(list) => list[pos],
+        };
         let ji = j as usize;
         if scratch.arena.is_client(j) {
             let r = scratch.arena.requests(j);
             if r == 0 {
                 continue;
             }
-            if can_go_above(&scratch.arena, dmax, j, 0) {
+            if can_go_above(&scratch.arena, dmax, root_exit, j, 0) {
                 scratch.req[ji].push(PendingRequest { d: 0, w: r, client: j });
             } else {
                 // The client is too far even from its own parent: serve it
@@ -119,7 +182,10 @@ pub fn multiple_bin_with(
             let c = scratch.arena.children(j)[k];
             let edge = scratch.arena.edge(c);
             let mut list = std::mem::take(&mut scratch.req[c as usize]);
-            temp.extend(list.iter().map(|t| PendingRequest { d: t.d + edge, ..*t }));
+            // Saturating shift: a distance that overflows u64 is already
+            // further than any dmax can allow, and `can_go_above` treats the
+            // saturated value correctly (it can never fit a budget again).
+            temp.extend(list.iter().map(|t| PendingRequest { d: t.d.saturating_add(edge), ..*t }));
             list.clear();
             scratch.req[c as usize] = list; // hand the allocation back
         }
@@ -127,7 +193,8 @@ pub fn multiple_bin_with(
 
         // Stuck requests cannot travel above `j`; they are a prefix of the
         // sorted list because stuckness is monotone in `d`.
-        let split = temp.partition_point(|t| !can_go_above(&scratch.arena, dmax, j, t.d));
+        let split =
+            temp.partition_point(|t| !can_go_above(&scratch.arena, dmax, root_exit, j, t.d));
         if split > 0 {
             // Serve the stuck requests at `j` or inside its subtree.
             // Travelling requests are deliberately NOT absorbed here even
@@ -140,10 +207,14 @@ pub fn multiple_bin_with(
         }
         scratch.req[ji] = temp;
     }
-    debug_assert!(scratch.req[0].is_empty());
+    Ok(())
+}
 
+/// Reads the committed replica set and assignment out of the scratch slabs
+/// into a [`Solution`] (ascending node id, so the result is canonical).
+pub(crate) fn collect_solution(scratch: &SolverScratch) -> Solution {
     let mut solution = Solution::new();
-    for v in 0..n as u32 {
+    for v in 0..scratch.arena.len() as u32 {
         if scratch.in_r[v as usize] {
             solution.force_replica(NodeId(v));
             for &(c, amount) in &scratch.assigned[v as usize] {
@@ -151,20 +222,32 @@ pub fn multiple_bin_with(
             }
         }
     }
-    Ok(solution)
+    solution
 }
 
 /// Whether a pending request at distance `d` from node `j` could still be
-/// served strictly above `j`. At the root the answer is always no
-/// (`δ_r = +∞` in the paper).
+/// served strictly above `j`. At the true root the answer is always no
+/// (`δ_r = +∞` in the paper); a sub-arena root instead consults the global
+/// exit edge in `root_exit` (see [`mb_sweep`]).
 #[inline]
-fn can_go_above(arena: &TreeArena, dmax: Option<Dist>, j: u32, d: Dist) -> bool {
-    if arena.parent(j) == NO_PARENT {
-        return false;
-    }
+fn can_go_above(
+    arena: &TreeArena,
+    dmax: Option<Dist>,
+    root_exit: Option<Dist>,
+    j: u32,
+    d: Dist,
+) -> bool {
+    let exit = if arena.parent(j) == NO_PARENT {
+        match root_exit {
+            None => return false,
+            Some(edge) => edge,
+        }
+    } else {
+        arena.edge(j)
+    };
     match dmax {
         None => true,
-        Some(dmax) => d.saturating_add(arena.edge(j)) <= dmax,
+        Some(dmax) => d.saturating_add(exit) <= dmax,
     }
 }
 

@@ -1,0 +1,400 @@
+//! Frontier-parallel drivers for the three solvers: disjoint subtrees are
+//! solved by worker threads, then a serial *finish pass* sweeps the leftover
+//! upper nodes — results are **bit-identical to the serial sweeps** (pinned
+//! by `tests/parallel_determinism.rs`).
+//!
+//! ## The frontier
+//!
+//! `build_frontier` splits the tree into a deterministic antichain of
+//! subtree roots: starting from the root, the largest subtree is repeatedly
+//! replaced by its children (the split-off parent joins the *upper* region)
+//! until there are enough chunks for the requested thread count or the
+//! largest chunk is too small to split usefully. Dust chunks below
+//! `MIN_CHUNK` nodes are folded into the upper region — parallelism only
+//! pays on big subtrees.
+//!
+//! ## Why the merge is exact
+//!
+//! Post-order sweeps finalise every node of `subtree(f)` before any proper
+//! ancestor of `f`, and nothing outside `subtree(f)` influences those steps:
+//!
+//! * `single-gen` / `single-nod` keep their per-node slots in rows indexed
+//!   by **pre-order position**, so `subtree(f)`'s slots are one contiguous
+//!   slice — each worker gets a disjoint `&mut` slice of the session slabs
+//!   (no copying, no reconciliation), sweeps `subtree_post(f)` against the
+//!   shared global arena, and leaves `f`'s slot exactly as the serial sweep
+//!   would. The finish pass then runs the same sweep over the upper nodes
+//!   with the full slabs.
+//! * `multiple-bin` workers get a private [`SolverScratch`] over a
+//!   [`rebuild_subtree`](rp_tree::TreeArena::rebuild_subtree) sub-arena.
+//!   Local ids are assigned by global-id *rank*, so every raw-id tie-break
+//!   inside the stage engine orders exactly like the serial solve; deadlines
+//!   above `f` become the [`NO_PARENT`] sentinel (such clients are never
+//!   stuck inside the subtree — their stages run in the finish pass), while
+//!   deadline *depths* keep their true global values, preserving the
+//!   router's must-serve ordering. The worker's committed state (replica
+//!   set, loads, assignments, Fenwick load sums, pending requests at `f`,
+//!   stage counters) is merged back id-for-id before the finish pass.
+//!
+//! The split threshold, chunk ordering and merge order are all functions of
+//! the tree shape alone — never of thread scheduling — so any thread count
+//! (including 1) produces the same [`Solution`] and [`StageStats`].
+
+use crate::error::SolveError;
+use crate::multiple_bin::{collect_solution, mb_sweep};
+use crate::scratch::{check_binary, check_clients_fit, Group, SolverScratch};
+use crate::single_gen::sweep_single_gen;
+use crate::single_nod::sweep_single_nod;
+use crate::stage::{PendingRequest, StageStats};
+use rp_parallel::{par_map_take, par_map_with_threads};
+use rp_tree::arena::{TreeArena, NO_PARENT};
+use rp_tree::{Dist, Requests, Solution};
+
+/// Smallest subtree (in nodes) worth dispatching to a worker; smaller
+/// chunks are folded into the serial finish pass.
+const MIN_CHUNK: usize = 1024;
+
+/// A deterministic antichain of disjoint subtree roots plus the post-order
+/// list of every node *not* covered by them (the upper region).
+struct Frontier {
+    /// Worker subtree roots, sorted by pre-order position.
+    roots: Vec<u32>,
+    /// All uncovered nodes in global post-order — the finish-pass sweep
+    /// order (relative post-order is preserved by filtering).
+    upper_post: Vec<u32>,
+}
+
+/// Splits the tree under a largest-first policy until `threads * 3` chunks
+/// exist or the largest chunk drops below `2 * min_chunk`. Returns `None`
+/// when parallelism cannot pay: one thread, a tree smaller than two chunks,
+/// or a degenerate shape (e.g. a chain) that never yields two real chunks.
+fn build_frontier(arena: &TreeArena, threads: usize, min_chunk: usize) -> Option<Frontier> {
+    let n = arena.len();
+    if threads <= 1 || n < 2 * min_chunk {
+        return None;
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // Max-heap on subtree size; ties prefer the earliest pre-order position.
+    // Both keys are functions of the tree alone, so the frontier is
+    // deterministic for a given (tree, threads).
+    let root = arena.preorder()[0];
+    let mut heap: BinaryHeap<(usize, Reverse<usize>, u32)> = BinaryHeap::new();
+    heap.push((arena.subtree_size(root), Reverse(arena.pre_position(root)), root));
+    let mut unsplittable: Vec<u32> = Vec::new();
+    let target = threads.saturating_mul(3);
+    while heap.len() + unsplittable.len() < target {
+        let Some(&(size, _, _)) = heap.peek() else { break };
+        if size < 2 * min_chunk {
+            break; // splitting the largest chunk further only makes dust
+        }
+        let (_, _, v) = heap.pop().expect("peeked above");
+        if arena.children(v).is_empty() {
+            unsplittable.push(v);
+            continue;
+        }
+        // `v` itself joins the upper region; its children become chunks.
+        for &c in arena.children(v) {
+            heap.push((arena.subtree_size(c), Reverse(arena.pre_position(c)), c));
+        }
+    }
+    let mut roots: Vec<u32> = heap
+        .into_iter()
+        .map(|(_, _, v)| v)
+        .chain(unsplittable)
+        .filter(|&v| arena.subtree_size(v) >= min_chunk)
+        .collect();
+    if roots.len() <= 1 {
+        return None;
+    }
+    roots.sort_unstable_by_key(|&v| arena.pre_position(v));
+
+    let mut covered = vec![false; n];
+    for &f in &roots {
+        let p = arena.pre_position(f);
+        covered[p..p + arena.subtree_size(f)].fill(true);
+    }
+    let upper_post: Vec<u32> =
+        arena.postorder().iter().copied().filter(|&v| !covered[arena.pre_position(v)]).collect();
+    Some(Frontier { roots, upper_post })
+}
+
+/// [`crate::single_gen::single_gen_arena`] solved with up to `threads`
+/// worker threads over disjoint frontier subtrees. Bit-identical to the
+/// serial entry point for every thread count.
+///
+/// # Errors
+///
+/// Same as [`fn@crate::single_gen`].
+pub fn single_gen_par(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+    threads: usize,
+) -> Result<Solution, SolveError> {
+    check_clients_fit(scratch.arena(), w)?;
+    scratch.prepare_single_gen();
+    let frontier = build_frontier(scratch.arena(), threads, MIN_CHUNK);
+    let mut solution = Solution::new();
+    let Some(fr) = frontier else {
+        let SolverScratch { arena, sg_clients, sg_total, sg_allow, .. } = scratch;
+        sweep_single_gen(
+            arena,
+            w,
+            dmax,
+            arena.postorder(),
+            0,
+            sg_clients,
+            sg_total,
+            sg_allow,
+            &mut solution,
+        );
+        return Ok(solution);
+    };
+
+    /// One worker's disjoint view: the slot rows of `subtree(f)`.
+    struct Chunk<'a> {
+        f: u32,
+        base: usize,
+        clients: &'a mut [Vec<(u32, Requests)>],
+        total: &'a mut [u128],
+        allow: &'a mut [Option<Dist>],
+    }
+    {
+        let SolverScratch { arena, sg_clients, sg_total, sg_allow, .. } = scratch;
+        let arena: &TreeArena = arena;
+        let mut rest_c: &mut [Vec<(u32, Requests)>] = sg_clients;
+        let mut rest_t: &mut [u128] = sg_total;
+        let mut rest_a: &mut [Option<Dist>] = sg_allow;
+        let mut consumed = 0usize;
+        let mut chunks: Vec<Chunk<'_>> = Vec::with_capacity(fr.roots.len());
+        for &f in &fr.roots {
+            let base = arena.pre_position(f);
+            let size = arena.subtree_size(f);
+            let (_, tail) = std::mem::take(&mut rest_c).split_at_mut(base - consumed);
+            let (clients, tail) = tail.split_at_mut(size);
+            rest_c = tail;
+            let (_, tail) = std::mem::take(&mut rest_t).split_at_mut(base - consumed);
+            let (total, tail) = tail.split_at_mut(size);
+            rest_t = tail;
+            let (_, tail) = std::mem::take(&mut rest_a).split_at_mut(base - consumed);
+            let (allow, tail) = tail.split_at_mut(size);
+            rest_a = tail;
+            consumed = base + size;
+            chunks.push(Chunk { f, base, clients, total, allow });
+        }
+        let fragments = par_map_take(chunks, threads, |_, chunk| {
+            let mut fragment = Solution::new();
+            sweep_single_gen(
+                arena,
+                w,
+                dmax,
+                arena.subtree_post(chunk.f),
+                chunk.base,
+                chunk.clients,
+                chunk.total,
+                chunk.allow,
+                &mut fragment,
+            );
+            fragment
+        });
+        for fragment in &fragments {
+            solution.merge(fragment);
+        }
+    }
+
+    // Finish pass: the upper nodes against the full slabs. Frontier-root
+    // slots were written in place by the workers, so the sweep sees exactly
+    // the serial sweep's state.
+    let SolverScratch { arena, sg_clients, sg_total, sg_allow, .. } = scratch;
+    sweep_single_gen(
+        arena,
+        w,
+        dmax,
+        &fr.upper_post,
+        0,
+        sg_clients,
+        sg_total,
+        sg_allow,
+        &mut solution,
+    );
+    Ok(solution)
+}
+
+/// [`crate::single_nod::single_nod_arena`] solved with up to `threads`
+/// worker threads over disjoint frontier subtrees. Bit-identical to the
+/// serial entry point for every thread count.
+///
+/// # Errors
+///
+/// Same as [`fn@crate::single_nod`].
+pub fn single_nod_par(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    threads: usize,
+) -> Result<Solution, SolveError> {
+    check_clients_fit(scratch.arena(), w)?;
+    scratch.prepare_single_nod();
+    let frontier = build_frontier(scratch.arena(), threads, MIN_CHUNK);
+    let mut solution = Solution::new();
+    let Some(fr) = frontier else {
+        let SolverScratch { arena, sn_groups, .. } = scratch;
+        sweep_single_nod(arena, w, arena.postorder(), 0, sn_groups, &mut solution);
+        return Ok(solution);
+    };
+
+    struct Chunk<'a> {
+        f: u32,
+        base: usize,
+        groups: &'a mut [Vec<Group>],
+    }
+    {
+        let SolverScratch { arena, sn_groups, .. } = scratch;
+        let arena: &TreeArena = arena;
+        let mut rest: &mut [Vec<Group>] = sn_groups;
+        let mut consumed = 0usize;
+        let mut chunks: Vec<Chunk<'_>> = Vec::with_capacity(fr.roots.len());
+        for &f in &fr.roots {
+            let base = arena.pre_position(f);
+            let size = arena.subtree_size(f);
+            let (_, tail) = std::mem::take(&mut rest).split_at_mut(base - consumed);
+            let (groups, tail) = tail.split_at_mut(size);
+            rest = tail;
+            consumed = base + size;
+            chunks.push(Chunk { f, base, groups });
+        }
+        let fragments = par_map_take(chunks, threads, |_, chunk| {
+            let mut fragment = Solution::new();
+            sweep_single_nod(
+                arena,
+                w,
+                arena.subtree_post(chunk.f),
+                chunk.base,
+                chunk.groups,
+                &mut fragment,
+            );
+            fragment
+        });
+        for fragment in &fragments {
+            solution.merge(fragment);
+        }
+    }
+
+    let SolverScratch { arena, sn_groups, .. } = scratch;
+    sweep_single_nod(arena, w, &fr.upper_post, 0, sn_groups, &mut solution);
+    Ok(solution)
+}
+
+/// [`crate::multiple_bin::multiple_bin_arena`] solved with up to `threads`
+/// worker threads over disjoint frontier subtrees (each on a private
+/// rank-mapped sub-arena), then a serial finish pass over the upper nodes.
+/// Bit-identical to the serial entry point — solution *and* stage counters —
+/// for every thread count.
+///
+/// # Errors
+///
+/// Same as [`multiple_bin_with`](crate::multiple_bin::multiple_bin_with).
+pub fn multiple_bin_par(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+    threads: usize,
+) -> Result<Solution, SolveError> {
+    check_binary(scratch.arena())?;
+    check_clients_fit(scratch.arena(), w)?;
+    scratch.prepare_multiple_bin();
+    scratch.prepare_deadlines(dmax);
+    let Some(fr) = build_frontier(scratch.arena(), threads, MIN_CHUNK) else {
+        mb_sweep(scratch, w, dmax, None, None)?;
+        debug_assert!(scratch.req.first().is_none_or(|r| r.is_empty()));
+        return Ok(collect_solution(scratch));
+    };
+
+    let outcomes: Vec<Result<SolverScratch, SolveError>> = {
+        let gs: &SolverScratch = scratch;
+        par_map_with_threads(fr.roots.len(), threads, |i| mb_worker(gs, w, dmax, fr.roots[i]))
+    };
+    for outcome in outcomes {
+        merge_mb_worker(scratch, outcome?);
+    }
+
+    // Finish pass: stages at upper nodes may still re-route volume the
+    // workers committed (the merged loads, assignments and Fenwick sums are
+    // exactly the serial mid-sweep state, so those stages behave
+    // identically).
+    mb_sweep(scratch, w, dmax, None, Some(&fr.upper_post))?;
+    debug_assert!(scratch.req.first().is_none_or(|r| r.is_empty()));
+    Ok(collect_solution(scratch))
+}
+
+/// Solves `subtree(f)` on a private scratch over a rank-mapped sub-arena.
+/// See the module docs for the deadline sentinel contract.
+fn mb_worker(
+    gs: &SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+    f: u32,
+) -> Result<SolverScratch, SolveError> {
+    let mut ls = SolverScratch::new();
+    ls.arena.rebuild_subtree(gs.arena(), f);
+    ls.prepare_multiple_bin();
+    {
+        let SolverScratch { arena, deadline, deadline_depth, .. } = &mut ls;
+        let origin = arena.origin();
+        deadline.clear();
+        deadline.resize(origin.len(), NO_PARENT);
+        deadline_depth.clear();
+        deadline_depth.resize(origin.len(), 0);
+        for (v, &g) in origin.iter().enumerate() {
+            let gd = gs.deadline[g as usize];
+            // A deadline inside subtree(f) maps to its local rank; one above
+            // `f` becomes the NO_PARENT sentinel — such a client is never
+            // stuck inside the subtree, so the sentinel only has to mean
+            // "service path exits the sub-arena" to the stage machinery.
+            deadline[v] = if gs.arena().is_ancestor_or_self(f, gd) {
+                origin.binary_search(&gd).expect("deadline below f is in subtree(f)") as u32
+            } else {
+                NO_PARENT
+            };
+            // Depths stay global so the router's must-serve ordering keys
+            // compare exactly as in the serial solve.
+            deadline_depth[v] = gs.deadline_depth[g as usize];
+        }
+    }
+    // The local root is the interior node `f` of the full sweep: its exit
+    // edge decides what stays pending for the finish pass.
+    mb_sweep(&mut ls, w, dmax, Some(gs.arena().edge(f)), None)?;
+    Ok(ls)
+}
+
+/// Copies a worker's committed state back into the session scratch,
+/// translating local ids through the sub-arena's origin map.
+fn merge_mb_worker(gs: &mut SolverScratch, mut ls: SolverScratch) {
+    let origin = ls.arena.origin();
+    let f = origin[0];
+    for (v, &g) in origin.iter().enumerate() {
+        if ls.in_r[v] {
+            let gi = g as usize;
+            debug_assert!(!gs.in_r[gi], "workers are disjoint from the prepared state");
+            gs.in_r[gi] = true;
+            gs.load[gi] = ls.load[v];
+            debug_assert!(gs.assigned[gi].is_empty());
+            gs.assigned[gi]
+                .extend(ls.assigned[v].iter().map(|&(c, amount)| (origin[c as usize], amount)));
+            gs.load_sums.add(gs.arena.post_position(g), ls.load[v] as i128);
+        }
+    }
+    // Requests still pending at the local root bubble into `f`'s global
+    // slot: distances are already relative to `f`, and the worker's stable
+    // sort saw the same (d, insertion-order) sequence as the serial sweep,
+    // so the list order is the serial order.
+    let pending = std::mem::take(&mut ls.req[0]);
+    debug_assert!(gs.req[f as usize].is_empty());
+    gs.req[f as usize].extend(pending.iter().map(|t| PendingRequest {
+        d: t.d,
+        w: t.w,
+        client: origin[t.client as usize],
+    }));
+    let stats: &StageStats = &ls.stats;
+    gs.stats.absorb(stats);
+}

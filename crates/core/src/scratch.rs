@@ -7,8 +7,13 @@
 //! `HashMap`s) dominates the wall clock on large trees. [`SolverScratch`]
 //! owns all of it as flat `Vec` slabs indexed by raw node index:
 //!
-//! * buffers are sized (and old state cleared) once per solve by
-//!   `SolverScratch::prepare`;
+//! * the arena is (re)built by [`SolverScratch::load_arena`] or streamed in
+//!   by [`SolverScratch::load_arena_from_stream`]; buffers are then sized
+//!   (and old state cleared) once per solve by the per-solver
+//!   `prepare_single_gen` / `prepare_single_nod` / `prepare_multiple_bin`
+//!   methods — split per algorithm so a million-node `single-*` solve only
+//!   allocates its own three slot rows, never the ~20 Multiple-policy
+//!   slabs (the memory audit of the 1M-client tier);
 //! * nested buffers (`Vec<Vec<…>>`) are cleared, never dropped, so their
 //!   heap blocks survive across stages *and* across solves;
 //! * the stage engine's router state lives in its own `RouterBufs`
@@ -22,10 +27,11 @@
 //! scratch internally, so results never depend on reuse (a property pinned
 //! by `tests/scratch_reuse.rs`).
 
+use crate::error::SolveError;
 use crate::stage::router::RouterBufs;
 use crate::stage::{PendingRequest, StageStats};
-use rp_tree::arena::TreeArena;
-use rp_tree::{Dist, Requests, Tree};
+use rp_tree::arena::{StreamNode, TreeArena};
+use rp_tree::{Dist, NodeId, Requests, Tree, TreeError};
 
 /// One `(client, amount)` assignment fragment on a replica.
 pub(crate) type AssignPair = (u32, Requests);
@@ -327,15 +333,68 @@ impl SolverScratch {
         self.naive_stage_commit = naive;
     }
 
-    /// Rebuilds the arena for `tree` and resets the node-indexed state
-    /// shared by every solver. Called once at the start of each solve.
-    pub(crate) fn prepare(&mut self, tree: &Tree) {
+    /// Read-only view of the instance arena currently loaded in this
+    /// scratch (see [`SolverScratch::load_arena`] /
+    /// [`SolverScratch::load_arena_from_stream`]).
+    pub fn arena(&self) -> &TreeArena {
+        &self.arena
+    }
+
+    /// Rebuilds the arena for `tree` in place. Solver state is *not* reset
+    /// here — each solver entry point calls its own `prepare_*` method, so
+    /// a solve only sizes the slabs it actually sweeps.
+    pub fn load_arena(&mut self, tree: &Tree) {
         self.arena.rebuild(tree);
+    }
+
+    /// Streams an instance tree straight into the arena
+    /// ([`TreeArena::rebuild_from_stream`]) — the memory-lean path of the
+    /// million-client scaling tier: generator streams feed the flat arrays
+    /// node-by-node and no [`Tree`] (with its per-node `Vec` adjacency) is
+    /// ever materialised. Combine with the `*_arena` solver entry points
+    /// of `crate::par`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream-validation errors of
+    /// [`TreeArena::rebuild_from_stream`]; the arena is left cleared on
+    /// failure.
+    pub fn load_arena_from_stream<I>(&mut self, size_hint: usize, nodes: I) -> Result<(), TreeError>
+    where
+        I: IntoIterator<Item = StreamNode>,
+    {
+        self.arena.rebuild_from_stream(size_hint, nodes)
+    }
+
+    /// Sizes and resets the `single-gen` slot rows for the loaded arena
+    /// (the rows are indexed by pre-order position — contiguous per
+    /// subtree, which is what lets the frontier-parallel sweep hand each
+    /// worker a disjoint `&mut` slice). Called once per solve.
+    pub(crate) fn prepare_single_gen(&mut self) {
+        let n = self.arena.len();
+        clear_nested(&mut self.sg_clients, n);
+        reset(&mut self.sg_total, n, 0);
+        reset(&mut self.sg_allow, n, None);
+        self.stats = StageStats::default();
+    }
+
+    /// Sizes and resets the `single-nod` slot rows for the loaded arena
+    /// (indexed by pre-order position, like the `single-gen` rows). Called
+    /// once per solve.
+    pub(crate) fn prepare_single_nod(&mut self) {
+        let n = self.arena.len();
+        clear_nested(&mut self.sn_groups, n);
+        self.stats = StageStats::default();
+    }
+
+    /// Sizes and resets every Multiple-policy slab (sweep state, stage
+    /// state, router rows, DP pool bookkeeping) for the loaded arena.
+    /// Called once per solve; deadlines are computed separately by
+    /// [`SolverScratch::prepare_deadlines`].
+    pub(crate) fn prepare_multiple_bin(&mut self) {
         let n = self.arena.len();
         clear_nested(&mut self.req, n);
         clear_nested(&mut self.assigned, n);
-        clear_nested(&mut self.sg_clients, n);
-        clear_nested(&mut self.sn_groups, n);
         reset(&mut self.in_r, n, false);
         reset(&mut self.load, n, 0);
         reset(&mut self.demand, n, 0);
@@ -345,8 +404,6 @@ impl SolverScratch {
         reset(&mut self.min_dd, n, u32::MAX);
         reset(&mut self.active_mark, n, 0);
         reset(&mut self.active_pos, n, 0);
-        reset(&mut self.sg_total, n, 0);
-        reset(&mut self.sg_allow, n, None);
         self.router.prepare(n);
         self.load_sums.reset(n);
         self.commit_log.clear();
@@ -451,6 +508,42 @@ fn clear_nested<T>(vec: &mut Vec<Vec<T>>, n: usize) {
     }
 }
 
+/// Checks the feasibility precondition `r_i ≤ W` straight off an arena —
+/// the `*_arena` / streamed entry points have no [`Tree`] to ask.
+///
+/// # Errors
+///
+/// [`SolveError::ClientExceedsCapacity`] for the first offending client.
+pub(crate) fn check_clients_fit(arena: &TreeArena, w: Requests) -> Result<(), SolveError> {
+    for v in 0..arena.len() as u32 {
+        if arena.is_client(v) {
+            let r = arena.requests(v);
+            if r > w {
+                return Err(SolveError::ClientExceedsCapacity {
+                    client: NodeId(v),
+                    requests: r,
+                    capacity: w,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Arena-side counterpart of the `tree.arity() > 2` check of
+/// [`crate::multiple_bin`].
+///
+/// # Errors
+///
+/// [`SolveError::NotBinary`] with the largest arity found.
+pub(crate) fn check_binary(arena: &TreeArena) -> Result<(), SolveError> {
+    let arity = (0..arena.len() as u32).map(|v| arena.children(v).len()).max().unwrap_or(0);
+    if arity > 2 {
+        return Err(SolveError::NotBinary { arity });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,7 +558,8 @@ mod tests {
         let tree = b.freeze().unwrap();
 
         let mut s = SolverScratch::new();
-        s.prepare(&tree);
+        s.load_arena(&tree);
+        s.prepare_multiple_bin();
         assert_eq!(s.in_r.len(), 3);
         s.in_r[1] = true;
         s.assigned[1].push((2, 5));
@@ -474,7 +568,8 @@ mod tests {
 
         // Re-preparing (even for a smaller tree) drops stale state.
         let small = TreeBuilder::new().freeze().unwrap();
-        s.prepare(&small);
+        s.load_arena(&small);
+        s.prepare_multiple_bin();
         assert_eq!(s.in_r.len(), 1);
         assert!(!s.in_r[0]);
         assert!(s.assigned[0].is_empty());
@@ -490,7 +585,8 @@ mod tests {
         b.add_client(n1, 2, 4);
         let tree = b.freeze().unwrap();
         let mut s = SolverScratch::new();
-        s.prepare(&tree);
+        s.load_arena(&tree);
+        s.prepare_multiple_bin();
         s.prepare_deadlines(Some(2));
         assert_eq!(s.deadline.len(), 3);
         assert_eq!(s.deadline[2], 1, "client stops at its parent under dmax=2");

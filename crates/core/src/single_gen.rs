@@ -22,8 +22,8 @@
 
 use crate::error::SolveError;
 use crate::scratch::SolverScratch;
-use rp_tree::arena::NO_PARENT;
-use rp_tree::{Instance, NodeId, Solution};
+use rp_tree::arena::{TreeArena, NO_PARENT};
+use rp_tree::{Dist, Instance, NodeId, Requests, Solution};
 
 /// Runs Algorithm 1 (`single-gen`) and returns its placement and assignment.
 ///
@@ -60,90 +60,143 @@ pub fn single_gen_with(
             return Err(SolveError::ClientExceedsCapacity { client: c, requests: r, capacity: w });
         }
     }
-    let dmax = instance.dmax();
-    scratch.prepare(tree);
-    let mut solution = Solution::new();
-    let s = &mut *scratch;
-    let n = s.arena.len();
+    scratch.load_arena(tree);
+    scratch.prepare_single_gen();
+    Ok(run_serial(scratch, w, instance.dmax()))
+}
 
-    // Bottom-up sweep: each node's slot (`sg_clients` — the pending client
-    // fragments, `sg_total`, `sg_allow` — the remaining distance allowance
-    // of the most constrained of them) plays the role of the recursive
-    // implementation's return value.
-    for pos in 0..n {
-        let j = s.arena.postorder()[pos];
-        let ji = j as usize;
-        if s.arena.is_client(j) {
-            let r = s.arena.requests(j);
+/// [`single_gen`] on the arena already loaded into `scratch` (via
+/// [`SolverScratch::load_arena`] or
+/// [`SolverScratch::load_arena_from_stream`]) — the entry point of the
+/// streaming scaling tier, where no [`rp_tree::Tree`] ever exists. The
+/// parallel driver is [`crate::par::single_gen_par`].
+///
+/// # Errors
+///
+/// Same as [`single_gen`].
+pub fn single_gen_arena(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+) -> Result<Solution, SolveError> {
+    crate::scratch::check_clients_fit(scratch.arena(), w)?;
+    scratch.prepare_single_gen();
+    Ok(run_serial(scratch, w, dmax))
+}
+
+/// Full-tree serial sweep: the whole post-order with slot base 0.
+fn run_serial(scratch: &mut SolverScratch, w: Requests, dmax: Option<Dist>) -> Solution {
+    let mut solution = Solution::new();
+    let SolverScratch { arena, sg_clients, sg_total, sg_allow, .. } = scratch;
+    sweep_single_gen(
+        arena,
+        w,
+        dmax,
+        arena.postorder(),
+        0,
+        sg_clients,
+        sg_total,
+        sg_allow,
+        &mut solution,
+    );
+    solution
+}
+
+/// One bottom-up sweep of Algorithm 1 over `order` (a list in post-order:
+/// children always before parents).
+///
+/// Each node's slot (`sg_clients` — the pending client fragments,
+/// `sg_total`, `sg_allow` — the remaining distance allowance of the most
+/// constrained of them) plays the role of the recursive implementation's
+/// return value. Slots are indexed by `pre_position(v) - base`, so a
+/// subtree's slots form one contiguous slice: the frontier-parallel driver
+/// ([`crate::par`]) hands each worker a disjoint `&mut` slice of the same
+/// slabs, sweeps the leftover upper nodes afterwards with the full slabs
+/// (`base = 0`), and gets results bit-identical to the serial sweep.
+///
+/// The root-absorb step keys off the *global* arena parent, so a worker
+/// sweeping `subtree(f)` never absorbs at `f`; its pending requests are left
+/// in `f`'s slot for the upper sweep, exactly like the serial sweep would.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_single_gen(
+    arena: &TreeArena,
+    w: Requests,
+    dmax: Option<Dist>,
+    order: &[u32],
+    base: usize,
+    sg_clients: &mut [Vec<(u32, Requests)>],
+    sg_total: &mut [u128],
+    sg_allow: &mut [Option<Dist>],
+    solution: &mut Solution,
+) {
+    for &j in order {
+        let ji = arena.pre_position(j) - base;
+        if arena.is_client(j) {
+            let r = arena.requests(j);
             if r > 0 {
-                s.sg_clients[ji].push((j, r));
-                s.sg_total[ji] = r as u128;
+                sg_clients[ji].push((j, r));
+                sg_total[ji] = r as u128;
             }
-            s.sg_allow[ji] = dmax;
+            sg_allow[ji] = dmax;
             continue;
         }
 
-        let nchild = s.arena.children(j).len();
         let mut total: u128 = 0;
-        for k in 0..nchild {
-            let c = s.arena.children(j)[k];
-            let ci = c as usize;
-            let edge = s.arena.edge(c);
+        for &c in arena.children(j) {
+            let ci = arena.pre_position(c) - base;
+            let edge = arena.edge(c);
             // Step 1: if the child's pending requests cannot travel over the
             // edge to `j`, place a replica on the child.
-            let blocked = match s.sg_allow[ci] {
-                Some(allow) => edge > allow && s.sg_total[ci] > 0,
+            let blocked = match sg_allow[ci] {
+                Some(allow) => edge > allow && sg_total[ci] > 0,
                 None => false,
             };
             if blocked {
-                for &(client, requests) in &s.sg_clients[ci] {
+                for &(client, requests) in &sg_clients[ci] {
                     solution.assign(NodeId(client), NodeId(c), requests);
                 }
-                s.sg_clients[ci].clear();
-                s.sg_total[ci] = 0;
-                s.sg_allow[ci] = dmax;
-            } else if let Some(allow) = s.sg_allow[ci] {
-                s.sg_allow[ci] = Some(allow.saturating_sub(edge));
+                sg_clients[ci].clear();
+                sg_total[ci] = 0;
+                sg_allow[ci] = dmax;
+            } else if let Some(allow) = sg_allow[ci] {
+                sg_allow[ci] = Some(allow.saturating_sub(edge));
             }
-            total += s.sg_total[ci];
+            total += sg_total[ci];
         }
 
         if total > w as u128 {
             // Step 2: too many pending requests; close every child that
             // still has pending requests so that nothing reaches `j`.
-            for k in 0..nchild {
-                let c = s.arena.children(j)[k];
-                let ci = c as usize;
-                if s.sg_total[ci] > 0 {
-                    for &(client, requests) in &s.sg_clients[ci] {
+            for &c in arena.children(j) {
+                let ci = arena.pre_position(c) - base;
+                if sg_total[ci] > 0 {
+                    for &(client, requests) in &sg_clients[ci] {
                         solution.assign(NodeId(client), NodeId(c), requests);
                     }
-                    s.sg_clients[ci].clear();
-                    s.sg_total[ci] = 0;
+                    sg_clients[ci].clear();
+                    sg_total[ci] = 0;
                 }
-                s.sg_allow[ci] = dmax;
+                sg_allow[ci] = dmax;
             }
-            s.sg_total[ji] = 0;
-            s.sg_allow[ji] = dmax;
+            sg_total[ji] = 0;
+            sg_allow[ji] = dmax;
             continue;
         }
 
         // Step 3: the pending requests fit within one server; merge them.
         let mut allowance = None;
-        for k in 0..nchild {
-            let c = s.arena.children(j)[k];
-            if let Some(a) = s.sg_allow[c as usize] {
+        for &c in arena.children(j) {
+            if let Some(a) = sg_allow[arena.pre_position(c) - base] {
                 allowance = Some(allowance.map_or(a, |m: u64| m.min(a)));
             }
         }
         let allowance = allowance.or(dmax).filter(|_| dmax.is_some());
-        let mut merged = std::mem::take(&mut s.sg_clients[ji]);
+        let mut merged = std::mem::take(&mut sg_clients[ji]);
         debug_assert!(merged.is_empty());
-        for k in 0..nchild {
-            let c = s.arena.children(j)[k];
-            merged.append(&mut s.sg_clients[c as usize]);
+        for &c in arena.children(j) {
+            merged.append(&mut sg_clients[arena.pre_position(c) - base]);
         }
-        if s.arena.parent(j) == NO_PARENT {
+        if arena.parent(j) == NO_PARENT {
             // Step 3a: the root absorbs whatever remains.
             for &(client, requests) in &merged {
                 solution.assign(NodeId(client), NodeId(j), requests);
@@ -152,11 +205,10 @@ pub fn single_gen_with(
             total = 0;
         }
         // Step 3b (non-root): forward to the parent via the node's slot.
-        s.sg_clients[ji] = merged;
-        s.sg_total[ji] = total;
-        s.sg_allow[ji] = allowance;
+        sg_clients[ji] = merged;
+        sg_total[ji] = total;
+        sg_allow[ji] = allowance;
     }
-    Ok(solution)
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 
 use crate::error::SolveError;
 use crate::scratch::{Group, SolverScratch};
-use rp_tree::arena::NO_PARENT;
+use rp_tree::arena::{TreeArena, NO_PARENT};
 use rp_tree::{Instance, NodeId, Requests, Solution};
 
 /// Runs Algorithm 2 (`single-nod`) and returns its placement and assignment.
@@ -72,33 +72,72 @@ pub fn single_nod_with(
             return Err(SolveError::ClientExceedsCapacity { client: c, requests: r, capacity: w });
         }
     }
-    scratch.prepare(tree);
-    let mut solution = Solution::new();
-    let s = &mut *scratch;
-    let n = s.arena.len();
+    scratch.load_arena(tree);
+    scratch.prepare_single_nod();
+    Ok(run_serial(scratch, w))
+}
 
-    for pos in 0..n {
-        let j = s.arena.postorder()[pos];
-        let ji = j as usize;
-        if s.arena.is_client(j) {
-            let r = s.arena.requests(j);
+/// [`single_nod`] on the arena already loaded into `scratch` (via
+/// [`SolverScratch::load_arena`] or
+/// [`SolverScratch::load_arena_from_stream`]) — the entry point of the
+/// streaming scaling tier, where no [`rp_tree::Tree`] ever exists. The
+/// parallel driver is [`crate::par::single_nod_par`].
+///
+/// # Errors
+///
+/// Same as [`single_nod`].
+pub fn single_nod_arena(scratch: &mut SolverScratch, w: Requests) -> Result<Solution, SolveError> {
+    crate::scratch::check_clients_fit(scratch.arena(), w)?;
+    scratch.prepare_single_nod();
+    Ok(run_serial(scratch, w))
+}
+
+/// Full-tree serial sweep: the whole post-order with slot base 0.
+fn run_serial(scratch: &mut SolverScratch, w: Requests) -> Solution {
+    let mut solution = Solution::new();
+    let SolverScratch { arena, sn_groups, .. } = scratch;
+    sweep_single_nod(arena, w, arena.postorder(), 0, sn_groups, &mut solution);
+    solution
+}
+
+/// One bottom-up sweep of Algorithm 2 over `order` (a list in post-order:
+/// children always before parents). Each node's slot holds the groups the
+/// node forwards to its parent — either a single aggregated group rooted at
+/// the node (paper's case 2a) or the groups left over after packing there
+/// (paper's case 1a, the re-parenting step).
+///
+/// Slots are indexed by `pre_position(v) - base`, so a subtree's slots form
+/// one contiguous slice; see [`crate::single_gen::sweep_single_gen`] for how
+/// the frontier-parallel driver exploits this. The root checks key off the
+/// *global* arena parent, so a worker sweeping `subtree(f)` always
+/// re-parents leftovers into `f`'s slot instead of taking a root branch.
+pub(crate) fn sweep_single_nod(
+    arena: &TreeArena,
+    w: Requests,
+    order: &[u32],
+    base: usize,
+    sn_groups: &mut [Vec<Group>],
+    solution: &mut Solution,
+) {
+    for &j in order {
+        let ji = arena.pre_position(j) - base;
+        if arena.is_client(j) {
+            let r = arena.requests(j);
             if r > 0 {
-                s.sn_groups[ji].push(Group { node: j, total: r, clients: vec![(j, r)] });
+                sn_groups[ji].push(Group { node: j, total: r, clients: vec![(j, r)] });
             }
             continue;
         }
 
         // Collect the pending groups of all children (this is the list L_j /
         // updated child set C_j of the paper).
-        let mut groups = std::mem::take(&mut s.sn_groups[ji]);
+        let mut groups = std::mem::take(&mut sn_groups[ji]);
         debug_assert!(groups.is_empty());
-        let nchild = s.arena.children(j).len();
-        for k in 0..nchild {
-            let c = s.arena.children(j)[k];
-            groups.append(&mut s.sn_groups[c as usize]);
+        for &c in arena.children(j) {
+            groups.append(&mut sn_groups[arena.pre_position(c) - base]);
         }
         let total: u128 = groups.iter().map(|g| g.total as u128).sum();
-        let is_root = s.arena.parent(j) == NO_PARENT;
+        let is_root = arena.parent(j) == NO_PARENT;
 
         if total > w as u128 {
             // Case 1: too much for one server. Sort by non-decreasing size;
@@ -111,35 +150,37 @@ pub fn single_nod_with(
             let mut leftovers: Vec<Group> = Vec::new();
             for group in groups.drain(..) {
                 if !overflow_handled {
-                    if absorbed + group.total <= w {
+                    // `checked_add`: both terms are ≤ W, but their sum can
+                    // still overflow u64 when W > u64::MAX / 2.
+                    if absorbed.checked_add(group.total).is_some_and(|sum| sum <= w) {
                         absorbed += group.total;
-                        place(&mut solution, j, group);
+                        place(solution, j, group);
                         continue;
                     }
                     // First group that does not fit: replica on its own node.
                     overflow_handled = true;
-                    place(&mut solution, group.node, group);
+                    place(solution, group.node, group);
                     continue;
                 }
                 if is_root {
                     // Case 1b: no parent to re-attach to; each leftover
                     // group gets a replica on its own node.
-                    place(&mut solution, group.node, group);
+                    place(solution, group.node, group);
                 } else {
                     // Case 1a: re-parent the leftover groups.
                     leftovers.push(group);
                 }
             }
             groups.extend(leftovers);
-            s.sn_groups[ji] = groups;
+            sn_groups[ji] = groups;
         } else if is_root {
             // Case 2b: the root serves whatever is left.
             for group in groups.drain(..) {
-                place(&mut solution, j, group);
+                place(solution, j, group);
             }
-            s.sn_groups[ji] = groups;
+            sn_groups[ji] = groups;
         } else if total == 0 {
-            s.sn_groups[ji] = groups;
+            sn_groups[ji] = groups;
         } else {
             // Case 2a: aggregate into a single group rooted at `j`.
             let mut clients: Vec<(u32, Requests)> = Vec::new();
@@ -147,10 +188,9 @@ pub fn single_nod_with(
                 clients.extend(group.clients);
             }
             groups.push(Group { node: j, total: total as Requests, clients });
-            s.sn_groups[ji] = groups;
+            sn_groups[ji] = groups;
         }
     }
-    Ok(solution)
 }
 
 #[cfg(test)]

@@ -330,7 +330,12 @@ fn dp_core(
                 }
                 for (i, &vc) in mc[sc0..(len - rp).min(mc.len())].iter().enumerate() {
                     let r = rp + sc0 + i;
-                    let val = vp.saturating_add(vc);
+                    // Clamp to the sentinel: a sum with an INFEASIBLE side
+                    // must stay exactly INFEASIBLE, never a larger value the
+                    // feasibility tests below would misread. Genuine volumes
+                    // are ≤ n·u64::MAX ≈ 2^96, far below the 2^126 sentinel,
+                    // so the clamp never distorts a feasible cell.
+                    let val = vp.saturating_add(vc).min(INFEASIBLE);
                     if val < conv_m[r] {
                         conv_m[r] = val;
                         conv_arg[r] = (sc0 + i) as u32;
@@ -376,11 +381,25 @@ fn dp_core(
                 // capacity in the re-routing relaxation.
                 let spare = if full_cap_existing { cap } else { cap - load[vi] as u128 };
                 if r < prev_len {
-                    slot = base(r).saturating_sub(spare).min(INFEASIBLE);
+                    // An INFEASIBLE base must stay INFEASIBLE: subtracting
+                    // the spare from the sentinel would *lower* it below the
+                    // sentinel and fabricate a feasible-looking cell.
+                    let b = base(r);
+                    slot = if b < INFEASIBLE { b.saturating_sub(spare) } else { INFEASIBLE };
                 }
             } else {
                 let keep = base(r);
-                let place = if r >= 1 { base(r - 1).saturating_sub(cap) } else { INFEASIBLE };
+                let place = if r >= 1 {
+                    // Same sentinel guard as the existing-replica branch.
+                    let b = base(r - 1);
+                    if b < INFEASIBLE {
+                        b.saturating_sub(cap)
+                    } else {
+                        INFEASIBLE
+                    }
+                } else {
+                    INFEASIBLE
+                };
                 // Prefer placing on ties: capacity high in the subtree can
                 // also serve travelling requests later.
                 if place <= keep && place < INFEASIBLE {
@@ -494,7 +513,8 @@ pub mod testing {
     ) -> StrictDpRun {
         assert!(!rmax_steps.is_empty(), "at least one rmax step is required");
         let mut scratch = SolverScratch::new();
-        scratch.prepare(tree);
+        scratch.load_arena(tree);
+        scratch.prepare_multiple_bin();
         for &(u, l) in replicas {
             scratch.in_r[u as usize] = true;
             scratch.load[u as usize] = l;

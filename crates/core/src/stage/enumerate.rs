@@ -32,7 +32,7 @@
 use crate::scratch::SolverScratch;
 use crate::stage::router::{self, RouteEnv};
 use crate::stage::{dp, PendingRequest};
-use rp_tree::arena::TreeArena;
+use rp_tree::arena::{TreeArena, NO_PARENT};
 use rp_tree::Requests;
 
 /// Searches placements of increasing size for the best feasible one and
@@ -387,10 +387,14 @@ pub(crate) fn best_placement(
 }
 
 /// Whether `u` can serve requests issued at `c`: on the path from `c` up to
-/// `c`'s deadline (both inclusive).
+/// `c`'s deadline (both inclusive). A deadline of [`NO_PARENT`] is the
+/// sub-arena sentinel of `crate::par` — the client's true deadline lies
+/// *above* the sub-arena root, so every local ancestor is on the service
+/// path.
 #[inline]
 fn on_service_path(arena: &TreeArena, deadline: &[u32], u: u32, c: u32) -> bool {
-    arena.is_ancestor_or_self(u, c) && arena.is_ancestor_or_self(deadline[c as usize], u)
+    arena.is_ancestor_or_self(u, c)
+        && (deadline[c as usize] == NO_PARENT || arena.is_ancestor_or_self(deadline[c as usize], u))
 }
 
 /// `C(n, r)`, saturating.

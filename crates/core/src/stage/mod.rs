@@ -87,6 +87,7 @@ pub use dp::testing as dp_testing;
 use crate::error::SolveError;
 use crate::scratch::SolverScratch;
 use router::RouteEnv;
+use rp_tree::arena::NO_PARENT;
 use rp_tree::{Dist, NodeId, Requests};
 
 /// `w` requests of `client`, currently at distance `d` from the node whose
@@ -140,6 +141,42 @@ pub struct StageStats {
     /// and re-routed. The observability handle on the incremental commit:
     /// stage-dense instances live or die by this staying high.
     pub commit_skipped: u64,
+}
+
+impl StageStats {
+    /// Adds every counter of `other` into `self` — the merge step of the
+    /// frontier-parallel `multiple-bin` driver (`crate::par`), which sums
+    /// the workers' per-subtree counters into the session scratch. All
+    /// fields are plain event counts, so summation is exact and
+    /// order-independent.
+    pub(crate) fn absorb(&mut self, other: &StageStats) {
+        let StageStats {
+            stages,
+            subsets_enumerated,
+            subsets_routed,
+            subsets_pruned,
+            prefix_routes,
+            dp_sizes_skipped,
+            dp_bound_skips,
+            dp_fallbacks,
+            dp_node_visits,
+            repairs,
+            commit_touched,
+            commit_skipped,
+        } = other;
+        self.stages += stages;
+        self.subsets_enumerated += subsets_enumerated;
+        self.subsets_routed += subsets_routed;
+        self.subsets_pruned += subsets_pruned;
+        self.prefix_routes += prefix_routes;
+        self.dp_sizes_skipped += dp_sizes_skipped;
+        self.dp_bound_skips += dp_bound_skips;
+        self.dp_fallbacks += dp_fallbacks;
+        self.dp_node_visits += dp_node_visits;
+        self.repairs += repairs;
+        self.commit_touched += commit_touched;
+        self.commit_skipped += commit_skipped;
+    }
 }
 
 /// A scoped view driving one stage over a prepared [`SolverScratch`]: the
@@ -421,8 +458,12 @@ fn collect_scope_naive(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) 
             // client (the same rule the candidate masks use).
             let on_pool_path = (0..s.demand_clients.len()).any(|i| {
                 let c = s.demand_clients[i];
+                // `NO_PARENT` is the sub-arena deadline sentinel of
+                // `crate::par`: the true deadline lies above the local root,
+                // so every local ancestor of `c` is on the service path.
                 s.arena.is_ancestor_or_self(u, c)
-                    && s.arena.is_ancestor_or_self(s.deadline[c as usize], u)
+                    && (s.deadline[c as usize] == NO_PARENT
+                        || s.arena.is_ancestor_or_self(s.deadline[c as usize], u))
             });
             if !on_pool_path {
                 continue;

@@ -1,0 +1,170 @@
+//! Serial-vs-parallel determinism: the frontier-parallel drivers of
+//! `rp_core::par` must produce **bit-identical** results to the serial
+//! sweeps — same [`rp_tree::Solution`], and for `multiple-bin` the same
+//! [`rp_core::StageStats`] — for every thread count, including thread
+//! counts far above the machine's core count. This is the pinned contract
+//! of the million-client scaling tier: parallelism must never change a
+//! reported replica count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rp_core::{
+    multiple_bin_par, multiple_bin_with, single_gen_par, single_gen_with, single_nod_par,
+    single_nod_with, SolverScratch,
+};
+use rp_instances::families::caterpillar;
+use rp_instances::random::{random_binary_tree, wrap_instance};
+use rp_instances::{
+    binary_tree_len, instance_params_from_arena, stream_binary_tree, EdgeDist, RequestDist,
+};
+use rp_tree::{validate, Instance, Policy, TreeBuilder};
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Runs all three algorithms serially and through the parallel drivers at
+/// every thread count, asserting exact equality (and stats equality for
+/// `multiple-bin`). `instance` must be binary with `r_i ≤ W`.
+fn assert_parallel_matches_serial(instance: &Instance, label: &str) {
+    let w = instance.capacity();
+    let dmax = instance.dmax();
+    let mut serial = SolverScratch::new();
+    let sg = single_gen_with(instance, &mut serial).expect("single-gen feasible");
+    let sn = single_nod_with(instance, &mut serial).expect("single-nod feasible");
+    let mb = multiple_bin_with(instance, &mut serial).expect("multiple-bin feasible");
+    let mb_stats = *serial.stage_stats();
+
+    let mut par = SolverScratch::new();
+    par.load_arena(instance.tree());
+    for threads in THREAD_COUNTS {
+        let got = single_gen_par(&mut par, w, dmax, threads).expect("single-gen par feasible");
+        assert_eq!(got, sg, "{label}: single-gen diverged at {threads} threads");
+        let got = single_nod_par(&mut par, w, threads).expect("single-nod par feasible");
+        assert_eq!(got, sn, "{label}: single-nod diverged at {threads} threads");
+        let got = multiple_bin_par(&mut par, w, dmax, threads).expect("multiple-bin par feasible");
+        assert_eq!(got, mb, "{label}: multiple-bin diverged at {threads} threads");
+        assert_eq!(
+            *par.stage_stats(),
+            mb_stats,
+            "{label}: multiple-bin stage counters diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn chain_of_65537_nodes_matches_across_thread_counts() {
+    // A deep caterpillar (spine of 32768 internal nodes, one client each):
+    // the degenerate shape where the frontier builder can only produce dust
+    // chunks and must fall back to the serial sweep — pinned here at the
+    // 65536-node scale the ISSUE requires, with a dmax small enough that
+    // multiple-bin runs thousands of (tiny) stages along the spine.
+    let requests: Vec<u64> = (0..32768u64).map(|i| i % 7 + 1).collect();
+    let tree = caterpillar(&requests, 1, 1);
+    assert!(tree.len() >= 65536, "tree has {} nodes", tree.len());
+    let inst = wrap_instance(tree, 3.0, Some(0.001));
+    assert!(inst.all_requests_fit_locally());
+    assert_parallel_matches_serial(&inst, "caterpillar-65537");
+}
+
+#[test]
+fn random_binary_parallel_matches_serial() {
+    // Big enough that the frontier genuinely splits (MIN_CHUNK = 1024, so
+    // ≥ 2048 nodes are needed; 4096 clients give 8191 nodes) — the real
+    // worker/merge/finish-pass path, under distance constraints and without.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for (trial, dmax_fraction) in [(0usize, Some(0.25)), (1, Some(0.6)), (2, None)] {
+        let tree = random_binary_tree(
+            4096,
+            &EdgeDist::Uniform { lo: 1, hi: 4 },
+            &RequestDist::Uniform { lo: 1, hi: 9 },
+            &mut rng,
+        );
+        let inst = wrap_instance(tree, 2.0, dmax_fraction);
+        assert!(inst.all_requests_fit_locally());
+        assert_parallel_matches_serial(&inst, &format!("random-binary trial {trial}"));
+    }
+}
+
+#[test]
+fn parallel_solutions_validate() {
+    // The determinism tests compare against serial results; this one
+    // re-checks a parallel solution against the instance from scratch.
+    let mut rng = StdRng::seed_from_u64(7);
+    let tree = random_binary_tree(
+        3000,
+        &EdgeDist::Uniform { lo: 1, hi: 3 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut rng,
+    );
+    let inst = wrap_instance(tree, 2.0, Some(0.4));
+    let mut scratch = SolverScratch::new();
+    scratch.load_arena(inst.tree());
+    let sol = multiple_bin_par(&mut scratch, inst.capacity(), inst.dmax(), 4).unwrap();
+    validate(&inst, Policy::Multiple, &sol).expect("parallel multiple-bin must stay feasible");
+    let sol = single_gen_par(&mut scratch, inst.capacity(), inst.dmax(), 4).unwrap();
+    validate(&inst, Policy::Single, &sol).expect("parallel single-gen must stay feasible");
+}
+
+#[test]
+fn single_node_and_tiny_trees_through_parallel_entry_points() {
+    // A root-only tree has max_depth == 0 (empty binary-lifting tables) and
+    // no clients; a root-plus-client tree is the smallest solvable input.
+    // Both must pass through every parallel entry point (which falls back
+    // to the serial sweep) without panicking.
+    for build_client in [false, true] {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        if build_client {
+            b.add_client(root, 1, 3);
+        }
+        let tree = b.freeze().unwrap();
+        let mut scratch = SolverScratch::new();
+        scratch.load_arena(&tree);
+        for threads in [1, 8] {
+            let sg = single_gen_par(&mut scratch, 10, Some(5), threads).unwrap();
+            let sn = single_nod_par(&mut scratch, 10, threads).unwrap();
+            let mb = multiple_bin_par(&mut scratch, 10, Some(5), threads).unwrap();
+            let expect = usize::from(build_client);
+            assert_eq!(sg.replica_count(), expect);
+            assert_eq!(sn.replica_count(), expect);
+            assert_eq!(mb.replica_count(), expect);
+            let _ = root;
+        }
+    }
+}
+
+#[test]
+fn streamed_arena_solves_match_instance_solves() {
+    // The streaming generator must reproduce the materialised tree exactly:
+    // loading it through `load_arena_from_stream` and solving with the
+    // `*_par` entry points must equal the Tree/Instance pipeline.
+    let clients = 4096;
+    let seed = 0x5EED;
+    let tree = random_binary_tree(
+        clients,
+        &EdgeDist::Uniform { lo: 1, hi: 4 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let inst = wrap_instance(tree, 2.0, Some(0.4));
+
+    let mut scratch = SolverScratch::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stream = stream_binary_tree(
+        clients,
+        &EdgeDist::Uniform { lo: 1, hi: 4 },
+        &RequestDist::Uniform { lo: 1, hi: 9 },
+        &mut rng,
+    );
+    scratch.load_arena_from_stream(binary_tree_len(clients), stream).expect("valid stream");
+    let (w, dmax) = instance_params_from_arena(scratch.arena(), 2.0, Some(0.4));
+    assert_eq!(w, inst.capacity(), "streamed capacity derivation must match wrap_instance");
+    assert_eq!(dmax, inst.dmax(), "streamed dmax derivation must match wrap_instance");
+
+    let mut serial = SolverScratch::new();
+    let sg = single_gen_with(&inst, &mut serial).unwrap();
+    let sn = single_nod_with(&inst, &mut serial).unwrap();
+    let mb = multiple_bin_with(&inst, &mut serial).unwrap();
+    assert_eq!(single_gen_par(&mut scratch, w, dmax, 4).unwrap(), sg);
+    assert_eq!(single_nod_par(&mut scratch, w, 4).unwrap(), sn);
+    assert_eq!(multiple_bin_par(&mut scratch, w, dmax, 4).unwrap(), mb);
+}

@@ -1,115 +1,47 @@
-//! A small work-stealing-free parallel map built on crossbeam scoped threads.
+//! Deterministic parallel map over independent trials.
 //!
-//! Experiment trials are embarrassingly parallel and cheap to describe (an
-//! index plus a seed), so a shared atomic cursor over the index range is all
-//! the scheduling needed. Results are written into their own slot, so the
-//! output order — and therefore every aggregate computed from it — is
-//! independent of the number of worker threads.
+//! The implementation lives in the [`rp_parallel`] crate so that the solver
+//! layer (`rp-core`'s frontier-parallel sweeps) and this experiment harness
+//! share one panic-safe worker pool; this module re-exports it under the
+//! harness's historical path.
+//!
+//! A panicking trial no longer disappears behind a generic
+//! `"worker threads must not panic"` message: the pool stops dispatching new
+//! trial indices once a panic is observed and re-raises the first worker's
+//! original payload on the calling thread.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Maps `f` over `0..n` in parallel and returns the results in index order.
-///
-/// `f` must be `Sync` (it is shared by the workers); each invocation receives
-/// its index. The number of worker threads defaults to the available
-/// parallelism, capped by `n`.
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    par_map_with_threads(n, default_threads(), f)
-}
-
-/// Like [`par_map`] but with an explicit worker count (useful in tests to
-/// check determinism across thread counts).
-pub fn par_map_with_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return (0..n).map(f).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let value = f(idx);
-                *slots[idx].lock() = Some(value);
-            });
-        }
-    })
-    .expect("worker threads must not panic");
-    slots.into_iter().map(|slot| slot.into_inner().expect("every index was processed")).collect()
-}
-
-/// Number of worker threads used by default.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
-}
-
-/// Derives a per-trial seed from an experiment-level seed; trials get
-/// well-separated, deterministic seeds regardless of scheduling.
-pub fn trial_seed(base: u64, trial: usize) -> u64 {
-    // SplitMix64 step — cheap, well-distributed, reproducible.
-    let mut z = base.wrapping_add((trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub use rp_parallel::{default_threads, par_map, par_map_take, par_map_with_threads, trial_seed};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn maps_in_index_order() {
-        let out = par_map(100, |i| i * i);
-        assert_eq!(out.len(), 100);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
+    fn reexported_pool_is_deterministic() {
+        let reference: Vec<u64> = (0..64).map(|i| trial_seed(7, i)).collect();
+        for threads in [1, 4, 16] {
+            let out = par_map_with_threads(64, threads, |i| trial_seed(7, i));
+            assert_eq!(out, reference, "threads = {threads}");
         }
+        assert!(default_threads() >= 1);
     }
 
     #[test]
-    fn empty_input() {
-        let out: Vec<u32> = par_map(0, |_| unreachable!());
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn deterministic_across_thread_counts() {
-        let f = |i: usize| trial_seed(42, i) % 1000;
-        let one: Vec<u64> = par_map_with_threads(64, 1, f);
-        let four: Vec<u64> = par_map_with_threads(64, 4, f);
-        let many: Vec<u64> = par_map_with_threads(64, 16, f);
-        assert_eq!(one, four);
-        assert_eq!(one, many);
-    }
-
-    #[test]
-    fn handles_more_threads_than_items() {
-        let out = par_map_with_threads(3, 64, |i| i + 1);
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn trial_seeds_are_distinct() {
-        let seeds: std::collections::HashSet<u64> = (0..1000).map(|t| trial_seed(7, t)).collect();
-        assert_eq!(seeds.len(), 1000);
-        // And differ across base seeds too.
-        assert_ne!(trial_seed(1, 0), trial_seed(2, 0));
+    fn reexported_pool_propagates_panic_payloads() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with_threads(8, 4, |i| {
+                if i == 5 {
+                    panic!("trial 5 exploded");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("the map must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("string payload");
+        assert!(message.contains("trial 5 exploded"), "payload lost: {message:?}");
     }
 }

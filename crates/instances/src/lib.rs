@@ -8,6 +8,10 @@
 //!   balanced k-ary);
 //! * [`random`] — random binary / k-ary / bounded-arity trees with sampled
 //!   requests and edge lengths;
+//! * [`stream`] — streaming (iterator-style) counterparts of the random
+//!   generators that feed [`rp_tree::TreeArena::rebuild_from_stream`]
+//!   node-by-node, so million-client instances never materialise a
+//!   [`rp_tree::Tree`];
 //! * [`worst_case`] — the tight instances of the paper: the family `Im`
 //!   of Fig. 3 on which `single-gen` reaches its Δ+1 approximation ratio, and
 //!   the Fig. 4 family on which `single-nod` reaches ratio 2;
@@ -28,8 +32,13 @@ pub mod families;
 pub mod gadgets;
 pub mod partition;
 pub mod random;
+pub mod stream;
 pub mod worst_case;
 
 pub use dist::{EdgeDist, RequestDist};
 pub use gadgets::{Gadget, GadgetKind};
 pub use random::RandomTreeConfig;
+pub use stream::{
+    binary_tree_len, instance_params_from_arena, stream_binary_tree, stream_kary_tree,
+    SplitTreeStream,
+};

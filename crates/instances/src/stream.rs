@@ -1,0 +1,318 @@
+//! Streaming (iterator-style) counterparts of the [`crate::random`] tree
+//! generators, for the million-client scaling tier.
+//!
+//! [`crate::random::random_binary_tree`] and
+//! [`crate::random::random_kary_tree`] materialise a full
+//! [`rp_tree::Tree`] — per-node structs with their own `Vec<NodeId>` child
+//! lists — before the solver arena snapshots it into dense arrays. At 1M+
+//! clients that transient `Tree` costs several times the arena's own
+//! footprint. The streams here emit the **same trees node-by-node** as
+//! [`rp_tree::StreamNode`] records that
+//! [`rp_tree::TreeArena::rebuild_from_stream`] consumes directly, so the only
+//! materialised representation is the arena itself.
+//!
+//! Sameness is literal, not just distributional: each stream replays its
+//! recursive counterpart's RNG call sequence exactly (split sizes, edge
+//! lengths and request counts are drawn in the same order from the same
+//! generator), and nodes are emitted in the recursive builder's id order. A
+//! given seed therefore produces bit-identical arenas through either path —
+//! pinned by this module's tests — which keeps the scaling bench's streamed
+//! cells comparable with the materialised grid cells.
+//!
+//! [`instance_params_from_arena`] completes the streamed path by deriving the
+//! capacity / `dmax` that [`crate::random::wrap_instance`] would have chosen,
+//! reading the client statistics from the finished arena instead of a `Tree`.
+
+use crate::dist::{EdgeDist, RequestDist};
+use rand::Rng;
+use rp_tree::{Dist, StreamNode, TreeArena, NO_PARENT};
+
+/// Exact node count of the tree emitted by [`stream_binary_tree`] for the
+/// given client count: the root, `clients` leaves and `clients - 1` further
+/// internal nodes (the root is the top split node once `clients >= 2`).
+pub fn binary_tree_len(clients: usize) -> usize {
+    if clients == 1 {
+        2
+    } else {
+        2 * clients - 1
+    }
+}
+
+/// Streaming equivalent of [`crate::random::random_binary_tree`]: emits the
+/// identical tree (same RNG consumption, same node ids) as a parents-first
+/// [`StreamNode`] sequence ready for
+/// [`rp_tree::TreeArena::rebuild_from_stream`].
+pub fn stream_binary_tree<'a, R: Rng + ?Sized>(
+    clients: usize,
+    edge: &'a EdgeDist,
+    requests: &'a RequestDist,
+    rng: &'a mut R,
+) -> SplitTreeStream<'a, R> {
+    assert!(clients >= 1, "need at least one client");
+    SplitTreeStream::new(clients, None, edge, requests, rng)
+}
+
+/// Streaming equivalent of [`crate::random::random_kary_tree`]; see
+/// [`stream_binary_tree`].
+pub fn stream_kary_tree<'a, R: Rng + ?Sized>(
+    clients: usize,
+    arity: usize,
+    edge: &'a EdgeDist,
+    requests: &'a RequestDist,
+    rng: &'a mut R,
+) -> SplitTreeStream<'a, R> {
+    assert!(arity >= 2, "arity must be at least 2");
+    assert!(clients >= 1, "need at least one client");
+    SplitTreeStream::new(clients, Some(arity), edge, requests, rng)
+}
+
+/// Iterator behind [`stream_binary_tree`] / [`stream_kary_tree`].
+///
+/// The recursive generators interleave RNG draws with node creation (a
+/// subtree's split is drawn after its root's edge, and an entire left subtree
+/// is built before the right sibling's edge is drawn). The stream reproduces
+/// that order with an explicit DFS stack of *(parent, leaves)* jobs pushed in
+/// reverse sibling order, drawing each job's edge on pop and its split on
+/// node creation — exactly where the recursion draws them.
+pub struct SplitTreeStream<'a, R: Rng + ?Sized> {
+    /// `None` for the binary splitter (always two parts), `Some(Δ)` for the
+    /// k-ary splitter (2..=Δ parts).
+    arity: Option<usize>,
+    edge: &'a EdgeDist,
+    requests: &'a RequestDist,
+    rng: &'a mut R,
+    /// Pending subtrees as `(parent id, leaves)`; the top of the stack is the
+    /// next sibling to emit.
+    stack: Vec<(u32, usize)>,
+    /// Total clients, kept for the pre-root state.
+    clients: usize,
+    /// Id the next emitted node will get (0 until the root is out).
+    next_id: u32,
+    /// k-ary split scratch, reused across internal nodes.
+    sizes: Vec<usize>,
+}
+
+impl<'a, R: Rng + ?Sized> SplitTreeStream<'a, R> {
+    fn new(
+        clients: usize,
+        arity: Option<usize>,
+        edge: &'a EdgeDist,
+        requests: &'a RequestDist,
+        rng: &'a mut R,
+    ) -> Self {
+        SplitTreeStream {
+            arity,
+            edge,
+            requests,
+            rng,
+            stack: Vec::new(),
+            clients,
+            next_id: 0,
+            sizes: Vec::new(),
+        }
+    }
+
+    /// Draws the split of `leaves` under node `v` and pushes the parts in
+    /// reverse order, so the first part is expanded first — the recursion's
+    /// left-to-right sibling order.
+    fn split(&mut self, v: u32, leaves: usize) {
+        debug_assert!(leaves >= 2);
+        match self.arity {
+            None => {
+                let left = self.rng.gen_range(1..leaves);
+                let right = leaves - left;
+                self.stack.push((v, right));
+                self.stack.push((v, left));
+            }
+            Some(arity) => {
+                let parts = self.rng.gen_range(2..=arity.min(leaves));
+                self.sizes.clear();
+                self.sizes.resize(parts, 1usize);
+                for _ in 0..(leaves - parts) {
+                    let i = self.rng.gen_range(0..parts);
+                    self.sizes[i] += 1;
+                }
+                for i in (0..parts).rev() {
+                    self.stack.push((v, self.sizes[i]));
+                }
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Iterator for SplitTreeStream<'_, R> {
+    type Item = StreamNode;
+
+    fn next(&mut self) -> Option<StreamNode> {
+        if self.next_id == 0 {
+            // Emit the root and seed the stack. The recursive generators draw
+            // no RNG for the root itself; with a single client they skip the
+            // split entirely, otherwise the top-level split is drawn before
+            // the first child's edge.
+            self.next_id = 1;
+            if self.clients == 1 {
+                self.stack.push((0, 1));
+            } else {
+                self.split(0, self.clients);
+            }
+            return Some(StreamNode { parent: NO_PARENT, edge: 0, requests: 0, is_client: false });
+        }
+        let (parent, leaves) = self.stack.pop()?;
+        let e: Dist = self.edge.sample(self.rng);
+        // Every emitted node consumes one id, exactly like the builder calls
+        // `add_client` / `add_internal` in the recursive generators; `v` is
+        // this record's implicit id (its position in the stream).
+        let v = self.next_id;
+        self.next_id += 1;
+        if leaves == 1 {
+            let r = self.requests.sample(self.rng);
+            Some(StreamNode { parent, edge: e, requests: r, is_client: true })
+        } else {
+            self.split(v, leaves);
+            Some(StreamNode { parent, edge: e, requests: 0, is_client: false })
+        }
+    }
+}
+
+/// Derives the `(capacity, dmax)` pair that
+/// [`crate::random::wrap_instance`] would choose for this tree, reading the
+/// client statistics from an already-built arena — the streamed path's
+/// replacement for wrapping a materialised [`rp_tree::Tree`]. Uses the exact
+/// same arithmetic, so streamed and materialised instances agree bit-for-bit.
+pub fn instance_params_from_arena(
+    arena: &TreeArena,
+    clients_per_server: f64,
+    dmax_fraction: Option<f64>,
+) -> (u64, Option<u64>) {
+    let mut clients: usize = 0;
+    let mut total: u128 = 0;
+    let mut max_client: u64 = 0;
+    let mut span: Dist = 0;
+    for v in 0..arena.len() as u32 {
+        if arena.is_client(v) {
+            clients += 1;
+            total += arena.requests(v) as u128;
+            max_client = max_client.max(arena.requests(v));
+            span = span.max(arena.root_dist(v));
+        }
+    }
+    let clients = clients.max(1) as f64;
+    let avg = total as f64 / clients;
+    let max_client = max_client.max(1);
+    let capacity = ((avg * clients_per_server).ceil() as u64).max(max_client).max(1);
+    let dmax = dmax_fraction.map(|f| (span as f64 * f).ceil() as u64);
+    (capacity, dmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_binary_tree, random_kary_tree, wrap_instance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arena_from_stream(
+        clients: usize,
+        arity: Option<usize>,
+        edge: &EdgeDist,
+        requests: &RequestDist,
+        seed: u64,
+    ) -> TreeArena {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arena = TreeArena::default();
+        match arity {
+            None => arena
+                .rebuild_from_stream(
+                    binary_tree_len(clients),
+                    stream_binary_tree(clients, edge, requests, &mut rng),
+                )
+                .unwrap(),
+            Some(a) => arena
+                .rebuild_from_stream(
+                    clients + 1,
+                    stream_kary_tree(clients, a, edge, requests, &mut rng),
+                )
+                .unwrap(),
+        }
+        arena
+    }
+
+    fn assert_same_arena(a: &TreeArena, b: &TreeArena) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.postorder(), b.postorder());
+        assert_eq!(a.preorder(), b.preorder());
+        for v in 0..a.len() as u32 {
+            assert_eq!(a.parent(v), b.parent(v), "parent({v})");
+            assert_eq!(a.edge(v), b.edge(v), "edge({v})");
+            assert_eq!(a.depth(v), b.depth(v), "depth({v})");
+            assert_eq!(a.root_dist(v), b.root_dist(v), "root_dist({v})");
+            assert_eq!(a.requests(v), b.requests(v), "requests({v})");
+            assert_eq!(a.is_client(v), b.is_client(v), "is_client({v})");
+            assert_eq!(a.children(v), b.children(v), "children({v})");
+        }
+    }
+
+    #[test]
+    fn binary_stream_replays_the_recursive_generator() {
+        let edge = EdgeDist::Uniform { lo: 1, hi: 3 };
+        let requests = RequestDist::Uniform { lo: 1, hi: 9 };
+        for clients in [1usize, 2, 3, 5, 17, 64, 257, 2048] {
+            for seed in [0u64, 7, 0xE6] {
+                let tree =
+                    random_binary_tree(clients, &edge, &requests, &mut StdRng::seed_from_u64(seed));
+                assert_eq!(tree.len(), binary_tree_len(clients));
+                let reference = TreeArena::new(&tree);
+                let streamed = arena_from_stream(clients, None, &edge, &requests, seed);
+                assert_same_arena(&reference, &streamed);
+            }
+        }
+    }
+
+    #[test]
+    fn kary_stream_replays_the_recursive_generator() {
+        let edge = EdgeDist::Uniform { lo: 1, hi: 5 };
+        let requests = RequestDist::Uniform { lo: 1, hi: 7 };
+        for arity in [2usize, 3, 4, 6] {
+            for clients in [1usize, 2, 9, 40, 513] {
+                let seed = 31 * arity as u64 + clients as u64;
+                let tree = random_kary_tree(
+                    clients,
+                    arity,
+                    &edge,
+                    &requests,
+                    &mut StdRng::seed_from_u64(seed),
+                );
+                let reference = TreeArena::new(&tree);
+                let streamed = arena_from_stream(clients, Some(arity), &edge, &requests, seed);
+                assert_same_arena(&reference, &streamed);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_leaves_rng_in_the_same_state() {
+        // Downstream draws (e.g. a second instance from the same generator)
+        // must not diverge between the two paths.
+        let edge = EdgeDist::Uniform { lo: 1, hi: 3 };
+        let requests = RequestDist::Uniform { lo: 1, hi: 9 };
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let _ = random_binary_tree(33, &edge, &requests, &mut rng_a);
+        stream_binary_tree(33, &edge, &requests, &mut rng_b).for_each(drop);
+        assert_eq!(rng_a.gen_range(0..u64::MAX), rng_b.gen_range(0..u64::MAX));
+    }
+
+    #[test]
+    fn instance_params_match_wrap_instance() {
+        let edge = EdgeDist::Uniform { lo: 1, hi: 3 };
+        let requests = RequestDist::Uniform { lo: 1, hi: 9 };
+        for (clients, dmax_fraction) in [(1usize, None), (16, Some(0.7)), (100, Some(0.3))] {
+            let tree = random_binary_tree(clients, &edge, &requests, &mut StdRng::seed_from_u64(5));
+            let arena = TreeArena::new(&tree);
+            let inst = wrap_instance(tree, 3.0, dmax_fraction);
+            let (capacity, dmax) = instance_params_from_arena(&arena, 3.0, dmax_fraction);
+            assert_eq!(capacity, inst.capacity());
+            assert_eq!(dmax, inst.dmax());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! # rp-parallel — deterministic, panic-safe worker pool
+//!
+//! A minimal parallel map over an index range, shared by the experiment
+//! harness (independent trials) and by `rp-core`'s frontier-parallel solver
+//! sweeps (independent subtrees). Two properties matter more than raw
+//! throughput here:
+//!
+//! * **Determinism** — results are collected *by index*, so the output of
+//!   [`par_map_with_threads`] is identical for every thread count, including
+//!   the serial `threads == 1` path. Randomised callers derive one RNG per
+//!   index via [`trial_seed`] instead of sharing a generator.
+//! * **Panic transparency** — a panicking call does not dissolve into a
+//!   generic `"worker threads must not panic"` message: the **first**
+//!   worker's panic payload is captured, dispatch of new indices stops, and
+//!   the original payload is re-raised on the calling thread via
+//!   [`std::panic::resume_unwind`] once all workers have parked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `0..n` with [`default_threads`] workers.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with_threads(n, default_threads(), f)
+}
+
+/// Maps `f` over `0..n` using up to `threads` worker threads, returning the
+/// results in index order.
+///
+/// Work is distributed through a shared atomic cursor, so threads that finish
+/// early steal remaining indices; the result vector is assembled by index and
+/// therefore independent of the schedule. With `threads <= 1` (or `n <= 1`)
+/// the map runs on the calling thread.
+///
+/// # Panics
+///
+/// If any call to `f` panics, the first observed panic payload is re-raised
+/// on the calling thread (after the pool stops dispatching new indices), so
+/// the original panic message reaches the caller unchanged.
+pub fn par_map_with_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        // Serial path: panics in `f` propagate naturally.
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(value) => *slots[i].lock() = Some(value),
+                    Err(payload) => {
+                        let mut first = first_panic.lock();
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                        // Stop dispatching: other workers finish their
+                        // current index and park.
+                        poisoned.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    // Workers catch their own panics above, so the scope body cannot fail.
+    .expect("scope body must not panic");
+
+    if let Some(payload) = first_panic.into_inner() {
+        resume_unwind(payload);
+    }
+    slots.into_iter().map(|slot| slot.into_inner().expect("every index was processed")).collect()
+}
+
+/// Like [`par_map_with_threads`], but each index *consumes* one owned work
+/// item (e.g. a pre-split `&mut` slice of a shared slab, or a per-subtree
+/// scratch). `f` receives `(index, item)`; results come back in item order.
+///
+/// Panic semantics are inherited from [`par_map_with_threads`].
+pub fn par_map_take<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    par_map_with_threads(n, threads, |i| {
+        let item = work[i].lock().take().expect("each index is dispatched exactly once");
+        f(i, item)
+    })
+}
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, falling back to 4 if it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Derives a per-trial RNG seed from a base seed and trial index using the
+/// SplitMix64 finaliser, so trials are decorrelated but fully determined by
+/// `(base, index)` — independent of which worker runs the trial.
+pub fn trial_seed(base: u64, index: usize) -> u64 {
+    let mut z = base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_index_order() {
+        let out = par_map_with_threads(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = par_map_with_threads(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_more_threads_than_items() {
+        let out = par_map_with_threads(3, 64, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let reference: Vec<u64> = (0..64).map(|i| trial_seed(7, i)).collect();
+        for threads in [1, 4, 16] {
+            let out = par_map_with_threads(64, threads, |i| trial_seed(7, i));
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let mut seeds: Vec<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn panic_payload_surfaces_verbatim() {
+        let result = catch_unwind(|| {
+            par_map_with_threads(16, 4, |i| {
+                if i == 3 {
+                    panic!("original diagnostic for index {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("the map must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("payload should be a string-like panic message");
+        assert!(
+            message.contains("original diagnostic for index"),
+            "panic message was replaced: {message:?}"
+        );
+    }
+
+    #[test]
+    fn serial_path_propagates_panics_too() {
+        let result = catch_unwind(|| {
+            par_map_with_threads(4, 1, |i| {
+                if i == 2 {
+                    panic!("serial boom");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("the serial map must panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"serial boom"));
+    }
+
+    #[test]
+    fn dispatch_stops_after_a_panic() {
+        use std::time::Duration;
+        let calls = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with_threads(256, 4, |i| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    panic!("early failure");
+                }
+                // Keep non-failing calls slow enough that the poison flag is
+                // observed before the cursor drains.
+                std::thread::sleep(Duration::from_millis(5));
+                i
+            })
+        }));
+        assert!(result.is_err());
+        let total = calls.load(Ordering::SeqCst);
+        assert!(total < 64, "dispatch kept draining after the panic ({total} calls)");
+    }
+
+    #[test]
+    fn par_map_take_consumes_each_item_once() {
+        let items: Vec<Vec<usize>> = (0..32).map(|i| vec![i; 3]).collect();
+        let out = par_map_take(items, 4, |i, item| {
+            assert_eq!(item, vec![i; 3]);
+            item.into_iter().sum::<usize>()
+        });
+        assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

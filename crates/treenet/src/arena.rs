@@ -16,17 +16,46 @@
 //! * **parent / edge / depth / root-distance** arrays, replacing pointer
 //!   chasing through `Tree`'s node structs;
 //! * **binary-lifting ancestor tables** — `up[k][v]` is the `2^k`-th
-//!   ancestor of `v`, with the maximum single edge on the jumped-over path
-//!   alongside — turning the O(depth) ancestor walks of the solvers
-//!   ([`TreeArena::kth_ancestor`], [`TreeArena::deadline_of`],
-//!   [`TreeArena::max_edge_to_ancestor`]) into O(log depth) jumps;
+//!   ancestor of `v` — turning the O(depth) ancestor walks of the solvers
+//!   ([`TreeArena::kth_ancestor`], [`TreeArena::deadline_of`]) into
+//!   O(log depth) jumps;
 //! * the children of every node flattened into one array addressed by a
 //!   per-node **child range** (CSR layout);
 //! * per-node **request counts** and client flags.
 //!
 //! The arena is plain data: building it is a handful of O(|T|) passes and it
-//! can be rebuilt in place ([`TreeArena::rebuild`]) so a solver scratch that
-//! is reused across solves does not reallocate.
+//! can be rebuilt in place so a solver scratch that is reused across solves
+//! does not reallocate. Three construction paths share the same finishing
+//! passes:
+//!
+//! * [`TreeArena::rebuild`] — snapshot of an existing [`Tree`];
+//! * [`TreeArena::rebuild_from_stream`] — consumes a parents-first stream of
+//!   [`StreamNode`] records, so million-node instances can be generated and
+//!   loaded edge-by-edge without ever materialising `Tree`'s per-node
+//!   `Vec<NodeId>` adjacency (the memory-lean path of the scaling bench);
+//! * [`TreeArena::rebuild_subtree`] — restriction of another arena to one
+//!   subtree, used by the frontier-parallel solver sweeps. Local node ids are
+//!   assigned by **global-id rank** inside the subtree (the mapping is kept in
+//!   [`TreeArena::origin`]), so comparing raw local ids orders exactly like
+//!   comparing the global ids they stand for — the solvers break ties on raw
+//!   ids, and rank mapping keeps a sub-arena solve bit-identical to the same
+//!   scope solved in the full arena. **Depth and root distance keep their
+//!   global values**: every solver comparison uses differences or compares
+//!   values within one subtree, so the constant offset cancels, and keeping
+//!   global values lets per-client deadline *depths* computed on the full
+//!   tree be injected into sub-arena scratch unchanged.
+//!
+//! ## Index-width contract
+//!
+//! All per-node arrays are indexed by `u32` and traversal *positions* are
+//! stored as `u32`, with [`NO_PARENT`] (`u32::MAX`) reserved as the sentinel
+//! parent/ancestor. A tree may therefore hold at most [`Tree::MAX_NODES`]
+//! (`u32::MAX`) nodes — node ids and positions then top out at
+//! `u32::MAX - 1`, which never collides with the sentinel. The boundary is
+//! enforced with checked conversions where untrusted sizes enter
+//! ([`Tree`] freezing and [`TreeArena::rebuild_from_stream`] return
+//! [`TreeError::TooManyNodes`]); paths fed from an already-validated source
+//! (`rebuild`, `rebuild_subtree`) only `debug_assert` it.
 //!
 //! Distance budgets (the per-client *deadline* of the Multiple sweep — the
 //! highest ancestor allowed to serve a client under `dmax`) depend on the
@@ -44,11 +73,33 @@
 //! left-to-right reading of the tree. `rp-core`'s stage engine implements
 //! this rule and its tests pin it.
 
-use crate::tree::Tree;
+use crate::error::TreeError;
+use crate::tree::{NodeId, Tree};
 use crate::{Dist, Requests};
 
 /// Sentinel parent index of the root.
 pub const NO_PARENT: u32 = u32::MAX;
+
+/// One record of a parents-first tree stream consumed by
+/// [`TreeArena::rebuild_from_stream`].
+///
+/// Records are implicitly numbered `0, 1, 2, …` in emission order; the first
+/// record is the root (its `parent` must be [`NO_PARENT`] and its `edge` is
+/// ignored — the root has no upward edge) and every later record must name a
+/// previously emitted parent (`parent < id`), which makes the stream
+/// cycle-free by construction. Children end up ordered by emission, matching
+/// the insertion order of [`crate::TreeBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamNode {
+    /// Index of the parent record, [`NO_PARENT`] for the root.
+    pub parent: u32,
+    /// Length of the edge towards the parent.
+    pub edge: Dist,
+    /// Requests issued (clients only; ignored for internal nodes).
+    pub requests: Requests,
+    /// Whether the node is a client leaf.
+    pub is_client: bool,
+}
 
 /// Dense, `Vec`-indexed snapshot of a [`Tree`] (see the module docs).
 ///
@@ -70,9 +121,11 @@ pub struct TreeArena {
     parent: Vec<u32>,
     /// Length of the edge towards the parent (0 for the root).
     edge: Vec<Dist>,
-    /// Depth in edges (0 for the root).
+    /// Depth in edges (0 for the root; for a sub-arena built by
+    /// [`TreeArena::rebuild_subtree`], the depth in the *source* tree).
     depth: Vec<u32>,
-    /// Distance to the root along tree edges.
+    /// Distance to the root along tree edges (for a sub-arena, the distance
+    /// to the *source* root — solvers only ever use differences).
     root_dist: Vec<Dist>,
     /// Children of every node, flattened; node `v` owns
     /// `child_list[child_start[v] .. child_start[v + 1]]`.
@@ -85,11 +138,17 @@ pub struct TreeArena {
     is_client: Vec<bool>,
     /// Binary-lifting ancestor table: `up[k][v]` is the `2^k`-th ancestor of
     /// `v` ([`NO_PARENT`] when the jump leaves the tree). Level 0 is the
-    /// parent array.
+    /// parent array. This is the only O(n log depth) table the arena keeps;
+    /// the former per-level max-edge companion table was dropped in the 1M+
+    /// node memory audit (its single consumer,
+    /// [`TreeArena::max_edge_to_ancestor`], is diagnostic-only and now walks
+    /// parents).
     up: Vec<Vec<u32>>,
-    /// `up_max_edge[k][v]` — the maximum single edge length on the path
-    /// jumped over by `up[k][v]` (the `2^k` edges ending at `v`'s side).
-    up_max_edge: Vec<Vec<Dist>>,
+    /// For a sub-arena built by [`TreeArena::rebuild_subtree`]: the *global*
+    /// id (in the source arena) of every local node, indexed by local id.
+    /// Since local ids are global-id ranks, this is simply the subtree's
+    /// global ids in ascending order. Empty for the other construction paths.
+    origin: Vec<u32>,
 }
 
 impl TreeArena {
@@ -104,19 +163,12 @@ impl TreeArena {
     /// the existing allocations where capacities allow.
     pub fn rebuild(&mut self, tree: &Tree) {
         let n = tree.len();
+        debug_assert!(n <= Tree::MAX_NODES, "Tree::from_nodes enforces the index budget");
         self.post.clear();
         self.post.extend(tree.postorder().iter().map(|id| id.0));
         self.pre.clear();
         self.pre.extend(tree.preorder().iter().map(|id| id.0));
-
-        resize_with(&mut self.post_pos, n, 0);
-        resize_with(&mut self.pre_pos, n, 0);
-        for (pos, &v) in self.post.iter().enumerate() {
-            self.post_pos[v as usize] = pos as u32;
-        }
-        for (pos, &v) in self.pre.iter().enumerate() {
-            self.pre_pos[v as usize] = pos as u32;
-        }
+        self.origin.clear();
 
         resize_with(&mut self.parent, n, NO_PARENT);
         resize_with(&mut self.edge, n, 0);
@@ -141,45 +193,274 @@ impl TreeArena {
         }
         self.child_start.push(self.child_list.len() as u32);
 
-        // Subtree sizes in one post-order pass: children are final before
-        // their parent is visited.
+        self.index_orders();
+        self.build_subtree_sizes();
+        self.build_lifting();
+    }
+
+    /// Rebuilds the arena from a parents-first stream of [`StreamNode`]
+    /// records (see that type for the stream contract), without an
+    /// intermediate [`Tree`]. `size_hint` pre-sizes the arrays (pass the
+    /// exact node count when known — generator streams know theirs — or 0).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Tree`] freezing: [`TreeError::Empty`],
+    /// [`TreeError::RootNotInternal`], [`TreeError::UnknownParent`] (forward
+    /// or self reference, or a non-sentinel root parent),
+    /// [`TreeError::ClientHasChildren`], [`TreeError::RequestsTooLarge`] and
+    /// [`TreeError::TooManyNodes`] once the stream (or `size_hint`) exceeds
+    /// the u32 index budget. On error the arena is left cleared.
+    pub fn rebuild_from_stream<I>(&mut self, size_hint: usize, nodes: I) -> Result<(), TreeError>
+    where
+        I: IntoIterator<Item = StreamNode>,
+    {
+        match self.try_rebuild_from_stream(size_hint, nodes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.clear();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_rebuild_from_stream<I>(&mut self, size_hint: usize, nodes: I) -> Result<(), TreeError>
+    where
+        I: IntoIterator<Item = StreamNode>,
+    {
+        if size_hint > Tree::MAX_NODES {
+            return Err(TreeError::TooManyNodes(size_hint));
+        }
+        self.clear();
+        let hint = size_hint.min(Tree::MAX_NODES);
+        self.parent.reserve(hint);
+        self.edge.reserve(hint);
+        self.depth.reserve(hint);
+        self.root_dist.reserve(hint);
+        self.requests.reserve(hint);
+        self.is_client.reserve(hint);
+
+        for node in nodes {
+            let id = self.parent.len();
+            if id >= Tree::MAX_NODES {
+                return Err(TreeError::TooManyNodes(id + 1));
+            }
+            if id == 0 {
+                if node.is_client {
+                    return Err(TreeError::RootNotInternal);
+                }
+                if node.parent != NO_PARENT {
+                    return Err(TreeError::UnknownParent(NodeId(0)));
+                }
+            } else {
+                if node.parent as usize >= id {
+                    return Err(TreeError::UnknownParent(NodeId(id as u32)));
+                }
+                if self.is_client[node.parent as usize] {
+                    return Err(TreeError::ClientHasChildren(NodeId(node.parent)));
+                }
+            }
+            let requests = if node.is_client { node.requests } else { 0 };
+            if requests > Tree::MAX_REQUESTS {
+                return Err(TreeError::RequestsTooLarge(NodeId(id as u32)));
+            }
+            let (edge, depth, root_dist) = if id == 0 {
+                (0, 0, 0)
+            } else {
+                let p = node.parent as usize;
+                (node.edge, self.depth[p] + 1, self.root_dist[p].saturating_add(node.edge))
+            };
+            self.parent.push(if id == 0 { NO_PARENT } else { node.parent });
+            self.edge.push(edge);
+            self.depth.push(depth);
+            self.root_dist.push(root_dist);
+            self.requests.push(requests);
+            self.is_client.push(node.is_client);
+        }
+        let n = self.parent.len();
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+
+        // Children CSR by counting sort: every child names a smaller parent
+        // and ids are scanned in order, so each child range comes out in
+        // emission order — the same order `TreeBuilder` records children.
+        resize_with(&mut self.child_start, n + 1, 0);
+        for v in 1..n {
+            self.child_start[self.parent[v] as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.child_start[v + 1] += self.child_start[v];
+        }
+        resize_with(&mut self.child_list, n.saturating_sub(1), 0);
+        let mut cursor: Vec<u32> = self.child_start[..n].to_vec();
+        for v in 1..n {
+            let p = self.parent[v] as usize;
+            self.child_list[cursor[p] as usize] = v as u32;
+            cursor[p] += 1;
+        }
+
+        // Traversal orders by iterative DFS over the CSR (emission order is
+        // only parents-first, not necessarily a pre-order with contiguous
+        // subtrees, so the orders cannot be taken from the stream).
+        self.pre.clear();
+        self.pre.reserve(n);
+        self.post.clear();
+        self.post.reserve(n);
+        let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+        self.pre.push(0);
+        while let Some((v, child_idx)) = stack.pop() {
+            let children = {
+                let lo = self.child_start[v as usize] as usize;
+                let hi = self.child_start[v as usize + 1] as usize;
+                &self.child_list[lo..hi]
+            };
+            if (child_idx as usize) < children.len() {
+                let c = children[child_idx as usize];
+                stack.push((v, child_idx + 1));
+                self.pre.push(c);
+                stack.push((c, 0));
+            } else {
+                self.post.push(v);
+            }
+        }
+
+        self.index_orders();
+        self.build_subtree_sizes();
+        self.build_lifting();
+        Ok(())
+    }
+
+    /// Rebuilds this arena as the restriction of `src` to `subtree(f)`.
+    ///
+    /// Local node ids are assigned by **global-id rank** inside the subtree:
+    /// sort the subtree's global ids and let `local(g)` be the rank of `g`.
+    /// Raw-id comparisons on local ids then order exactly like the global ids
+    /// they stand for — the solvers use raw ids as deterministic tie-breaks,
+    /// so rank mapping keeps a sub-arena solve bit-identical to the same
+    /// scope solved in the full arena. Ids are handed out parents-first, so
+    /// every ancestor's id is smaller than its descendants' and `f` (the
+    /// minimum of its subtree) is always local id 0. Mapping back is
+    /// [`TreeArena::origin`]. Depth and root distance keep their *global*
+    /// values (see the module docs); the local root's parent is [`NO_PARENT`]
+    /// and its upward edge is 0, so callers that need to know whether
+    /// requests may travel above `f` must consult `src` themselves.
+    pub fn rebuild_subtree(&mut self, src: &TreeArena, f: u32) {
+        let sub = src.subtree_pre(f);
+        let m = sub.len();
+        let mut origin = std::mem::take(&mut self.origin);
+        origin.clear();
+        origin.extend_from_slice(sub);
+        origin.sort_unstable();
+        debug_assert_eq!(origin[0], f, "ids are parents-first, so f is minimal in its subtree");
+        let local = |g: u32| origin.binary_search(&g).expect("node is in subtree(f)") as u32;
+
+        self.pre.clear();
+        self.pre.extend(sub.iter().map(|&g| local(g)));
+        self.post.clear();
+        self.post.extend(src.subtree_post(f).iter().map(|&g| local(g)));
+
+        resize_with(&mut self.parent, m, NO_PARENT);
+        resize_with(&mut self.edge, m, 0);
+        resize_with(&mut self.depth, m, 0);
+        resize_with(&mut self.root_dist, m, 0);
+        resize_with(&mut self.requests, m, 0);
+        resize_with(&mut self.is_client, m, false);
+        self.child_start.clear();
+        self.child_start.reserve(m + 1);
+        self.child_list.clear();
+        self.child_list.reserve(m.saturating_sub(1));
+        for (v, &g) in origin.iter().enumerate() {
+            let gi = g as usize;
+            if g != f {
+                self.parent[v] = local(src.parent[gi]);
+                self.edge[v] = src.edge[gi];
+            }
+            self.depth[v] = src.depth[gi];
+            self.root_dist[v] = src.root_dist[gi];
+            self.requests[v] = src.requests[gi];
+            self.is_client[v] = src.is_client[gi];
+            self.child_start.push(self.child_list.len() as u32);
+            self.child_list.extend(src.children(g).iter().map(|&c| local(c)));
+        }
+        self.child_start.push(self.child_list.len() as u32);
+        self.origin = origin;
+
+        self.index_orders();
+        self.build_subtree_sizes();
+        self.build_lifting();
+    }
+
+    /// Drops all nodes, leaving an unbuilt arena (capacities are kept).
+    fn clear(&mut self) {
+        self.post.clear();
+        self.post_pos.clear();
+        self.pre.clear();
+        self.pre_pos.clear();
+        self.subtree_size.clear();
+        self.parent.clear();
+        self.edge.clear();
+        self.depth.clear();
+        self.root_dist.clear();
+        self.child_list.clear();
+        self.child_start.clear();
+        self.requests.clear();
+        self.is_client.clear();
+        self.origin.clear();
+        for level in &mut self.up {
+            level.clear();
+        }
+    }
+
+    /// Fills `post_pos` / `pre_pos` from the traversal sequences.
+    fn index_orders(&mut self) {
+        let n = self.post.len();
+        resize_with(&mut self.post_pos, n, 0);
+        resize_with(&mut self.pre_pos, n, 0);
+        for (pos, &v) in self.post.iter().enumerate() {
+            self.post_pos[v as usize] = pos as u32;
+        }
+        for (pos, &v) in self.pre.iter().enumerate() {
+            self.pre_pos[v as usize] = pos as u32;
+        }
+    }
+
+    /// Subtree sizes in one post-order pass: children are final before their
+    /// parent is visited.
+    fn build_subtree_sizes(&mut self) {
+        let n = self.post.len();
         resize_with(&mut self.subtree_size, n, 0);
-        for &v in &self.post {
+        for pos in 0..n {
+            let v = self.post[pos];
             let mut size = 1u32;
             for &c in self.children(v) {
                 size += self.subtree_size[c as usize];
             }
             self.subtree_size[v as usize] = size;
         }
+    }
 
-        // Binary-lifting tables: level k doubles level k - 1. Levels reuse
-        // their allocations across rebuilds; stale deeper levels are dropped.
+    /// Binary-lifting tables: level k doubles level k - 1. Levels reuse
+    /// their allocations across rebuilds; stale deeper levels are dropped.
+    fn build_lifting(&mut self) {
+        let n = self.post.len();
         let max_depth = self.depth.iter().copied().max().unwrap_or(0);
         let levels = (u32::BITS - max_depth.leading_zeros()).max(1) as usize;
         self.up.truncate(levels);
-        self.up_max_edge.truncate(levels);
         while self.up.len() < levels {
             self.up.push(Vec::new());
-            self.up_max_edge.push(Vec::new());
         }
         self.up[0].clear();
         self.up[0].extend_from_slice(&self.parent);
-        self.up_max_edge[0].clear();
-        self.up_max_edge[0].extend_from_slice(&self.edge);
         for k in 1..levels {
             let (done, rest) = self.up.split_at_mut(k);
             let prev = &done[k - 1];
-            let (edone, erest) = self.up_max_edge.split_at_mut(k);
-            let eprev = &edone[k - 1];
             let cur = &mut rest[0];
-            let ecur = &mut erest[0];
             resize_with(cur, n, NO_PARENT);
-            resize_with(ecur, n, 0);
             for v in 0..n {
                 let half = prev[v];
                 if half != NO_PARENT {
                     cur[v] = prev[half as usize];
-                    ecur[v] = eprev[v].max(eprev[half as usize]);
                 }
             }
         }
@@ -207,6 +488,16 @@ impl TreeArena {
     #[inline]
     pub fn preorder(&self) -> &[u32] {
         &self.pre
+    }
+
+    /// Local→global id mapping of a sub-arena built by
+    /// [`TreeArena::rebuild_subtree`]: `origin()[local]` is the id of the
+    /// node in the source arena. Local ids are global-id ranks, so this is
+    /// the subtree's global ids in ascending order and the inverse mapping
+    /// is a binary search. Empty for every other construction path.
+    #[inline]
+    pub fn origin(&self) -> &[u32] {
+        &self.origin
     }
 
     /// `subtree(v)` as a slice in children-before-parent order (`v` last).
@@ -300,8 +591,10 @@ impl TreeArena {
     }
 
     /// The `k`-th ancestor of `v` (`k = 0` is `v` itself, `k = 1` its
-    /// parent), or [`NO_PARENT`] when `k > depth(v)`. O(log depth) via the
-    /// binary-lifting table.
+    /// parent), or [`NO_PARENT`] when the walk leaves the tree — for a
+    /// sub-arena built by [`TreeArena::rebuild_subtree`] this can happen
+    /// below `k = depth(v)`, because depths are global while the walk stops
+    /// at the local root. O(log depth) via the binary-lifting table.
     pub fn kth_ancestor(&self, v: u32, k: u32) -> u32 {
         if k > self.depth[v as usize] {
             return NO_PARENT;
@@ -310,8 +603,13 @@ impl TreeArena {
         let mut rem = k;
         while rem > 0 {
             let bit = rem.trailing_zeros() as usize;
+            if bit >= self.up.len() {
+                return NO_PARENT;
+            }
             at = self.up[bit][at as usize];
-            debug_assert_ne!(at, NO_PARENT, "guarded by the depth check");
+            if at == NO_PARENT {
+                return NO_PARENT;
+            }
             rem &= rem - 1;
         }
         at
@@ -320,21 +618,21 @@ impl TreeArena {
     /// The maximum single edge length on the path from `v` up to `ancestor`
     /// (the edges of `v..=ancestor`'s lower endpoints), or `None` when
     /// `ancestor` is not an ancestor of `v`. `Some(0)` for `v` itself.
-    /// O(log depth) via the binary-lifting table.
+    ///
+    /// Diagnostic helper, O(path length): the former per-level max-edge
+    /// lifting table was dropped in the 1M+ node memory audit because no
+    /// solver hot path uses this query.
     pub fn max_edge_to_ancestor(&self, v: u32, ancestor: u32) -> Option<Dist> {
         if !self.is_ancestor_or_self(ancestor, v) {
             return None;
         }
-        let mut rem = self.depth[v as usize] - self.depth[ancestor as usize];
         let mut at = v;
         let mut max_edge = 0;
-        while rem > 0 {
-            let bit = rem.trailing_zeros() as usize;
-            max_edge = max_edge.max(self.up_max_edge[bit][at as usize]);
-            at = self.up[bit][at as usize];
-            rem &= rem - 1;
+        while at != ancestor {
+            max_edge = max_edge.max(self.edge[at as usize]);
+            at = self.parent[at as usize];
+            debug_assert_ne!(at, NO_PARENT, "guarded by the ancestor check");
         }
-        debug_assert_eq!(at, ancestor);
         Some(max_edge)
     }
 
@@ -412,6 +710,40 @@ mod tests {
         b.add_client(n1, 3, 7);
         b.add_client(root, 4, 2);
         b.freeze().unwrap()
+    }
+
+    /// The sample tree as the stream `rebuild_from_stream` expects (node ids
+    /// are emission order, so this matches the builder's id assignment).
+    fn sample_stream() -> Vec<StreamNode> {
+        vec![
+            StreamNode { parent: NO_PARENT, edge: 0, requests: 0, is_client: false },
+            StreamNode { parent: 0, edge: 2, requests: 0, is_client: false },
+            StreamNode { parent: 1, edge: 1, requests: 5, is_client: true },
+            StreamNode { parent: 1, edge: 3, requests: 7, is_client: true },
+            StreamNode { parent: 0, edge: 4, requests: 2, is_client: true },
+        ]
+    }
+
+    fn assert_same_arena(a: &TreeArena, b: &TreeArena) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.postorder(), b.postorder());
+        assert_eq!(a.preorder(), b.preorder());
+        for v in 0..a.len() as u32 {
+            assert_eq!(a.parent(v), b.parent(v), "parent({v})");
+            assert_eq!(a.edge(v), b.edge(v), "edge({v})");
+            assert_eq!(a.depth(v), b.depth(v), "depth({v})");
+            assert_eq!(a.root_dist(v), b.root_dist(v), "root_dist({v})");
+            assert_eq!(a.requests(v), b.requests(v), "requests({v})");
+            assert_eq!(a.is_client(v), b.is_client(v), "is_client({v})");
+            assert_eq!(a.children(v), b.children(v), "children({v})");
+            assert_eq!(a.subtree_size(v), b.subtree_size(v), "subtree_size({v})");
+            for k in 0..4 {
+                assert_eq!(a.kth_ancestor(v, k), b.kth_ancestor(v, k), "kth({v}, {k})");
+            }
+            for dmax in [None, Some(2), Some(4)] {
+                assert_eq!(a.deadline_of(v, dmax), b.deadline_of(v, dmax));
+            }
+        }
     }
 
     #[test]
@@ -568,5 +900,205 @@ mod tests {
         assert_eq!(arena.subtree_post(0), &[0]);
         assert_eq!(arena.subtree_pre(0), &[0]);
         assert_eq!(arena.children(0), &[] as &[u32]);
+        // Degenerate lifting table: max_depth == 0 still produces one level,
+        // and ancestor queries stay in bounds.
+        assert_eq!(arena.kth_ancestor(0, 0), 0);
+        assert_eq!(arena.kth_ancestor(0, 1), NO_PARENT);
+        assert_eq!(arena.kth_ancestor(0, 17), NO_PARENT);
+        assert_eq!(arena.deadline_of(0, None), 0);
+        assert_eq!(arena.deadline_of(0, Some(3)), 0);
+        assert_eq!(arena.max_edge_to_ancestor(0, 0), Some(0));
+    }
+
+    #[test]
+    fn stream_build_matches_tree_build() {
+        let tree = sample();
+        let reference = TreeArena::new(&tree);
+        let mut streamed = TreeArena::default();
+        streamed.rebuild_from_stream(tree.len(), sample_stream()).unwrap();
+        assert_same_arena(&reference, &streamed);
+        // size_hint is advisory: 0 works too.
+        streamed.rebuild_from_stream(0, sample_stream()).unwrap();
+        assert_same_arena(&reference, &streamed);
+    }
+
+    #[test]
+    fn stream_build_of_single_node_tree() {
+        let mut arena = TreeArena::default();
+        arena
+            .rebuild_from_stream(
+                1,
+                [StreamNode { parent: NO_PARENT, edge: 0, requests: 0, is_client: false }],
+            )
+            .unwrap();
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.kth_ancestor(0, 1), NO_PARENT);
+        assert_eq!(arena.subtree_post(0), &[0]);
+    }
+
+    #[test]
+    fn stream_build_validates_like_tree_freezing() {
+        let mut arena = TreeArena::default();
+        let empty: [StreamNode; 0] = [];
+        assert_eq!(arena.rebuild_from_stream(0, empty), Err(TreeError::Empty));
+        assert_eq!(
+            arena.rebuild_from_stream(
+                1,
+                [StreamNode { parent: NO_PARENT, edge: 0, requests: 3, is_client: true }]
+            ),
+            Err(TreeError::RootNotInternal)
+        );
+        let root = StreamNode { parent: NO_PARENT, edge: 0, requests: 0, is_client: false };
+        assert_eq!(
+            arena.rebuild_from_stream(
+                2,
+                [root, StreamNode { parent: 5, edge: 1, requests: 0, is_client: false }]
+            ),
+            Err(TreeError::UnknownParent(NodeId(1)))
+        );
+        assert_eq!(
+            arena.rebuild_from_stream(
+                3,
+                [
+                    root,
+                    StreamNode { parent: 0, edge: 1, requests: 2, is_client: true },
+                    StreamNode { parent: 1, edge: 1, requests: 2, is_client: true },
+                ]
+            ),
+            Err(TreeError::ClientHasChildren(NodeId(1)))
+        );
+        assert_eq!(
+            arena.rebuild_from_stream(
+                2,
+                [root, StreamNode { parent: 0, edge: 1, requests: u64::MAX, is_client: true }]
+            ),
+            Err(TreeError::RequestsTooLarge(NodeId(1)))
+        );
+        // The u32 index budget is checked before any allocation happens.
+        assert_eq!(
+            arena.rebuild_from_stream(Tree::MAX_NODES + 1, empty),
+            Err(TreeError::TooManyNodes(Tree::MAX_NODES + 1))
+        );
+        // A failed rebuild leaves the arena cleared, and it remains usable.
+        assert_eq!(arena.len(), 0);
+        arena.rebuild_from_stream(5, sample_stream()).unwrap();
+        assert_eq!(arena.len(), 5);
+    }
+
+    #[test]
+    fn stream_build_accepts_non_preorder_emission() {
+        // Parents-first but *not* a DFS order: both internal nodes first,
+        // then the clients interleaved across subtrees. The arena must
+        // compute real traversal orders rather than trusting emission order.
+        let mut arena = TreeArena::default();
+        arena
+            .rebuild_from_stream(
+                6,
+                [
+                    StreamNode { parent: NO_PARENT, edge: 0, requests: 0, is_client: false },
+                    StreamNode { parent: 0, edge: 1, requests: 0, is_client: false },
+                    StreamNode { parent: 0, edge: 2, requests: 0, is_client: false },
+                    StreamNode { parent: 1, edge: 1, requests: 4, is_client: true },
+                    StreamNode { parent: 2, edge: 1, requests: 5, is_client: true },
+                    StreamNode { parent: 1, edge: 2, requests: 6, is_client: true },
+                ],
+            )
+            .unwrap();
+        // Pre-order: root, first subtree (n1, c3, c5), second (n2, c4).
+        assert_eq!(arena.preorder(), &[0, 1, 3, 5, 2, 4]);
+        assert_eq!(arena.postorder(), &[3, 5, 1, 4, 2, 0]);
+        assert_eq!(arena.subtree_size(1), 3);
+        assert!(arena.is_ancestor_or_self(1, 5));
+        assert!(!arena.is_ancestor_or_self(1, 4));
+    }
+
+    #[test]
+    fn subtree_rebuild_restricts_and_relabels() {
+        let tree = sample();
+        let src = TreeArena::new(&tree);
+        let mut sub = TreeArena::default();
+        // subtree(n1) = {n1, c2, c3} with local ids 0, 1, 2 (pre-order).
+        sub.rebuild_subtree(&src, 1);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.preorder(), &[0, 1, 2]);
+        assert_eq!(sub.postorder(), &[1, 2, 0]);
+        assert_eq!(sub.parent(0), NO_PARENT);
+        assert_eq!(sub.edge(0), 0, "the local root keeps no upward edge");
+        assert_eq!(sub.children(0), &[1, 2]);
+        assert_eq!(sub.parent(1), 0);
+        assert_eq!(sub.edge(1), 1);
+        assert_eq!(sub.requests(2), 7);
+        // Depth and root distance stay global.
+        assert_eq!(sub.depth(0), src.depth(1));
+        assert_eq!(sub.depth(1), src.depth(2));
+        assert_eq!(sub.root_dist(2), src.root_dist(3));
+        // Ancestor queries clamp at the local root even though depths are
+        // global (kth_ancestor cannot climb past it).
+        assert_eq!(sub.kth_ancestor(1, 1), 0);
+        assert_eq!(sub.kth_ancestor(1, sub.depth(1)), NO_PARENT);
+        // Deadlines computed locally clamp at the local root; distances are
+        // differences of global root distances, so they match the full tree
+        // wherever the full tree's deadline lies inside the subtree.
+        assert_eq!(sub.deadline_of(2, Some(4)), 0, "c3's global deadline is n1");
+        assert_eq!(src.deadline_of(3, Some(4)), 1);
+        assert_eq!(sub.deadline_of(2, Some(2)), 2, "c3 cannot even reach n1 under dmax=2");
+        assert_eq!(sub.deadline_of(1, Some(2)), 0, "c2 reaches n1 under dmax=2");
+        // The local→global mapping is the subtree's ids in ascending order.
+        assert_eq!(sub.origin(), &[1, 2, 3]);
+        assert!(src.origin().is_empty(), "only sub-arenas carry a mapping");
+    }
+
+    #[test]
+    fn subtree_rebuild_assigns_local_ids_by_global_id_rank() {
+        // Ids are assigned breadth-first here, so inside subtree(1) the
+        // pre-order [1, 2, 4, 3] differs from the id order [1, 2, 3, 4]:
+        //         0
+        //         |
+        //         1
+        //        / \
+        //       2   3
+        //       |
+        //       4 (client)
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let a = b.add_internal(root, 1);
+        let l = b.add_internal(a, 2);
+        let r = b.add_internal(a, 3);
+        let c = b.add_client(l, 4, 9);
+        let tree = b.freeze().unwrap();
+        let src = TreeArena::new(&tree);
+        assert_eq!(src.subtree_pre(a.0), &[1, 2, 4, 3], "pre-order differs from id order");
+
+        let mut sub = TreeArena::default();
+        sub.rebuild_subtree(&src, a.0);
+        // Local ids are ranks of the global ids, not pre-positions.
+        assert_eq!(sub.origin(), &[1, 2, 3, 4]);
+        assert_eq!(sub.preorder(), &[0, 1, 3, 2]);
+        assert_eq!(sub.postorder(), &[3, 1, 2, 0]);
+        assert_eq!(sub.parent(3), 1, "local c hangs off local l");
+        assert_eq!(sub.children(0), &[1, 2]);
+        assert_eq!(sub.edge(3), src.edge(c.0));
+        assert!(sub.is_client(3));
+        assert_eq!(sub.requests(3), 9);
+        assert_eq!(sub.depth(3), src.depth(c.0), "global depth preserved");
+        assert_eq!(sub.root_dist(2), src.root_dist(r.0));
+        // Raw-id order of local ids matches raw-id order of the globals.
+        let mut pairs: Vec<(u32, u32)> =
+            sub.origin().iter().copied().enumerate().map(|(l, g)| (l as u32, g)).collect();
+        pairs.sort_by_key(|&(l, _)| l);
+        assert!(pairs.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn subtree_rebuild_of_a_leaf_child() {
+        let tree = sample();
+        let src = TreeArena::new(&tree);
+        let mut sub = TreeArena::default();
+        sub.rebuild_subtree(&src, 4);
+        assert_eq!(sub.len(), 1);
+        assert!(sub.is_client(0));
+        assert_eq!(sub.requests(0), 2);
+        assert_eq!(sub.parent(0), NO_PARENT);
+        assert_eq!(sub.depth(0), 1, "global depth preserved");
     }
 }

@@ -25,6 +25,12 @@ pub enum TreeError {
     /// (should be impossible through [`crate::TreeBuilder`], but the text
     /// parser can produce it).
     NotATree(NodeId),
+    /// The tree holds more nodes than the u32 index width of the solver
+    /// arenas can address (see [`crate::Tree::MAX_NODES`]); carries the
+    /// offending node count. Raised by the checked construction boundaries
+    /// ([`crate::Tree`] freezing, `TreeArena::rebuild_from_stream`) instead
+    /// of silently truncating indices.
+    TooManyNodes(usize),
 }
 
 impl fmt::Display for TreeError {
@@ -42,6 +48,9 @@ impl fmt::Display for TreeError {
             }
             TreeError::NotATree(n) => {
                 write!(f, "node {n:?} is not reachable from the root (cycle or orphan)")
+            }
+            TreeError::TooManyNodes(n) => {
+                write!(f, "tree has {n} nodes, more than the u32 node index width can address")
             }
         }
     }
@@ -163,6 +172,8 @@ mod tests {
         assert!(e.to_string().contains("client"));
         let e = TreeError::ZeroCapacity;
         assert!(e.to_string().contains('W'));
+        let e = TreeError::TooManyNodes(5_000_000_000);
+        assert!(e.to_string().contains("5000000000") && e.to_string().contains("u32"));
     }
 
     #[test]

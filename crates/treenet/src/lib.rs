@@ -62,7 +62,7 @@ pub mod solution;
 pub mod tree;
 pub mod validate;
 
-pub use arena::TreeArena;
+pub use arena::{StreamNode, TreeArena, NO_PARENT};
 pub use error::{TreeError, ValidationError};
 pub use instance::{Instance, Policy};
 pub use metrics::SolutionStats;

@@ -113,7 +113,15 @@ impl TreeBuilder {
     }
 
     fn push(&mut self, parent: NodeId, edge: Dist, kind: NodeKind) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        // Checked conversion: ids and traversal positions are stored as u32
+        // throughout the solver arenas (see `Tree::MAX_NODES`), so refusing
+        // the node here beats silently truncating its id.
+        let id = NodeId(
+            u32::try_from(self.nodes.len())
+                .ok()
+                .filter(|_| self.nodes.len() < Tree::MAX_NODES)
+                .expect("TreeBuilder holds at most Tree::MAX_NODES nodes"),
+        );
         self.nodes.push(Node { kind, parent: Some(parent), edge, children: Vec::new() });
         if let Some(p) = self.nodes.get_mut(parent.index()) {
             p.children.push(id);
@@ -172,9 +180,18 @@ impl Tree {
     /// computed by the solvers so that they fit comfortably in `u64`.
     pub const MAX_REQUESTS: Requests = u64::MAX / 4;
 
+    /// Maximum number of nodes a tree may hold: node ids and traversal
+    /// positions are stored as `u32` in [`crate::TreeArena`]'s dense arrays,
+    /// with `u32::MAX` reserved as the `NO_PARENT` sentinel. Construction
+    /// boundaries return [`TreeError::TooManyNodes`] beyond this.
+    pub const MAX_NODES: usize = u32::MAX as usize;
+
     fn from_nodes(nodes: Vec<Node>) -> Result<Tree, TreeError> {
         if nodes.is_empty() {
             return Err(TreeError::Empty);
+        }
+        if nodes.len() > Self::MAX_NODES {
+            return Err(TreeError::TooManyNodes(nodes.len()));
         }
         if nodes[0].kind.is_client() {
             return Err(TreeError::RootNotInternal);

@@ -27,6 +27,7 @@
 
 pub mod alloc_track;
 pub mod scaling;
+pub mod serve;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -34,7 +34,14 @@ commands:
               <id>  [--full] [--csv]
   bench-gate  compare a BENCH_scaling.json against a checked-in baseline
               --current FILE  --baseline FILE  [--max-regress F] [--clients N]
-              [--algorithm NAME]
+              [--algorithm NAME]  or  --manifest FILE with [[gate]] entries
+  serve       long-lived placement daemon on stdin/stdout (see README \"Serving\")
+              --instance FILE | --stream-binary N [--seed S] [--capacity-factor F]
+              [--dmax-fraction F] [--edge-max E] [--requests-max R]
+              [--threshold F] [--naive] [--assert-p99-us N]
+  serve-script  generate a deterministic delta stream for `rp serve`
+              --instance FILE  [--deltas N] [--batch K] [--stats-every M]
+              [--seed S] [--out FILE]
 ";
 
 /// Dispatches a parsed command line and returns the output to print.
@@ -48,6 +55,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "simulate" => cmd_simulate(&args),
         "experiment" => cmd_experiment(&args),
         "bench-gate" => cmd_bench_gate(&args),
+        "serve" => crate::serve::cmd_serve(&args),
+        "serve-script" => crate::serve::cmd_serve_script(&args),
         "" | "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -63,7 +72,7 @@ fn load_solution(path: &str) -> Result<Solution, String> {
     io::parse_solution(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn write_or_return(out: Option<&str>, content: String) -> Result<String, String> {
+pub(crate) fn write_or_return(out: Option<&str>, content: String) -> Result<String, String> {
     match out {
         Some(path) => {
             std::fs::write(path, &content).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -325,33 +334,101 @@ fn cmd_experiment(args: &Args) -> Result<String, String> {
 /// allowed fraction. Cells missing from either report are skipped — the
 /// baseline may have been recorded on a different grid — but at least one
 /// cell must be comparable.
-fn cmd_bench_gate(args: &Args) -> Result<String, String> {
-    let current_path: String = args.require("current")?;
-    let baseline_path: String = args.require("baseline")?;
-    let max_regress: f64 = args.get_or("max-regress", 0.30)?;
-    let clients: u64 = args.get_or("clients", 1024)?;
-    let algorithm = args.get("algorithm").unwrap_or("multiple-bin").to_string();
-    let read = |path: &str| -> Result<rp_bench::scaling::ScalingReport, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        rp_bench::scaling::ScalingReport::parse(&text).map_err(|e| format!("{path}: {e}"))
-    };
-    let current = read(&current_path)?;
-    let baseline = read(&baseline_path)?;
+/// One perf gate: an (algorithm, clients) pair compared across both dmax
+/// variants, from the command line or a `[[gate]]` manifest entry.
+#[derive(Debug)]
+struct GateSpec {
+    name: String,
+    algorithm: String,
+    clients: u64,
+    max_regress: f64,
+}
 
-    let mut out = String::new();
-    if current.quick != baseline.quick {
-        out.push_str(
-            "warning: comparing reports from different modes (quick vs full sampling); \
-             medians are noisier across modes\n",
-        );
+/// Parses the TOML subset used by `bench/gates.toml`: `[[gate]]` section
+/// headers, `key = value` pairs (quoted strings or bare numbers), and `#`
+/// comments. Unknown keys are an error so typos fail the gate loudly
+/// instead of silently weakening it.
+fn parse_gate_manifest(text: &str) -> Result<Vec<GateSpec>, String> {
+    let mut gates: Vec<GateSpec> = Vec::new();
+    let mut open = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        // Values are quoted strings or numbers, never containing `#`, so a
+        // plain split is enough to strip trailing comments.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[gate]]" {
+            if let Some(g) = gates.last() {
+                if g.name.is_empty() {
+                    return Err(format!("gate before line {lineno} is missing `name`"));
+                }
+            }
+            gates.push(GateSpec {
+                name: String::new(),
+                algorithm: "multiple-bin".into(),
+                clients: 0,
+                max_regress: 0.30,
+            });
+            open = true;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+        };
+        if !open {
+            return Err(format!("line {lineno}: `{}` appears before any [[gate]]", key.trim()));
+        }
+        let gate = gates.last_mut().expect("open implies a gate");
+        let key = key.trim();
+        let value = value.trim().trim_matches('"');
+        match key {
+            "name" => gate.name = value.to_string(),
+            "algorithm" => gate.algorithm = value.to_string(),
+            "clients" => {
+                gate.clients =
+                    value.parse().map_err(|_| format!("line {lineno}: bad clients `{value}`"))?;
+            }
+            "max-regress" => {
+                gate.max_regress = value
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad max-regress `{value}`"))?;
+            }
+            other => return Err(format!("line {lineno}: unknown gate key `{other}`")),
+        }
     }
+    for gate in &gates {
+        if gate.name.is_empty() {
+            return Err("a [[gate]] entry is missing `name`".into());
+        }
+        if gate.clients == 0 {
+            return Err(format!("gate `{}` is missing `clients`", gate.name));
+        }
+    }
+    if gates.is_empty() {
+        return Err("manifest defines no [[gate]] entries".into());
+    }
+    Ok(gates)
+}
+
+/// Compares one gate's dmax + nod cells between the two reports, appending
+/// human-readable verdicts to `out` and failures to `failures`. Returns how
+/// many cells were comparable.
+fn run_gate(
+    gate: &GateSpec,
+    current: &rp_bench::scaling::ScalingReport,
+    baseline: &rp_bench::scaling::ScalingReport,
+    out: &mut String,
+    failures: &mut Vec<String>,
+) -> usize {
+    let GateSpec { algorithm, clients, max_regress, .. } = gate;
     let mut compared = 0;
-    let mut failures = Vec::new();
     for dmax in [true, false] {
         let label = if dmax { "dmax" } else { "nod" };
         let (Some(cur), Some(base)) = (
-            current.median_of(&algorithm, dmax, clients),
-            baseline.median_of(&algorithm, dmax, clients),
+            current.median_of(algorithm, dmax, *clients),
+            baseline.median_of(algorithm, dmax, *clients),
         ) else {
             out.push_str(&format!("{algorithm}/{label}/{clients}: not in both reports, skipped\n"));
             continue;
@@ -369,11 +446,55 @@ fn cmd_bench_gate(args: &Args) -> Result<String, String> {
             failures.push(format!("{algorithm}/{label}/{clients} at {ratio:.2}x"));
         }
     }
-    if compared == 0 {
-        return Err(format!(
-            "no comparable {algorithm} cells at {clients} clients between \
-             {current_path} and {baseline_path}"
-        ));
+    compared
+}
+
+fn cmd_bench_gate(args: &Args) -> Result<String, String> {
+    let current_path: String = args.require("current")?;
+    let baseline_path: String = args.require("baseline")?;
+    let gates = match args.get("manifest") {
+        Some(manifest_path) => {
+            if args.get("clients").is_some() || args.get("algorithm").is_some() {
+                return Err("--manifest replaces --clients/--algorithm; drop them".into());
+            }
+            let text = std::fs::read_to_string(manifest_path)
+                .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+            parse_gate_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?
+        }
+        None => vec![GateSpec {
+            name: "cli".into(),
+            algorithm: args.get("algorithm").unwrap_or("multiple-bin").to_string(),
+            clients: args.get_or("clients", 1024)?,
+            max_regress: args.get_or("max-regress", 0.30)?,
+        }],
+    };
+    let read = |path: &str| -> Result<rp_bench::scaling::ScalingReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        rp_bench::scaling::ScalingReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = read(&current_path)?;
+    let baseline = read(&baseline_path)?;
+
+    let mut out = String::new();
+    if current.quick != baseline.quick {
+        out.push_str(
+            "warning: comparing reports from different modes (quick vs full sampling); \
+             medians are noisier across modes\n",
+        );
+    }
+    let mut failures = Vec::new();
+    for gate in &gates {
+        if gates.len() > 1 {
+            out.push_str(&format!("[{}]\n", gate.name));
+        }
+        let compared = run_gate(gate, &current, &baseline, &mut out, &mut failures);
+        if compared == 0 {
+            return Err(format!(
+                "{out}no comparable {} cells at {} clients between \
+                 {current_path} and {baseline_path}",
+                gate.algorithm, gate.clients
+            ));
+        }
     }
     if failures.is_empty() {
         Ok(out)
@@ -495,6 +616,73 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("no comparable multiple-bin-deep"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_gate_manifest_drives_multiple_gates() {
+        let dir = std::env::temp_dir().join(format!("rp-gate-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let manifest = dir.join("gates.toml");
+        std::fs::write(&base, gate_report(10_000_000, 2_000_000)).unwrap();
+        std::fs::write(&cur, gate_report(12_000_000, 2_100_000)).unwrap();
+        std::fs::write(
+            &manifest,
+            "# perf gates\n\
+             [[gate]]\n\
+             name = \"mb-1024\"\n\
+             clients = 1024  # trailing comment\n\
+             \n\
+             [[gate]]\n\
+             name = \"mb-1024-tight\"\n\
+             algorithm = \"multiple-bin\"\n\
+             clients = 1024\n\
+             max-regress = 0.05\n",
+        )
+        .unwrap();
+        let argv = |m: &std::path::Path| {
+            vec![
+                "bench-gate".to_string(),
+                "--current".into(),
+                cur.to_str().unwrap().into(),
+                "--baseline".into(),
+                base.to_str().unwrap().into(),
+                "--manifest".into(),
+                m.to_str().unwrap().into(),
+            ]
+        };
+        // The 20% dmax regression passes the default 0.30 gate but fails
+        // the tight 0.05 one — both verdicts in one invocation.
+        let err = dispatch(&argv(&manifest)).unwrap_err();
+        assert!(err.contains("[mb-1024]"), "{err}");
+        assert!(err.contains("[mb-1024-tight]"), "{err}");
+        assert!(err.contains("perf gate failed"), "{err}");
+        assert_eq!(err.matches("REGRESSED").count(), 1, "{err}");
+
+        // Mixing manifest and single-gate selectors is ambiguous.
+        let mut both = argv(&manifest);
+        both.extend(["--clients".to_string(), "1024".into()]);
+        let err = dispatch(&both).unwrap_err();
+        assert!(err.contains("--manifest replaces"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_manifest_parser_rejects_typos() {
+        assert!(parse_gate_manifest("").is_err(), "empty manifest");
+        let err = parse_gate_manifest("clients = 5\n").unwrap_err();
+        assert!(err.contains("before any [[gate]]"), "{err}");
+        let err = parse_gate_manifest("[[gate]]\nname = \"x\"\nclient = 5\n").unwrap_err();
+        assert!(err.contains("unknown gate key `client`"), "{err}");
+        let err = parse_gate_manifest("[[gate]]\nname = \"x\"\n").unwrap_err();
+        assert!(err.contains("missing `clients`"), "{err}");
+        let err = parse_gate_manifest("[[gate]]\nclients = 5\n").unwrap_err();
+        assert!(err.contains("missing `name`"), "{err}");
+        let gates = parse_gate_manifest("[[gate]]\nname = \"a\"\nclients = 256\n").unwrap();
+        assert_eq!(gates.len(), 1);
+        assert_eq!(gates[0].algorithm, "multiple-bin");
+        assert_eq!(gates[0].max_regress, 0.30);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! rp validate --instance inst.txt --solution sol.txt --policy single
 //! rp simulate --instance inst.txt --solution sol.txt --ticks 1000 --fail 3:100:200 --burst 50:80:2.0
 //! rp experiment e1 --full --csv
+//! rp serve --instance inst.txt --assert-p99-us 2000000 < stream.txt
 //! ```
 
 mod args;
 mod commands;
+mod serve;
 
 use std::process::ExitCode;
 

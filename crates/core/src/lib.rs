@@ -46,6 +46,7 @@ pub mod improve;
 pub mod multiple_bin;
 pub mod par;
 pub mod scratch;
+pub mod serve;
 pub mod single_gen;
 pub mod single_nod;
 pub mod stage;
@@ -54,6 +55,7 @@ pub use error::SolveError;
 pub use multiple_bin::{multiple_bin, multiple_bin_arena, multiple_bin_with};
 pub use par::{multiple_bin_par, single_gen_par, single_nod_par};
 pub use scratch::SolverScratch;
+pub use serve::{DemandDelta, LatencyHistogram, ServeEngine, ServeError, ServeOutcome, ServeStats};
 pub use single_gen::{single_gen, single_gen_arena, single_gen_with};
 pub use single_nod::{single_nod, single_nod_arena, single_nod_with};
 pub use stage::{StageEngine, StageStats};

@@ -204,6 +204,13 @@ pub(crate) fn mb_sweep(
             // can only help.
             StageEngine::new(scratch, w).serve_stuck(j, &temp[..split], &temp[split..])?;
             temp.drain(0..split);
+        } else if scratch.serve.is_some() {
+            // Serve-mode journal upkeep: a journaled stage whose stuck set
+            // emptied (a delta drained it) fires no stage this solve, but
+            // the state it used to write must still be poisoned — see
+            // `crate::serve::note_no_stage`. Flow-clean nodes cannot change
+            // stuckness, so the hook exits on them without a lookup.
+            crate::serve::note_no_stage(scratch, j);
         }
         scratch.req[ji] = temp;
     }

@@ -262,6 +262,13 @@ pub struct SolverScratch {
     pub(crate) pick_buf: Vec<u32>,
     /// Stage counters of the current / last solve.
     pub(crate) stats: StageStats,
+    /// Serve-mode journal + dirty marks (`crate::serve`), installed by
+    /// [`crate::serve::ServeEngine`] around its own sweeps and `None` for
+    /// every other entry point — batch solves and the parallel workers
+    /// never look at it. Boxed so the idle scratch stays lean; survives
+    /// [`SolverScratch::prepare_multiple_bin`] by construction (the engine
+    /// re-installs it per solve).
+    pub(crate) serve: Option<Box<crate::serve::ServeCtx>>,
 
     // --- EDF router state (see `stage::router`) ---
     /// Live rows and checkpoints of the stage router.

@@ -1,0 +1,998 @@
+//! The serving tier: a long-lived engine answering a *stream* of demand
+//! deltas with incremental `multiple-bin` re-solves.
+//!
+//! [`ServeEngine`] loads an instance once (from an [`Instance`] or an
+//! arena streamed through
+//! [`SolverScratch::load_arena_from_stream`]), keeps the warm
+//! [`SolverScratch`] across requests, and accepts demand deltas
+//! ([`ServeEngine::apply_delta`]: add / subtract / set a client's request
+//! count) followed by [`ServeEngine::solve`] calls. Deltas are validated
+//! *before* anything is written, so a rejected delta never poisons the
+//! warm scratch.
+//!
+//! # Incremental re-solve: the stage journal
+//!
+//! A `multiple-bin` solve is a bottom-up sweep whose pending-request flow
+//! is a pure function of client demands and distances: a fragment of
+//! client `c` travels exactly the *service path* `c → deadline(c)` and is
+//! never absorbed en route (travelling requests stay pending by design —
+//! see `crate::multiple_bin`), so changing one client's demand changes
+//! stage *inputs* only along that client's service path. Every other
+//! stage sees bit-identical stuck and travelling sets, and — because
+//! [`StageEngine`](crate::stage::StageEngine) is deterministic given its
+//! collected scope — produces bit-identical commits, *provided the state
+//! its scope collection reads is also unchanged*.
+//!
+//! The engine exploits this with a two-generation **stage journal**: each
+//! solve re-runs the cheap sweep, but a stage whose root is *flow-clean*
+//! (off every changed client's service path) and whose collected scope
+//! touches no *state-dirty* node (no node written differently by an
+//! earlier re-computed stage) replays its journaled commit — placement,
+//! buffered assignment writes and search counters — without enumerating,
+//! routing or running the DP. Dirty stages run the real search and
+//! journal their new outputs. When the dirty-client fraction exceeds a
+//! threshold ([`ServeEngine::set_full_solve_threshold`]), the engine
+//! skips the bookkeeping and runs a plain full solve that rebuilds the
+//! journal.
+//!
+//! Results are **bit-identical to a cold solve** on every delta sequence:
+//! replayed stages write exactly the values a cold solve would recompute
+//! (same inputs, deterministic engine), and `tests/proptest_serve.rs`
+//! pins the equivalence — placements, assignments *and* `StageStats` —
+//! against both the naive reference switch
+//! ([`ServeEngine::set_naive_resolve`]) and from-scratch solves over
+//! rebuilt trees. The `commit_touched` / `commit_skipped` / `stages`
+//! counters are recomputed live on replay (the skipped share prices
+//! off-scope subtree load through the Fenwick summary, which journaling
+//! would falsify); only the search counters are journaled.
+
+use crate::error::SolveError;
+use crate::multiple_bin::{collect_solution, mb_sweep};
+use crate::scratch::{check_binary, check_clients_fit, CommitEntry, SolverScratch};
+use crate::stage::StageStats;
+use rp_tree::arena::{TreeArena, NO_PARENT};
+use rp_tree::{Dist, Instance, NodeId, Requests, Solution, Tree};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One demand mutation of [`ServeEngine::apply_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandDelta {
+    /// `client += k` requests.
+    Add(Requests),
+    /// `client -= k` requests (rejected when it would underflow).
+    Sub(Requests),
+    /// `client = k` requests (`Set(0)` is "client leaves": topology is
+    /// fixed for the lifetime of the engine, demand is not).
+    Set(Requests),
+}
+
+/// A rejected serve request. Every variant is detected *before* any state
+/// is mutated, so the warm scratch and the arena are exactly as they were —
+/// callers can keep streaming deltas after an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The node index does not exist in the loaded instance.
+    UnknownNode {
+        /// The out-of-range raw index.
+        node: u32,
+    },
+    /// The node exists but is not a client leaf; only clients issue
+    /// requests.
+    NotAClient {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A subtract delta larger than the client's current demand.
+    Underflow {
+        /// The client.
+        node: NodeId,
+        /// Its current request count.
+        current: Requests,
+        /// The amount the delta tried to subtract.
+        sub: Requests,
+    },
+    /// The resulting demand would exceed [`Tree::MAX_REQUESTS`], the
+    /// solvers' `u64` summation guard.
+    RequestsTooLarge {
+        /// The client.
+        node: NodeId,
+        /// The (128-bit, pre-clamp) demand the delta asked for.
+        requested: u128,
+    },
+    /// The resulting demand would exceed the server capacity `W` —
+    /// `multiple-bin`'s optimality precondition `r_i ≤ W` (Theorem 6).
+    ExceedsCapacity {
+        /// The client.
+        node: NodeId,
+        /// The demand the delta asked for.
+        requests: Requests,
+        /// The instance capacity.
+        capacity: Requests,
+    },
+    /// A solve failed ([`SolveError`]); the journal is invalidated and the
+    /// next solve runs cold.
+    Solve(SolveError),
+}
+
+impl ServeError {
+    /// Stable machine-readable code, used by the line protocol's `err`
+    /// responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownNode { .. } => "unknown-node",
+            ServeError::NotAClient { .. } => "not-a-client",
+            ServeError::Underflow { .. } => "underflow",
+            ServeError::RequestsTooLarge { .. } => "overflow",
+            ServeError::ExceedsCapacity { .. } => "capacity",
+            ServeError::Solve(_) => "solve",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownNode { node } => {
+                write!(f, "node {node} does not exist in the loaded instance")
+            }
+            ServeError::NotAClient { node } => {
+                write!(f, "node {node:?} is not a client leaf")
+            }
+            ServeError::Underflow { node, current, sub } => {
+                write!(f, "client {node:?} holds {current} requests; cannot subtract {sub}")
+            }
+            ServeError::RequestsTooLarge { node, requested } => {
+                write!(
+                    f,
+                    "client {node:?} demand {requested} exceeds the solver bound {}",
+                    Tree::MAX_REQUESTS
+                )
+            }
+            ServeError::ExceedsCapacity { node, requests, capacity } => {
+                write!(
+                    f,
+                    "client {node:?} demand {requests} exceeds capacity W = {capacity} \
+                     (multiple-bin requires r_i ≤ W)"
+                )
+            }
+            ServeError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Counters of an engine's lifetime, surfaced by the `stats` protocol
+/// command and the soak bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Deltas accepted and applied.
+    pub deltas_applied: u64,
+    /// Deltas rejected by validation (no state was changed).
+    pub deltas_rejected: u64,
+    /// Total solves.
+    pub solves: u64,
+    /// Solves that ran the plain full path (first solve, naive mode, dirty
+    /// scope over threshold, or recovery after a solve error).
+    pub full_solves: u64,
+    /// Solves that ran with the stage journal enabled.
+    pub incremental_solves: u64,
+    /// Stages replayed from the journal, across all solves.
+    pub stages_reused: u64,
+    /// Stages re-searched (and re-journaled), across all solves.
+    pub stages_recomputed: u64,
+    /// Dirty clients of the most recent solve.
+    pub last_dirty_clients: u64,
+    /// Stages replayed by the most recent solve.
+    pub last_reused: u64,
+    /// Stages re-searched by the most recent solve.
+    pub last_recomputed: u64,
+}
+
+/// What one [`ServeEngine::solve`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Replica count of the committed solution.
+    pub replicas: u64,
+    /// Whether the stage journal was consulted (`false`: plain full solve).
+    pub incremental: bool,
+    /// Clients whose demand changed since the previous solve.
+    pub dirty_clients: u64,
+    /// Stages replayed from the journal.
+    pub stages_reused: u64,
+    /// Stages re-searched.
+    pub stages_recomputed: u64,
+}
+
+/// A log₂-bucketed latency histogram (65 buckets covering the full `u64`
+/// nanosecond range) with exact count, mean and max — the per-request
+/// instrumentation shared by `rp serve` and the soak bench. Quantiles
+/// report the upper bound of the hit bucket, so they are conservative
+/// (never under-estimate).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; 65],
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: [0; 65], total: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = if ns == 0 { 0 } else { 64 - ns.leading_zeros() as usize };
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum_ns / self.total as u128) as u64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q ∈ (0, 1]`; 0 when the histogram is empty). `quantile_ns(0.5)`
+    /// is the p50, `quantile_ns(0.99)` the p99.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return match bucket {
+                    0 => 0,
+                    64 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                };
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// One journaled stage: everything needed to replay its commit without
+/// re-running collection's downstream (candidates, enumeration, DP,
+/// routing). Keyed by the stage root `j` — a node triggers at most one
+/// stage per solve (its stuck set is determined by the post-order sweep),
+/// so the key is unique.
+#[derive(Debug, Default)]
+pub(crate) struct StageRecord {
+    /// The scope's replicas at collection time (canonical post-order) —
+    /// kept for the replay debug-assert: a stage judged clean must collect
+    /// exactly this scope.
+    existing: Vec<u32>,
+    /// The committed placement (new replicas).
+    best_set: Vec<u32>,
+    /// The buffered assignment writes of the commit route.
+    commit_log: Vec<CommitEntry>,
+    /// Nodes whose persistent state (`in_r` / `assigned` / `load`) this
+    /// stage wrote: `existing ∪ best_set`. Marked state-dirty when the
+    /// stage is re-searched or disappears, so later stages whose scopes
+    /// overlap stop trusting their journal entries.
+    touched: Vec<u32>,
+    /// The stage's *search*-counter delta (subsets, DP visits, prefix
+    /// routes…). `stages` / `commit_touched` / `commit_skipped` are always
+    /// zero here: they are recomputed live on replay, because the skipped
+    /// share depends on off-scope subtree loads.
+    stats: StageStats,
+}
+
+/// The serve-mode solve context: the two-generation stage journal plus the
+/// per-solve dirty marks. Installed into [`SolverScratch::serve`] around
+/// the engine's sweeps and `None` everywhere else, so batch solvers and
+/// the parallel workers never pay for it.
+#[derive(Debug, Default)]
+pub(crate) struct ServeCtx {
+    /// Journal of the previous successful solve (consulted this solve).
+    prev: HashMap<u32, StageRecord>,
+    /// Journal being built by the current solve.
+    next: HashMap<u32, StageRecord>,
+    /// Stamp per node; `== generation` means the node lies on a changed
+    /// client's service path, so stage inputs there may have changed.
+    flow_mark: Vec<u32>,
+    /// Stamp per node; `== generation` means the node's persistent state
+    /// diverged from the previous solve (written by a re-searched stage,
+    /// or a changed client's self-serve slot).
+    state_mark: Vec<u32>,
+    /// Current solve's stamp (monotone; marks are never cleared).
+    generation: u32,
+    /// Whether stages may replay from `prev` this solve. `false` during
+    /// journal-(re)building full solves: they record but never compare.
+    memo_enabled: bool,
+    /// Stages replayed this solve.
+    reused: u64,
+    /// Stages re-searched this solve.
+    recomputed: u64,
+}
+
+impl ServeCtx {
+    /// Opens a solve: bumps the mark generation (wrap-safe), sizes the mark
+    /// rows, resets the per-solve counters and clears the stale journal
+    /// when replays are disabled.
+    fn begin_solve(&mut self, memo: bool, n: usize) {
+        if self.generation == u32::MAX {
+            self.flow_mark.iter_mut().for_each(|m| *m = 0);
+            self.state_mark.iter_mut().for_each(|m| *m = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        if self.flow_mark.len() < n {
+            self.flow_mark.resize(n, 0);
+            self.state_mark.resize(n, 0);
+        }
+        self.reused = 0;
+        self.recomputed = 0;
+        self.memo_enabled = memo;
+        if !memo {
+            self.prev.clear();
+        }
+        self.next.clear();
+    }
+
+    /// Closes a successful solve: the journal just built becomes the one
+    /// the next solve compares against.
+    fn finish_solve(&mut self) {
+        std::mem::swap(&mut self.prev, &mut self.next);
+        self.next.clear();
+    }
+
+    /// Drops both journal generations (after a failed solve: the slab
+    /// state is unspecified, so nothing recorded can be trusted).
+    fn invalidate(&mut self) {
+        self.prev.clear();
+        self.next.clear();
+    }
+
+    fn mark_flow(&mut self, u: u32) {
+        self.flow_mark[u as usize] = self.generation;
+    }
+
+    fn is_flow_dirty(&self, u: u32) -> bool {
+        self.flow_mark[u as usize] == self.generation
+    }
+
+    fn mark_state(&mut self, u: u32) {
+        self.state_mark[u as usize] = self.generation;
+    }
+
+    fn is_state_dirty(&self, u: u32) -> bool {
+        self.state_mark[u as usize] == self.generation
+    }
+}
+
+/// Stage hook (called by `StageEngine::serve_stuck` right after scope
+/// collection): replays stage `j`'s journaled commit and returns `true`
+/// when the stage is provably clean — `j` is flow-clean (identical stuck
+/// and travelling inputs, by the service-path argument in the module docs)
+/// and its freshly collected scope visits no state-dirty node (identical
+/// collected pool, replicas and assignments: the closure walk reads only
+/// `in_r` / `assigned` on visited nodes, and walks diverge first at a
+/// visited dirty node). Replay performs exactly the writes of the cold
+/// commit path — clear the scope's loads, place the journaled best set,
+/// flush the journaled log, release the demand rows — plus the journaled
+/// search-counter delta.
+pub(crate) fn try_replay(s: &mut SolverScratch, ctx: &mut ServeCtx, j: u32) -> bool {
+    if !ctx.memo_enabled || ctx.is_flow_dirty(j) || !ctx.prev.contains_key(&j) {
+        return false;
+    }
+    for &u in s.active_nodes.iter() {
+        if ctx.is_state_dirty(u) {
+            return false;
+        }
+    }
+    let rec = ctx.prev.remove(&j).expect("presence checked above");
+    debug_assert_eq!(rec.existing, s.existing, "a clean stage re-collects its journaled scope");
+    {
+        let SolverScratch { arena, existing, assigned, load, load_sums, .. } = &mut *s;
+        for &u in existing.iter() {
+            let ui = u as usize;
+            if load[ui] > 0 {
+                load_sums.add(arena.post_position(u), -(load[ui] as i128));
+            }
+            assigned[ui].clear();
+            load[ui] = 0;
+        }
+    }
+    for &u in &rec.best_set {
+        debug_assert!(!s.in_r[u as usize], "journaled placements target free nodes");
+        s.in_r[u as usize] = true;
+    }
+    for &(u, c, amount) in &rec.commit_log {
+        let ui = u as usize;
+        s.assigned[ui].push((c, amount));
+        s.load[ui] += amount;
+        s.load_sums.add(s.arena.post_position(u), amount as i128);
+    }
+    {
+        let SolverScratch { demand, demand_clients, .. } = &mut *s;
+        for &c in demand_clients.iter() {
+            demand[c as usize] = 0;
+        }
+        demand_clients.clear();
+    }
+    s.stats.absorb(&rec.stats);
+    ctx.next.insert(j, rec);
+    ctx.reused += 1;
+    true
+}
+
+/// Stage hook (after a re-searched stage committed): journals the stage's
+/// outputs for the next solve and marks the state it wrote — old and new —
+/// dirty, so downstream stages whose scopes overlap fall back to the real
+/// search. `pre` is the stats snapshot taken right after the collection
+/// block; the recorded delta therefore covers exactly the search phase.
+pub(crate) fn record_stage(s: &SolverScratch, ctx: &mut ServeCtx, j: u32, pre: &StageStats) {
+    let mut touched = Vec::with_capacity(s.existing.len() + s.best_set.len());
+    touched.extend_from_slice(&s.existing);
+    touched.extend_from_slice(&s.best_set);
+    // Output-equality damping: a re-searched stage whose commit came out
+    // bit-identical to its journal entry (same scope cleared, same
+    // placements, same buffered writes in the same order) wrote exactly
+    // the state the previous solve left behind — downstream journal
+    // entries stay valid, so nothing is marked and the dirtiness cascade
+    // stops here. Without this, one deep delta on a scope-overlapping
+    // chain (a tight-dmax caterpillar) re-searches every stage above it.
+    let unchanged = match ctx.prev.remove(&j) {
+        Some(old) => {
+            let same = old.existing == s.existing
+                && old.best_set == s.best_set
+                && old.commit_log == s.commit_log;
+            if !same {
+                for &u in &old.touched {
+                    ctx.mark_state(u);
+                }
+            }
+            same
+        }
+        None => false,
+    };
+    if !unchanged {
+        for &u in &touched {
+            ctx.mark_state(u);
+        }
+    }
+    let stats = stats_delta(&s.stats, pre);
+    debug_assert_eq!(
+        (stats.stages, stats.commit_touched, stats.commit_skipped),
+        (0, 0, 0),
+        "live-recomputed counters precede the search phase"
+    );
+    let rec = StageRecord {
+        existing: s.existing.clone(),
+        best_set: s.best_set.clone(),
+        commit_log: s.commit_log.clone(),
+        touched,
+        stats,
+    };
+    ctx.next.insert(j, rec);
+    ctx.recomputed += 1;
+}
+
+/// Sweep hook for nodes that trigger *no* stage this solve: a journaled
+/// stage that silently disappears (its stuck set emptied by a delta) must
+/// still poison the state it used to write. Flow-clean nodes cannot change
+/// stuckness, so the journal lookup only runs on the (short) dirty paths.
+pub(crate) fn note_no_stage(s: &mut SolverScratch, j: u32) {
+    let Some(ctx) = s.serve.as_deref_mut() else { return };
+    if !ctx.memo_enabled || !ctx.is_flow_dirty(j) {
+        return;
+    }
+    if let Some(old) = ctx.prev.remove(&j) {
+        for &u in &old.touched {
+            ctx.mark_state(u);
+        }
+    }
+}
+
+/// Field-wise `post - pre` over every [`StageStats`] counter (all are
+/// monotone within a solve).
+fn stats_delta(post: &StageStats, pre: &StageStats) -> StageStats {
+    StageStats {
+        stages: post.stages - pre.stages,
+        subsets_enumerated: post.subsets_enumerated - pre.subsets_enumerated,
+        subsets_routed: post.subsets_routed - pre.subsets_routed,
+        subsets_pruned: post.subsets_pruned - pre.subsets_pruned,
+        prefix_routes: post.prefix_routes - pre.prefix_routes,
+        dp_sizes_skipped: post.dp_sizes_skipped - pre.dp_sizes_skipped,
+        dp_bound_skips: post.dp_bound_skips - pre.dp_bound_skips,
+        dp_fallbacks: post.dp_fallbacks - pre.dp_fallbacks,
+        dp_node_visits: post.dp_node_visits - pre.dp_node_visits,
+        repairs: post.repairs - pre.repairs,
+        commit_touched: post.commit_touched - pre.commit_touched,
+        commit_skipped: post.commit_skipped - pre.commit_skipped,
+    }
+}
+
+/// A warm `multiple-bin` solver answering demand deltas — see the module
+/// docs for the journal-memoized incremental re-solve and its equivalence
+/// guarantee. Topology, capacity and `dmax` are fixed for the engine's
+/// lifetime; demand is not.
+#[derive(Debug)]
+pub struct ServeEngine {
+    scratch: SolverScratch,
+    w: Requests,
+    dmax: Option<Dist>,
+    /// Journal + marks, installed into the scratch around each sweep.
+    ctx: Box<ServeCtx>,
+    /// Differential switch: plain cold solves, no journal (the reference
+    /// behaviour the proptests compare against).
+    naive: bool,
+    /// Dirty-client fraction above which a solve skips the journal
+    /// bookkeeping and runs the plain full path.
+    threshold: f64,
+    clients: u64,
+    /// Clients whose demand changed since the last solve (deduplicated).
+    changed: Vec<u32>,
+    changed_mark: Vec<bool>,
+    /// Whether `ctx.prev` describes the current slab state (false until
+    /// the first journaled solve, and after any solve error).
+    journal_valid: bool,
+    stats: ServeStats,
+}
+
+impl ServeEngine {
+    /// Creates an engine for `instance` (the arena is rebuilt from its
+    /// tree).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NotBinary`] / [`SolveError::ClientExceedsCapacity`] —
+    /// `multiple-bin`'s preconditions, checked once here and then upheld
+    /// per delta.
+    pub fn new(instance: &Instance) -> Result<ServeEngine, SolveError> {
+        let mut scratch = SolverScratch::new();
+        scratch.load_arena(instance.tree());
+        ServeEngine::from_scratch(scratch, instance.capacity(), instance.dmax())
+    }
+
+    /// Creates an engine over an arena already loaded into `scratch` —
+    /// the streamed path for huge trees
+    /// ([`SolverScratch::load_arena_from_stream`]), where no
+    /// [`rp_tree::Tree`] is ever materialised.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeEngine::new`].
+    pub fn from_scratch(
+        scratch: SolverScratch,
+        w: Requests,
+        dmax: Option<Dist>,
+    ) -> Result<ServeEngine, SolveError> {
+        check_binary(scratch.arena())?;
+        check_clients_fit(scratch.arena(), w)?;
+        let n = scratch.arena().len();
+        let clients = (0..n as u32).filter(|&v| scratch.arena().is_client(v)).count() as u64;
+        Ok(ServeEngine {
+            scratch,
+            w,
+            dmax,
+            ctx: Box::default(),
+            naive: false,
+            threshold: 0.1,
+            clients,
+            changed: Vec::new(),
+            changed_mark: vec![false; n],
+            journal_valid: false,
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// Test-only differential switch, mirroring
+    /// [`SolverScratch::set_naive_stage_commit`]: every solve runs the
+    /// plain cold path with no journal, so incremental results can be
+    /// pinned identical on any delta sequence
+    /// (`tests/proptest_serve.rs`). Hidden: not part of the crate's API
+    /// surface.
+    #[doc(hidden)]
+    pub fn set_naive_resolve(&mut self, naive: bool) {
+        self.naive = naive;
+        if naive {
+            self.ctx.invalidate();
+            self.journal_valid = false;
+        }
+    }
+
+    /// Sets the dirty-client fraction above which a solve abandons the
+    /// journal and runs the plain full path (default 0.1; clamped to
+    /// `[0, 1]`). `0` forces every solve cold, `1` keeps the journal on
+    /// for any batch size.
+    pub fn set_full_solve_threshold(&mut self, fraction: f64) {
+        self.threshold = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Read-only view of the loaded arena.
+    pub fn arena(&self) -> &TreeArena {
+        self.scratch.arena()
+    }
+
+    /// The instance capacity `W`.
+    pub fn capacity(&self) -> Requests {
+        self.w
+    }
+
+    /// The instance distance bound.
+    pub fn dmax(&self) -> Option<Dist> {
+        self.dmax
+    }
+
+    /// Number of client leaves.
+    pub fn client_count(&self) -> u64 {
+        self.clients
+    }
+
+    /// Clients whose demand changed since the last solve.
+    pub fn pending_dirty(&self) -> u64 {
+        self.changed.len() as u64
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Stage counters of the last solve (see
+    /// [`SolverScratch::stage_stats`]).
+    pub fn stage_stats(&self) -> &StageStats {
+        self.scratch.stage_stats()
+    }
+
+    /// Current demand of `node`, or `None` for an out-of-range index.
+    pub fn requests_of(&self, node: u32) -> Option<Requests> {
+        if (node as usize) < self.scratch.arena().len() {
+            Some(self.scratch.arena().requests(node))
+        } else {
+            None
+        }
+    }
+
+    /// Applies one demand delta and returns the client's new request
+    /// count. Validation happens before any write: a rejected delta
+    /// leaves the arena, the journal and the warm scratch untouched.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`] — unknown node, non-client target, underflow,
+    /// demand beyond [`Tree::MAX_REQUESTS`] or beyond the capacity `W`.
+    pub fn apply_delta(&mut self, node: u32, delta: DemandDelta) -> Result<Requests, ServeError> {
+        let result = self.validate_delta(node, delta);
+        match result {
+            Ok(new) => {
+                let cur = self.scratch.arena().requests(node);
+                if new != cur {
+                    self.scratch.arena.set_requests(node, new);
+                    if !self.changed_mark[node as usize] {
+                        self.changed_mark[node as usize] = true;
+                        self.changed.push(node);
+                    }
+                }
+                self.stats.deltas_applied += 1;
+                Ok(new)
+            }
+            Err(e) => {
+                self.stats.deltas_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// The read-only half of [`ServeEngine::apply_delta`].
+    fn validate_delta(&self, node: u32, delta: DemandDelta) -> Result<Requests, ServeError> {
+        if node as usize >= self.scratch.arena().len() {
+            return Err(ServeError::UnknownNode { node });
+        }
+        if !self.scratch.arena().is_client(node) {
+            return Err(ServeError::NotAClient { node: NodeId(node) });
+        }
+        let current = self.scratch.arena().requests(node);
+        let new: u128 = match delta {
+            DemandDelta::Add(k) => current as u128 + k as u128,
+            DemandDelta::Sub(k) => {
+                if k > current {
+                    return Err(ServeError::Underflow { node: NodeId(node), current, sub: k });
+                }
+                (current - k) as u128
+            }
+            DemandDelta::Set(k) => k as u128,
+        };
+        if new > Tree::MAX_REQUESTS as u128 {
+            return Err(ServeError::RequestsTooLarge { node: NodeId(node), requested: new });
+        }
+        let new = new as Requests;
+        if new > self.w {
+            return Err(ServeError::ExceedsCapacity {
+                node: NodeId(node),
+                requests: new,
+                capacity: self.w,
+            });
+        }
+        Ok(new)
+    }
+
+    /// Re-solves under the current demand. Incremental (journal-replaying)
+    /// when a valid journal exists and the dirty-client fraction is under
+    /// the threshold; plain full otherwise. Either way the committed
+    /// slab state — and hence [`ServeEngine::solution`] — is bit-identical
+    /// to a cold solve of the same demands.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Solve`] wrapping the stage-engine errors; the journal
+    /// is invalidated and the next solve runs cold.
+    pub fn solve(&mut self) -> Result<ServeOutcome, ServeError> {
+        let dirty = self.changed.len() as u64;
+        let budget = self.threshold * self.clients.max(1) as f64;
+        let incremental = !self.naive && self.journal_valid && (dirty as f64) <= budget;
+
+        self.scratch.prepare_multiple_bin();
+        self.scratch.prepare_deadlines(self.dmax);
+
+        let journal = !self.naive;
+        if journal {
+            let n = self.scratch.arena().len();
+            self.ctx.begin_solve(incremental, n);
+            if incremental {
+                for i in 0..self.changed.len() {
+                    let c = self.changed[i];
+                    // The client's own slot may flip between self-serve
+                    // and pending, so its state is dirty either way…
+                    self.ctx.mark_state(c);
+                    // …and its fragments flow exactly along the service
+                    // path c → deadline(c) (see the module docs).
+                    let dl = self.scratch.deadline[c as usize];
+                    let mut at = c;
+                    loop {
+                        self.ctx.mark_flow(at);
+                        if at == dl || self.scratch.arena().parent(at) == NO_PARENT {
+                            break;
+                        }
+                        at = self.scratch.arena().parent(at);
+                    }
+                }
+            }
+            self.scratch.serve = Some(std::mem::take(&mut self.ctx));
+        }
+        let result = mb_sweep(&mut self.scratch, self.w, self.dmax, None, None);
+        if journal {
+            self.ctx = self.scratch.serve.take().unwrap_or_default();
+        }
+        for &c in &self.changed {
+            self.changed_mark[c as usize] = false;
+        }
+        self.changed.clear();
+
+        match result {
+            Ok(()) => {
+                self.ctx.finish_solve();
+                self.journal_valid = journal;
+                let replicas = self.scratch.in_r.iter().filter(|&&r| r).count() as u64;
+                self.stats.solves += 1;
+                if incremental {
+                    self.stats.incremental_solves += 1;
+                } else {
+                    self.stats.full_solves += 1;
+                }
+                self.stats.stages_reused += self.ctx.reused;
+                self.stats.stages_recomputed += self.ctx.recomputed;
+                self.stats.last_dirty_clients = dirty;
+                self.stats.last_reused = self.ctx.reused;
+                self.stats.last_recomputed = self.ctx.recomputed;
+                Ok(ServeOutcome {
+                    replicas,
+                    incremental,
+                    dirty_clients: dirty,
+                    stages_reused: self.ctx.reused,
+                    stages_recomputed: self.ctx.recomputed,
+                })
+            }
+            Err(e) => {
+                self.ctx.invalidate();
+                self.journal_valid = false;
+                self.stats.solves += 1;
+                self.stats.full_solves += 1;
+                Err(ServeError::Solve(e))
+            }
+        }
+    }
+
+    /// The committed solution of the last successful [`ServeEngine::solve`]
+    /// (empty before the first solve), collected in canonical node order.
+    pub fn solution(&self) -> Solution {
+        collect_solution(&self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    fn small_instance(capacity: u64, dmax: Option<u64>) -> Instance {
+        let mut b = TreeBuilder::new();
+        let root = b.root();
+        let n1 = b.add_internal(root, 2);
+        b.add_client(n1, 1, 4);
+        b.add_client(n1, 2, 5);
+        Instance::new(b.freeze().unwrap(), capacity, dmax).unwrap()
+    }
+
+    #[test]
+    fn deltas_validate_before_writing() {
+        let inst = small_instance(10, Some(4));
+        let mut engine = ServeEngine::new(&inst).unwrap();
+        // node ids: 0 root, 1 internal, 2 and 3 clients.
+        assert_eq!(engine.apply_delta(2, DemandDelta::Add(3)).unwrap(), 7);
+        assert_eq!(engine.apply_delta(2, DemandDelta::Sub(7)).unwrap(), 0);
+        assert_eq!(engine.apply_delta(3, DemandDelta::Set(10)).unwrap(), 10);
+
+        let err = engine.apply_delta(99, DemandDelta::Add(1)).unwrap_err();
+        assert_eq!(err.code(), "unknown-node");
+        let err = engine.apply_delta(1, DemandDelta::Add(1)).unwrap_err();
+        assert_eq!(err.code(), "not-a-client");
+        let err = engine.apply_delta(2, DemandDelta::Sub(1)).unwrap_err();
+        assert_eq!(err, ServeError::Underflow { node: NodeId(2), current: 0, sub: 1 });
+        let err = engine.apply_delta(3, DemandDelta::Add(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ExceedsCapacity { node: NodeId(3), requests: 11, capacity: 10 }
+        );
+        // Rejections changed nothing.
+        assert_eq!(engine.requests_of(2), Some(0));
+        assert_eq!(engine.requests_of(3), Some(10));
+        assert_eq!(engine.stats().deltas_applied, 3);
+        assert_eq!(engine.stats().deltas_rejected, 4);
+    }
+
+    #[test]
+    fn overflow_guard_matches_the_tree_bound() {
+        // W above MAX_REQUESTS: the summation guard fires before the
+        // capacity check (the overflow_regressions pattern: demand near
+        // u64::MAX / 4 must be rejected structurally, never wrapped).
+        let inst = small_instance(u64::MAX, None);
+        let mut engine = ServeEngine::new(&inst).unwrap();
+        assert_eq!(engine.apply_delta(2, DemandDelta::Set(Tree::MAX_REQUESTS)).unwrap(), {
+            Tree::MAX_REQUESTS
+        });
+        let err = engine.apply_delta(2, DemandDelta::Add(1)).unwrap_err();
+        assert_eq!(err.code(), "overflow");
+        assert!(matches!(err, ServeError::RequestsTooLarge { requested, .. }
+            if requested == Tree::MAX_REQUESTS as u128 + 1));
+        assert_eq!(engine.requests_of(2), Some(Tree::MAX_REQUESTS));
+        // The engine still solves after the rejection.
+        engine.apply_delta(2, DemandDelta::Set(5)).unwrap();
+        let outcome = engine.solve().unwrap();
+        assert!(outcome.replicas >= 1);
+    }
+
+    #[test]
+    fn incremental_solves_match_cold_reference() {
+        let inst = small_instance(10, Some(4));
+        let mut engine = ServeEngine::new(&inst).unwrap();
+        // Two clients: the default 10% threshold would force every solve
+        // full. Keep the journal on for any batch size here.
+        engine.set_full_solve_threshold(1.0);
+        let mut reference = ServeEngine::new(&inst).unwrap();
+        reference.set_naive_resolve(true);
+
+        let deltas: [(u32, DemandDelta); 5] = [
+            (2, DemandDelta::Add(3)),
+            (3, DemandDelta::Sub(2)),
+            (2, DemandDelta::Set(0)),
+            (3, DemandDelta::Add(7)),
+            (2, DemandDelta::Set(6)),
+        ];
+        let first = engine.solve().unwrap();
+        assert!(!first.incremental, "the first solve builds the journal cold");
+        reference.solve().unwrap();
+        assert_eq!(engine.solution(), reference.solution());
+        for (node, delta) in deltas {
+            engine.apply_delta(node, delta).unwrap();
+            reference.apply_delta(node, delta).unwrap();
+            let outcome = engine.solve().unwrap();
+            assert!(outcome.incremental, "one dirty client stays under the threshold");
+            reference.solve().unwrap();
+            assert_eq!(engine.solution(), reference.solution());
+            assert_eq!(engine.stage_stats(), reference.stage_stats());
+        }
+        assert!(engine.stats().incremental_solves >= 5);
+        assert_eq!(reference.stats().incremental_solves, 0);
+    }
+
+    #[test]
+    fn threshold_zero_forces_full_solves() {
+        let inst = small_instance(10, Some(4));
+        let mut engine = ServeEngine::new(&inst).unwrap();
+        engine.set_full_solve_threshold(0.0);
+        engine.solve().unwrap();
+        engine.apply_delta(2, DemandDelta::Add(1)).unwrap();
+        let outcome = engine.solve().unwrap();
+        assert!(!outcome.incremental);
+        assert_eq!(engine.stats().full_solves, 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ns in [0, 1, 2, 3, 900, 1000, 1100, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert!(h.mean_ns() > 0);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 >= 3, "upper bucket bound covers the sample: {p50}");
+        assert!(p99 >= 1_000_000, "{p99}");
+        assert!(p50 <= p99);
+        let mut top = LatencyHistogram::new();
+        top.record_ns(u64::MAX);
+        assert_eq!(top.quantile_ns(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn error_display_is_exhaustive() {
+        // The error.rs idiom: pattern-match every variant so a new one
+        // cannot ship without Display coverage.
+        let all = [
+            ServeError::UnknownNode { node: 9 },
+            ServeError::NotAClient { node: NodeId(1) },
+            ServeError::Underflow { node: NodeId(2), current: 1, sub: 2 },
+            ServeError::RequestsTooLarge { node: NodeId(2), requested: u128::MAX },
+            ServeError::ExceedsCapacity { node: NodeId(2), requests: 11, capacity: 10 },
+            ServeError::Solve(SolveError::NotBinary { arity: 3 }),
+        ];
+        for e in all {
+            match e {
+                ServeError::UnknownNode { .. }
+                | ServeError::NotAClient { .. }
+                | ServeError::Underflow { .. }
+                | ServeError::RequestsTooLarge { .. }
+                | ServeError::ExceedsCapacity { .. }
+                | ServeError::Solve(_) => {}
+            }
+            assert!(!e.to_string().is_empty());
+            assert!(!e.code().is_empty());
+        }
+        use std::error::Error;
+        assert!(ServeError::Solve(SolveError::NotBinary { arity: 3 }).source().is_some());
+        assert!(ServeError::UnknownNode { node: 0 }.source().is_none());
+    }
+}

@@ -243,115 +243,153 @@ impl<'a> StageEngine<'a> {
             debug_assert!(subtree_vol >= collected, "scope volume is part of the subtree volume");
             s.stats.commit_touched += collected as u64;
             s.stats.commit_skipped += (subtree_vol - collected) as u64;
-
-            // Candidate hosts for new replicas: free active nodes eligible
-            // for at least one demand fragment, i.e. lying between a
-            // demanding client and its deadline. One bottom-up min-relax of
-            // the deadline depth along the active forest decides
-            // eligibility — `u` is on some demand path iff a demanding
-            // client below it has a deadline at or above `u` — replacing
-            // the former O(depth)-per-client path walks.
-            for i in 0..s.active_nodes.len() {
-                let u = s.active_nodes[i] as usize;
-                s.min_dd[u] = if s.demand[u] > 0 { s.deadline_depth[u] } else { u32::MAX };
-            }
-            for i in 0..s.active_nodes.len() {
-                let u = s.active_nodes[i];
-                if u != j {
-                    let p = s.arena.parent(u) as usize;
-                    s.min_dd[p] = s.min_dd[p].min(s.min_dd[u as usize]);
-                }
-            }
-            s.candidates.clear();
-            s.cand_pos.clear();
-            for (i, &u) in s.active_nodes.iter().enumerate() {
-                if !s.in_r[u as usize] && s.min_dd[u as usize] <= s.arena.depth(u) {
-                    s.candidates.push(u);
-                    s.cand_pos.push(i as u32);
-                }
-            }
-
-            // Replicas stranded off the active forest (zero assignments, no
-            // demand path through them) are simply never visited by the
-            // sweeps; the router's epoch stamps make their load rows read
-            // as zero wherever the scorer looks.
         }
 
-        if !enumerate::best_placement(scratch, w, j, travelling) {
-            // Candidate space too large for the enumeration cost model, or
-            // every affordable subset size is provably infeasible: fall
-            // back to the reassignment-free dynamic program over the stuck
-            // volume (pooled, stuck-forest restricted — see `dp`). The
-            // fallback narrows the active forest to the stuck paths for
-            // its passes; rebuild the stage's scope forest for the commit
-            // route below.
-            scratch.stats.dp_fallbacks += 1;
-            dp::fallback_placement(scratch, w, j, stuck)?;
-            build_scope_forest(scratch, j);
-        }
-
-        // Commit: clear the scope's assignments (off-scope replicas keep
-        // theirs — the module docs' exactness argument) and re-route the
-        // pool over the scope's old and new replicas together.
-        {
-            let s = &mut *scratch;
-            for i in 0..s.existing.len() {
-                let u = s.existing[i];
-                let ui = u as usize;
-                if s.load[ui] > 0 {
-                    s.load_sums.add(s.arena.post_position(u), -(s.load[ui] as i128));
-                }
-                s.assigned[ui].clear();
-                s.load[ui] = 0;
-            }
-            for i in 0..s.best_set.len() {
-                let u = s.best_set[i];
-                debug_assert!(!s.in_r[u as usize]);
-                s.in_r[u as usize] = true;
+        // Serve-mode memo gate (`crate::serve`): with a journal installed,
+        // a stage proven clean — flow-clean root, no state-dirty node in
+        // the scope just collected — replays its journaled commit and
+        // skips the whole search below. The live counters above
+        // (`stages`, `commit_touched` / `commit_skipped`) are recomputed
+        // either way: the skipped share prices off-scope subtree load, so
+        // journaling it would falsify re-solves. Taken out of the scratch
+        // around the search so the hooks can borrow both halves; restored
+        // on every path, including errors.
+        let mut serve_ctx = scratch.serve.take();
+        if let Some(ctx) = serve_ctx.as_deref_mut() {
+            if crate::serve::try_replay(scratch, ctx, j) {
+                scratch.serve = serve_ctx;
+                return Ok(());
             }
         }
-        // One buffered-write pass both proves the placement routes and
-        // stages the assignment writes; the log is flushed only on a
-        // feasible verdict. Enumeration results are pre-checked, but the
-        // DP fallback models old assignments as fixed while the commit
-        // re-routes them — if the routings ever disagreed, surface a
-        // structured error instead of silently degrading the solution in
-        // release builds. (The naive reference keeps the historical
-        // check-then-write double route.)
-        if scratch.naive_stage_commit && route_on_committed(scratch, w, j, false) != Some(0) {
-            scratch.stats.repairs += 1;
-            return Err(SolveError::StageRepair { node: NodeId(j) });
+        let pre_stats = scratch.stats;
+        let result = serve_stuck_search(scratch, w, j, stuck, travelling);
+        if result.is_ok() {
+            if let Some(ctx) = serve_ctx.as_deref_mut() {
+                crate::serve::record_stage(scratch, ctx, j, &pre_stats);
+            }
         }
-        if route_on_committed(scratch, w, j, true) != Some(0) {
-            scratch.stats.repairs += 1;
-            return Err(SolveError::StageRepair { node: NodeId(j) });
-        }
-
-        // Flush the buffered writes and release the stage's demand rows.
-        let s = &mut *scratch;
-        let SolverScratch {
-            arena,
-            assigned,
-            load,
-            load_sums,
-            commit_log,
-            demand,
-            demand_clients,
-            ..
-        } = s;
-        for &(u, c, amount) in commit_log.iter() {
-            let ui = u as usize;
-            assigned[ui].push((c, amount));
-            load[ui] += amount;
-            load_sums.add(arena.post_position(u), amount as i128);
-        }
-        commit_log.clear();
-        for &c in demand_clients.iter() {
-            demand[c as usize] = 0;
-        }
-        demand_clients.clear();
-        Ok(())
+        scratch.serve = serve_ctx;
+        result
     }
+}
+
+/// The search half of a stage, past the memo point: candidate selection,
+/// placement search (enumeration or DP fallback), commit and flush. The
+/// collection half (and its live counters) runs in
+/// [`StageEngine::serve_stuck`] before the serve-mode memo gate; this half
+/// is what a journal replay skips, and its [`StageStats`] delta is what the
+/// journal records.
+fn serve_stuck_search(
+    scratch: &mut SolverScratch,
+    w: Requests,
+    j: u32,
+    stuck: &[PendingRequest],
+    travelling: &[PendingRequest],
+) -> Result<(), SolveError> {
+    {
+        let s = &mut *scratch;
+        // Candidate hosts for new replicas: free active nodes eligible
+        // for at least one demand fragment, i.e. lying between a
+        // demanding client and its deadline. One bottom-up min-relax of
+        // the deadline depth along the active forest decides
+        // eligibility — `u` is on some demand path iff a demanding
+        // client below it has a deadline at or above `u` — replacing
+        // the former O(depth)-per-client path walks.
+        for i in 0..s.active_nodes.len() {
+            let u = s.active_nodes[i] as usize;
+            s.min_dd[u] = if s.demand[u] > 0 { s.deadline_depth[u] } else { u32::MAX };
+        }
+        for i in 0..s.active_nodes.len() {
+            let u = s.active_nodes[i];
+            if u != j {
+                let p = s.arena.parent(u) as usize;
+                s.min_dd[p] = s.min_dd[p].min(s.min_dd[u as usize]);
+            }
+        }
+        s.candidates.clear();
+        s.cand_pos.clear();
+        for (i, &u) in s.active_nodes.iter().enumerate() {
+            if !s.in_r[u as usize] && s.min_dd[u as usize] <= s.arena.depth(u) {
+                s.candidates.push(u);
+                s.cand_pos.push(i as u32);
+            }
+        }
+
+        // Replicas stranded off the active forest (zero assignments, no
+        // demand path through them) are simply never visited by the
+        // sweeps; the router's epoch stamps make their load rows read
+        // as zero wherever the scorer looks.
+    }
+
+    if !enumerate::best_placement(scratch, w, j, travelling) {
+        // Candidate space too large for the enumeration cost model, or
+        // every affordable subset size is provably infeasible: fall
+        // back to the reassignment-free dynamic program over the stuck
+        // volume (pooled, stuck-forest restricted — see `dp`). The
+        // fallback narrows the active forest to the stuck paths for
+        // its passes; rebuild the stage's scope forest for the commit
+        // route below.
+        scratch.stats.dp_fallbacks += 1;
+        dp::fallback_placement(scratch, w, j, stuck)?;
+        build_scope_forest(scratch, j);
+    }
+
+    // Commit: clear the scope's assignments (off-scope replicas keep
+    // theirs — the module docs' exactness argument) and re-route the
+    // pool over the scope's old and new replicas together.
+    {
+        let s = &mut *scratch;
+        for i in 0..s.existing.len() {
+            let u = s.existing[i];
+            let ui = u as usize;
+            if s.load[ui] > 0 {
+                s.load_sums.add(s.arena.post_position(u), -(s.load[ui] as i128));
+            }
+            s.assigned[ui].clear();
+            s.load[ui] = 0;
+        }
+        for i in 0..s.best_set.len() {
+            let u = s.best_set[i];
+            debug_assert!(!s.in_r[u as usize]);
+            s.in_r[u as usize] = true;
+        }
+    }
+    // One buffered-write pass both proves the placement routes and
+    // stages the assignment writes; the log is flushed only on a
+    // feasible verdict. Enumeration results are pre-checked, but the
+    // DP fallback models old assignments as fixed while the commit
+    // re-routes them — if the routings ever disagreed, surface a
+    // structured error instead of silently degrading the solution in
+    // release builds. (The naive reference keeps the historical
+    // check-then-write double route.)
+    if scratch.naive_stage_commit && route_on_committed(scratch, w, j, false) != Some(0) {
+        scratch.stats.repairs += 1;
+        return Err(SolveError::StageRepair { node: NodeId(j) });
+    }
+    if route_on_committed(scratch, w, j, true) != Some(0) {
+        scratch.stats.repairs += 1;
+        return Err(SolveError::StageRepair { node: NodeId(j) });
+    }
+
+    // Flush the buffered writes and release the stage's demand rows.
+    let s = &mut *scratch;
+    let SolverScratch {
+        arena, assigned, load, load_sums, commit_log, demand, demand_clients, ..
+    } = s;
+    for &(u, c, amount) in commit_log.iter() {
+        let ui = u as usize;
+        assigned[ui].push((c, amount));
+        load[ui] += amount;
+        load_sums.add(arena.post_position(u), amount as i128);
+    }
+    // The flushed log is deliberately left in place: the serve-mode
+    // journal clones it right after this returns, and the next route
+    // clears it on entry (`route_on_committed`) anyway.
+    for &c in demand_clients.iter() {
+        demand[c as usize] = 0;
+    }
+    demand_clients.clear();
+    Ok(())
 }
 
 /// Scoped demand collection (the incremental path; see the module docs):

@@ -1,0 +1,281 @@
+//! Property tests for the serving tier (`rp_core::serve`): on random
+//! stage-dense binary trees (the same caterpillar / branchy families as
+//! `proptest_stage_commit.rs`) and random demand-delta streams, the
+//! journal-memoized incremental re-solve must be **bit-identical** to a
+//! cold solve after every batch — three ways at once:
+//!
+//! * against a second [`ServeEngine`] with the naive differential switch
+//!   on ([`ServeEngine::set_naive_resolve`]: plain cold solves, no
+//!   journal), fed the exact same delta stream;
+//! * against a from-scratch [`multiple_bin`] solve over a freshly *built*
+//!   tree carrying the current demands (same construction order, so node
+//!   ids line up) — no warm state at all;
+//! * on `StageStats` too, not just placements: a replayed stage must
+//!   absorb exactly the search counters the cold solve would have earned.
+//!
+//! Invalid deltas (underflow, over-capacity) must be rejected identically
+//! by both engines and leave both solving the same instance afterwards —
+//! the stream generator deliberately produces some.
+
+use proptest::prelude::*;
+use rp_core::serve::{DemandDelta, ServeEngine};
+use rp_core::{multiple_bin_with, SolverScratch};
+use rp_tree::{validate, Instance, Policy, Tree, TreeBuilder};
+
+/// A generated serving scenario: the structural picks of one binary tree
+/// (kept, so the cold reference can rebuild it with mutated demands),
+/// capacity, distance budget and a batched delta stream.
+#[derive(Debug, Clone)]
+struct Scenario {
+    caterpillar: bool,
+    cat_picks: Vec<(u64, u64, u64)>,
+    internals: Vec<(u16, u64)>,
+    clients: Vec<(u16, u64, u64)>,
+    capacity: u64,
+    dmax: Option<u64>,
+    /// Batches of `(client pick, op pick, amount)`; a solve runs after
+    /// each batch on every engine.
+    batches: Vec<Vec<(u16, u8, u64)>>,
+}
+
+impl Scenario {
+    /// Builds the scenario's tree with `reqs[i]` requests on the `i`-th
+    /// client (creation order); `None` keeps the generated initial
+    /// demands. Returns the tree and the client node ids in creation
+    /// order. Construction is deterministic, so every rebuild yields the
+    /// same node numbering — what lets the cold reference compare
+    /// solutions id-for-id.
+    fn build(&self, reqs: Option<&[u64]>) -> (Tree, Vec<u32>) {
+        let mut b = TreeBuilder::new();
+        let mut ids = Vec::new();
+        if self.caterpillar {
+            let mut spine = b.root();
+            for &(spine_edge, client_edge, req) in &self.cat_picks {
+                spine = b.add_internal(spine, 1 + spine_edge % 2);
+                let r = reqs.map_or(1 + req % 9, |r| r[ids.len()]);
+                ids.push(b.add_client(spine, 1 + client_edge % 2, r).0);
+            }
+        } else {
+            let mut open: Vec<(rp_tree::NodeId, usize)> = vec![(b.root(), 2)];
+            for &(pick, edge) in &self.internals {
+                let i = pick as usize % open.len();
+                let (parent, slots) = open[i];
+                let node = b.add_internal(parent, 1 + edge % 3);
+                if slots == 1 {
+                    open.swap_remove(i);
+                } else {
+                    open[i].1 -= 1;
+                }
+                open.push((node, 2));
+            }
+            for &(pick, edge, req) in &self.clients {
+                if open.is_empty() {
+                    break;
+                }
+                let i = pick as usize % open.len();
+                let (parent, slots) = open[i];
+                let r = reqs.map_or(1 + req % 9, |r| r[ids.len()]);
+                ids.push(b.add_client(parent, 1 + edge % 3, r).0);
+                if slots == 1 {
+                    open.swap_remove(i);
+                } else {
+                    open[i].1 -= 1;
+                }
+            }
+        }
+        (b.freeze().expect("generated shapes keep arity at 2"), ids)
+    }
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        any::<bool>(),
+        prop::collection::vec((0u64..2, 0u64..2, 0u64..9), 6..32),
+        prop::collection::vec((any::<u16>(), 0u64..3), 4..14),
+        prop::collection::vec((any::<u16>(), 0u64..3, 0u64..9), 4..20),
+        9u64..22,
+        prop::option::of(2u64..14),
+        prop::collection::vec(prop::collection::vec((any::<u16>(), 0u8..3, 0u64..12), 1..6), 1..5),
+    )
+        .prop_map(|(caterpillar, cat_picks, internals, clients, capacity, dmax, batches)| {
+            Scenario { caterpillar, cat_picks, internals, clients, capacity, dmax, batches }
+        })
+}
+
+/// Cold reference: build a fresh tree carrying `reqs`, solve it through a
+/// fresh scratch.
+fn cold_solve(
+    s: &Scenario,
+    reqs: &[u64],
+    capacity: u64,
+    dmax: Option<u64>,
+) -> (rp_tree::Solution, rp_core::StageStats, Instance) {
+    let (tree, _) = s.build(Some(reqs));
+    let inst = Instance::new(tree, capacity, dmax).expect("positive capacity");
+    let mut scratch = SolverScratch::new();
+    let sol = multiple_bin_with(&inst, &mut scratch).expect("feasible (r_i ≤ W by construction)");
+    (sol, *scratch.stage_stats(), inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_serve_matches_cold_solves_on_delta_streams(s in scenario()) {
+        let (tree, client_ids) = s.build(None);
+        // Both families always yield clients (the branchy slot list never
+        // empties before placing at least its first four).
+        prop_assert!(!client_ids.is_empty());
+        let inst = Instance::new(tree, s.capacity, s.dmax).expect("positive capacity");
+
+        let mut engine = ServeEngine::new(&inst).expect("binary, r_i ≤ W");
+        // Journal on for every batch size: the threshold heuristic is
+        // covered separately; equivalence must hold at full exposure.
+        engine.set_full_solve_threshold(1.0);
+        let mut naive = ServeEngine::new(&inst).expect("binary, r_i ≤ W");
+        naive.set_naive_resolve(true);
+
+        // Model of the current demands, in client creation order.
+        let mut reqs: Vec<u64> =
+            client_ids.iter().map(|&c| engine.requests_of(c).unwrap()).collect();
+
+        // Converged start: both engines solve the initial demands.
+        engine.solve().expect("initial solve");
+        naive.solve().expect("initial solve");
+
+        for batch in &s.batches {
+            for &(cpick, op, amount) in batch {
+                let i = cpick as usize % client_ids.len();
+                let node = client_ids[i];
+                let delta = match op % 3 {
+                    0 => DemandDelta::Add(amount),
+                    1 => DemandDelta::Sub(amount),
+                    _ => DemandDelta::Set(amount),
+                };
+                // Both engines must agree on acceptance and on the
+                // resulting demand; rejects must change nothing.
+                let a = engine.apply_delta(node, delta);
+                let b = naive.apply_delta(node, delta);
+                prop_assert_eq!(&a, &b, "engines disagreed on {:?} @ {}", delta, node);
+                match a {
+                    Ok(new) => reqs[i] = new,
+                    Err(_) => prop_assert_eq!(engine.requests_of(node).unwrap(), reqs[i]),
+                }
+            }
+            let outcome = engine.solve().expect("incremental solve");
+            naive.solve().expect("naive solve");
+            prop_assert!(outcome.incremental, "threshold 1.0 keeps the journal on");
+
+            // Three-way equivalence: warm-incremental vs warm-naive vs a
+            // from-scratch solve of a freshly built tree.
+            let (cold_sol, cold_stats, cold_inst) =
+                cold_solve(&s, &reqs, s.capacity, s.dmax);
+            let inc_sol = engine.solution();
+            prop_assert_eq!(&inc_sol, &naive.solution(), "incremental vs naive: {:?}", s);
+            prop_assert_eq!(&inc_sol, &cold_sol, "incremental vs cold rebuild: {:?}", s);
+            prop_assert_eq!(engine.stage_stats(), naive.stage_stats());
+            prop_assert_eq!(engine.stage_stats(), &cold_stats);
+            validate(&cold_inst, Policy::Multiple, &inc_sol).expect("serve solution valid");
+        }
+    }
+}
+
+#[test]
+fn journal_replay_engages_on_stage_dense_streams() {
+    // The equivalence above must not hold vacuously (every stage
+    // re-searched). On a tight-capacity caterpillar, a demand delta
+    // genuinely invalidates the overlapping-scope chain *above* the
+    // changed client (the changed volume flows into every upstream pool —
+    // a cold solve's commits differ there too), so what the journal can
+    // and must reuse is everything *below*: deltas near the root replay
+    // the bulk of the stages, and reuse shrinks with the delta's depth.
+    // The spine grows downward, so small creation indices are shallow.
+    let s = Scenario {
+        caterpillar: true,
+        cat_picks: (0..96).map(|i| (i % 2, (i / 2) % 2, i * 5 % 9)).collect(),
+        internals: vec![],
+        clients: vec![],
+        capacity: 12,
+        dmax: Some(9),
+        batches: vec![],
+    };
+    let (tree, client_ids) = s.build(None);
+    let inst = Instance::new(tree, s.capacity, s.dmax).expect("positive capacity");
+    let mut engine = ServeEngine::new(&inst).expect("binary, r_i ≤ W");
+    engine.solve().expect("initial solve");
+
+    let mut total_reused = 0;
+    let mut total_recomputed = 0;
+    for (k, &node) in client_ids.iter().enumerate().take(24).filter(|(k, _)| k % 7 == 3) {
+        engine.apply_delta(node, DemandDelta::Add(1 + (k as u64) % 3)).unwrap();
+        let outcome = engine.solve().expect("incremental solve");
+        assert!(outcome.incremental, "one dirty client of 96 is under the 10% threshold");
+        assert!(
+            outcome.stages_reused > 2 * outcome.stages_recomputed,
+            "a shallow delta must replay the deep bulk of the stages: {outcome:?}"
+        );
+        total_reused += outcome.stages_reused;
+        total_recomputed += outcome.stages_recomputed;
+    }
+    assert!(total_reused > 100, "journal reuse must dominate the stream: {total_reused}");
+    assert!(total_reused > 4 * total_recomputed, "{total_reused} vs {total_recomputed}");
+    let stats = engine.stats();
+    assert_eq!(stats.full_solves, 1, "only the initial solve runs cold");
+    assert!(stats.incremental_solves >= 3, "k ∈ {{3, 10, 17}} gives three delta solves");
+
+    // A deep delta legitimately re-searches its upstream chain; reuse may
+    // be small, but the solve stays incremental and the journal recovers.
+    let deep = client_ids[90];
+    engine.apply_delta(deep, DemandDelta::Add(2)).unwrap();
+    let outcome = engine.solve().expect("incremental solve");
+    assert!(outcome.incremental);
+    engine.apply_delta(client_ids[3], DemandDelta::Sub(1)).unwrap();
+    let outcome = engine.solve().expect("incremental solve");
+    assert!(
+        outcome.stages_reused > 2 * outcome.stages_recomputed,
+        "shallow reuse must survive a deep delta in between: {outcome:?}"
+    );
+}
+
+#[test]
+fn threshold_crossing_falls_back_to_full_solves_and_recovers() {
+    // Over-threshold batches run the plain full path (and rebuild the
+    // journal); the next small delta is incremental again — and results
+    // stay identical to the naive reference across the switch.
+    let s = Scenario {
+        caterpillar: true,
+        cat_picks: (0..40).map(|i| (i % 2, i % 2, i % 9)).collect(),
+        internals: vec![],
+        clients: vec![],
+        capacity: 15,
+        dmax: Some(7),
+        batches: vec![],
+    };
+    let (tree, client_ids) = s.build(None);
+    let inst = Instance::new(tree, s.capacity, s.dmax).expect("positive capacity");
+    let mut engine = ServeEngine::new(&inst).expect("binary, r_i ≤ W");
+    let mut naive = ServeEngine::new(&inst).expect("binary, r_i ≤ W");
+    naive.set_naive_resolve(true);
+    engine.solve().expect("initial solve");
+    naive.solve().expect("initial solve");
+
+    // 20 dirty clients of 40 blows through the 10% default threshold.
+    for &node in &client_ids[..20] {
+        engine.apply_delta(node, DemandDelta::Add(2)).unwrap();
+        naive.apply_delta(node, DemandDelta::Add(2)).unwrap();
+    }
+    let big = engine.solve().expect("full solve");
+    naive.solve().expect("naive solve");
+    assert!(!big.incremental, "20/40 dirty clients exceed the threshold");
+    assert_eq!(engine.solution(), naive.solution());
+    assert_eq!(engine.stage_stats(), naive.stage_stats());
+
+    // …and the journal that full solve rebuilt serves the next delta.
+    engine.apply_delta(client_ids[5], DemandDelta::Sub(1)).unwrap();
+    naive.apply_delta(client_ids[5], DemandDelta::Sub(1)).unwrap();
+    let small = engine.solve().expect("incremental solve");
+    naive.solve().expect("naive solve");
+    assert!(small.incremental, "the full solve re-seeds the journal");
+    assert_eq!(engine.solution(), naive.solution());
+    assert_eq!(engine.stage_stats(), naive.stage_stats());
+}

@@ -581,6 +581,24 @@ impl TreeArena {
         self.is_client[v as usize]
     }
 
+    /// Overwrites the requests issued by the client `v` — the mutation
+    /// behind the serving tier's demand deltas (`rp_core`'s serve engine):
+    /// topology, edges and every derived array are demand-independent, so
+    /// no rebuild is needed and all traversal structures stay valid.
+    ///
+    /// # Panics
+    ///
+    /// If `v` is not a client leaf, or `requests` exceeds
+    /// [`Tree::MAX_REQUESTS`] (the solvers' `u64` summation guard, the same
+    /// bound [`TreeArena::rebuild_from_stream`] enforces). Callers are
+    /// expected to validate first — the serving engine maps both cases to
+    /// structured errors before ever reaching this method.
+    pub fn set_requests(&mut self, v: u32, requests: Requests) {
+        assert!(self.is_client[v as usize], "set_requests targets a client leaf");
+        assert!(requests <= Tree::MAX_REQUESTS, "requests exceed Tree::MAX_REQUESTS");
+        self.requests[v as usize] = requests;
+    }
+
     /// Whether `ancestor` lies on the path from `node` to the root
     /// (inclusive of `node` itself). O(1) via pre-order intervals.
     #[inline]

@@ -1,32 +1,69 @@
 //! Quick wall-clock probe for the stage-heavy bench families, outside the
 //! criterion grid: `cargo run --release -p rp-bench --example stage_probe
-//! -- <clients> <deep|spine> <dmax|nod>` times `multiple-bin` on one cell
-//! and dumps the stage counters — handy when iterating on the stage
-//! engine without re-running the whole scaling bench.
+//! -- [--clients N] [--family deep|spine] [--dmax|--nod] [--threads N]`
+//! times `multiple-bin` on one cell and dumps the stage counters — handy
+//! when iterating on the stage engine without re-running the whole scaling
+//! bench. `--threads` routes the solve through the frontier-parallel entry
+//! point (workers plus the parallel finish pass), so one-cell probes can
+//! reproduce the finish-pass bottleneck the serial sweep used to be.
+//! Bare positionals (`<clients> <deep|spine> <dmax|nod>`) still work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let clients: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(16384);
-    let family = args.get(2).cloned().unwrap_or_else(|| "deep".into());
-    let dmax = args.get(3).map(|s| s == "dmax").unwrap_or(true);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut clients: usize = 16384;
+    let mut family = "deep".to_string();
+    let mut dmax = true;
+    let mut threads: usize = 1;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} expects a value")).clone()
+        };
+        match arg.as_str() {
+            "--clients" => clients = value("--clients").parse().expect("numeric --clients"),
+            "--family" => family = value("--family"),
+            "--dmax" => dmax = true,
+            "--nod" => dmax = false,
+            "--threads" => threads = value("--threads").parse().expect("numeric --threads"),
+            bare => {
+                match positional {
+                    0 => clients = bare.parse().expect("numeric clients"),
+                    1 => family = bare.to_string(),
+                    2 => dmax = bare == "dmax",
+                    _ => panic!("unexpected argument `{bare}`"),
+                }
+                positional += 1;
+            }
+        }
+    }
+    assert!(threads >= 1, "--threads must be at least 1");
     let seed = 0xE6u64 ^ (clients as u64).rotate_left(17) ^ u64::from(dmax);
     let inst = match family.as_str() {
         "deep" => rp_bench::deep_fallback_instance(clients, dmax, seed),
         "spine" => rp_bench::long_spine_instance(clients, dmax, seed),
-        _ => panic!(),
+        other => panic!("unknown family `{other}` (use deep or spine)"),
     };
     let mut scratch = rp_core::SolverScratch::new();
+    let solve = |scratch: &mut rp_core::SolverScratch| {
+        if threads > 1 {
+            scratch.load_arena(inst.tree());
+            rp_core::multiple_bin_par(scratch, inst.capacity(), inst.dmax(), threads).unwrap()
+        } else {
+            rp_core::multiple_bin_with(&inst, scratch).unwrap()
+        }
+    };
     // warm
-    let sol = rp_core::multiple_bin_with(&inst, &mut scratch).unwrap();
+    let sol = solve(&mut scratch);
     let t0 = std::time::Instant::now();
     let mut n = 0u32;
     while t0.elapsed().as_millis() < 2000 {
-        let _ = rp_core::multiple_bin_with(&inst, &mut scratch).unwrap();
+        let _ = solve(&mut scratch);
         n += 1;
     }
     let per = t0.elapsed().as_secs_f64() / n as f64;
     println!(
-        "{family} {clients} dmax={dmax}: {:.1} ms/solve over {n} solves, replicas={}",
+        "{family} {clients} dmax={dmax} threads={threads}: {:.1} ms/solve over {n} solves, replicas={}",
         per * 1e3,
         sol.replica_count()
     );

@@ -109,10 +109,10 @@ pub fn deep_fallback_instance(clients: usize, dmax_active: bool, seed: u64) -> I
 /// incremental stage commit exists to make tractable; the
 /// `multiple-bin-spine` rows of the scaling grid watch exactly that.
 /// Without `dmax` the family degenerates to one maximal root stage on a
-/// chain (nothing ever gets stuck below the root) — a worst case of the
-/// EDF router and the stage DP, not of the incremental commit — so the
-/// scaling grid only carries the family's `dmax` rows (the
-/// `multiple-bin-deep` NoD rows already cover the maximal-stage regime).
+/// chain (nothing ever gets stuck below the root) — historically the EDF
+/// router's Θ(clients²) carried-merge worst case, which kept the NoD rows
+/// out of the scaling grid until PR 8's hierarchical carried aggregation
+/// made chain merges linear; the grid now carries both variants.
 pub fn long_spine_instance(clients: usize, dmax_active: bool, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = rp_tree::TreeBuilder::new();

@@ -166,7 +166,8 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
             "stage stats:\n  stages: {}\n  subsets enumerated: {}\n  subsets routed: {}\n  \
              subsets pruned: {}\n  shared-prefix routes: {}\n  dp sizes skipped: {}\n  \
              dp bound skips: {}\n  dp fallbacks: {}\n  dp node visits: {}\n  \
-             commit volume touched: {}\n  commit volume skipped: {}\n  repairs: {}\n",
+             commit volume touched: {}\n  commit volume skipped: {}\n  \
+             router carry merges: {}\n  router carried peak: {}\n  repairs: {}\n",
             s.stages,
             s.subsets_enumerated,
             s.subsets_routed,
@@ -178,6 +179,8 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
             s.dp_node_visits,
             s.commit_touched,
             s.commit_skipped,
+            s.router_carry_merges,
+            s.router_carried_peak,
             s.repairs,
         ));
     }
@@ -327,21 +330,54 @@ fn cmd_experiment(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// CI perf gate: compares one algorithm's medians (default `multiple-bin`,
+/// CI perf gate: compares one algorithm's cells (default `multiple-bin`,
 /// override with `--algorithm`) of a fresh `BENCH_scaling.json` against a
 /// checked-in baseline and fails (returns
 /// `Err`, i.e. a non-zero exit) when any gated cell regressed beyond the
-/// allowed fraction. Cells missing from either report are skipped — the
-/// baseline may have been recorded on a different grid — but at least one
-/// cell must be comparable.
-/// One perf gate: an (algorithm, clients) pair compared across both dmax
-/// variants, from the command line or a `[[gate]]` manifest entry.
+/// allowed fraction. Manifest gates pick their column via `metric` (solve
+/// median or peak heap bytes) and their rows via `variant` (dmax, nod or
+/// both). Cells missing from either report are skipped — the baseline may
+/// have been recorded on a different grid — but at least one cell must be
+/// comparable.
+/// Which column of a grid cell a gate compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateMetric {
+    /// Median solve time (`median_ns`) — the default.
+    Median,
+    /// Peak live heap bytes of the reference solve (`peak_alloc_bytes`).
+    /// Cells whose peak was never recorded (zero) are skipped, so the gate
+    /// degrades gracefully against pre-memory-column baselines.
+    PeakAlloc,
+}
+
+/// Which dmax variants of the (algorithm, clients) pair a gate compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateVariant {
+    Dmax,
+    Nod,
+    Both,
+}
+
+impl GateVariant {
+    fn includes(self, dmax: bool) -> bool {
+        match self {
+            GateVariant::Dmax => dmax,
+            GateVariant::Nod => !dmax,
+            GateVariant::Both => true,
+        }
+    }
+}
+
+/// One perf gate: an (algorithm, clients) pair compared across the selected
+/// dmax variants, from the command line or a `[[gate]]` manifest entry.
 #[derive(Debug)]
 struct GateSpec {
     name: String,
     algorithm: String,
     clients: u64,
     max_regress: f64,
+    metric: GateMetric,
+    variant: GateVariant,
 }
 
 /// Parses the TOML subset used by `bench/gates.toml`: `[[gate]]` section
@@ -370,6 +406,8 @@ fn parse_gate_manifest(text: &str) -> Result<Vec<GateSpec>, String> {
                 algorithm: "multiple-bin".into(),
                 clients: 0,
                 max_regress: 0.30,
+                metric: GateMetric::Median,
+                variant: GateVariant::Both,
             });
             open = true;
             continue;
@@ -394,6 +432,29 @@ fn parse_gate_manifest(text: &str) -> Result<Vec<GateSpec>, String> {
                 gate.max_regress = value
                     .parse()
                     .map_err(|_| format!("line {lineno}: bad max-regress `{value}`"))?;
+            }
+            "metric" => {
+                gate.metric = match value {
+                    "median" => GateMetric::Median,
+                    "peak-alloc" => GateMetric::PeakAlloc,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown metric `{other}` (use median or peak-alloc)"
+                        ))
+                    }
+                };
+            }
+            "variant" => {
+                gate.variant = match value {
+                    "dmax" => GateVariant::Dmax,
+                    "nod" => GateVariant::Nod,
+                    "both" => GateVariant::Both,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown variant `{other}` (use dmax, nod or both)"
+                        ))
+                    }
+                };
             }
             other => return Err(format!("line {lineno}: unknown gate key `{other}`")),
         }
@@ -422,14 +483,24 @@ fn run_gate(
     out: &mut String,
     failures: &mut Vec<String>,
 ) -> usize {
-    let GateSpec { algorithm, clients, max_regress, .. } = gate;
+    let GateSpec { algorithm, clients, max_regress, metric, variant, .. } = gate;
     let mut compared = 0;
     for dmax in [true, false] {
+        if !variant.includes(dmax) {
+            continue;
+        }
         let label = if dmax { "dmax" } else { "nod" };
-        let (Some(cur), Some(base)) = (
-            current.median_of(algorithm, dmax, *clients),
-            baseline.median_of(algorithm, dmax, *clients),
-        ) else {
+        let lookup = |report: &rp_bench::scaling::ScalingReport| match metric {
+            GateMetric::Median => report.median_of(algorithm, dmax, *clients),
+            GateMetric::PeakAlloc => {
+                report.peak_alloc_of(algorithm, dmax, *clients).map(u128::from)
+            }
+        };
+        let unit = match metric {
+            GateMetric::Median => "ns",
+            GateMetric::PeakAlloc => "peak bytes",
+        };
+        let (Some(cur), Some(base)) = (lookup(current), lookup(baseline)) else {
             out.push_str(&format!("{algorithm}/{label}/{clients}: not in both reports, skipped\n"));
             continue;
         };
@@ -438,7 +509,7 @@ fn run_gate(
         let ratio = cur as f64 / (base as f64).max(1.0);
         let verdict = if (cur as f64) <= limit { "ok" } else { "REGRESSED" };
         out.push_str(&format!(
-            "{algorithm}/{label}/{clients}: current {cur} ns vs baseline {base} ns \
+            "{algorithm}/{label}/{clients}: current {cur} {unit} vs baseline {base} {unit} \
              ({ratio:.2}x, limit {:.2}x) {verdict}\n",
             1.0 + max_regress
         ));
@@ -466,6 +537,8 @@ fn cmd_bench_gate(args: &Args) -> Result<String, String> {
             algorithm: args.get("algorithm").unwrap_or("multiple-bin").to_string(),
             clients: args.get_or("clients", 1024)?,
             max_regress: args.get_or("max-regress", 0.30)?,
+            metric: GateMetric::Median,
+            variant: GateVariant::Both,
         }],
     };
     let read = |path: &str| -> Result<rp_bench::scaling::ScalingReport, String> {
@@ -529,6 +602,8 @@ mod tests {
             dp_fallbacks: 0,
             commit_touched: 0,
             commit_skipped: 0,
+            router_carry_merges: 0,
+            router_carried_peak: 0,
             peak_alloc_bytes: 0,
         };
         ScalingReport { quick: true, cells: vec![cell(true, median_dmax), cell(false, median_nod)] }
@@ -669,6 +744,75 @@ mod tests {
     }
 
     #[test]
+    fn peak_alloc_gate_compares_memory_and_skips_unrecorded_cells() {
+        use rp_bench::scaling::{ScalingCell, ScalingReport};
+        // One dmax cell with a recorded peak, one nod cell without (as a
+        // report written before the allocator hook would have it).
+        let peak_report = |peak: u64| {
+            let cell = |dmax: bool, peak_alloc_bytes: u64| ScalingCell {
+                algorithm: "multiple-bin".into(),
+                dmax,
+                clients: 65536,
+                nodes: 131071,
+                replicas: 2000,
+                median_ns: 1_000,
+                mean_ns: 1_000,
+                samples: 1,
+                stage_subsets: 0,
+                stage_routed: 0,
+                stage_pruned: 0,
+                dp_node_visits: 0,
+                dp_fallbacks: 0,
+                commit_touched: 0,
+                commit_skipped: 0,
+                router_carry_merges: 0,
+                router_carried_peak: 0,
+                peak_alloc_bytes,
+            };
+            ScalingReport { quick: true, cells: vec![cell(true, peak), cell(false, 0)] }.to_json()
+        };
+        let dir = std::env::temp_dir().join(format!("rp-gate-peak-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        let manifest = dir.join("gates.toml");
+        std::fs::write(&base, peak_report(6_000_000_000)).unwrap();
+        std::fs::write(&good, peak_report(6_500_000_000)).unwrap();
+        std::fs::write(&bad, peak_report(9_000_000_000)).unwrap();
+        std::fs::write(
+            &manifest,
+            "[[gate]]\n\
+             name = \"mb-peak-65536\"\n\
+             clients = 65536\n\
+             metric = \"peak-alloc\"\n\
+             variant = \"dmax\"\n",
+        )
+        .unwrap();
+        let argv = |cur: &std::path::Path| {
+            vec![
+                "bench-gate".to_string(),
+                "--current".into(),
+                cur.to_str().unwrap().into(),
+                "--baseline".into(),
+                base.to_str().unwrap().into(),
+                "--manifest".into(),
+                manifest.to_str().unwrap().into(),
+            ]
+        };
+        // +8% memory passes the default 0.30 budget; +50% fails. Only the
+        // dmax cell is compared (variant), in bytes (metric) — the
+        // unrecorded nod peak never even reaches the comparison.
+        let ok = dispatch(&argv(&good)).unwrap();
+        assert!(ok.contains("peak bytes"), "{ok}");
+        assert!(!ok.contains("nod"), "{ok}");
+        let err = dispatch(&argv(&bad)).unwrap_err();
+        assert!(err.contains("perf gate failed"), "{err}");
+        assert!(err.contains("1.50x"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn gate_manifest_parser_rejects_typos() {
         assert!(parse_gate_manifest("").is_err(), "empty manifest");
         let err = parse_gate_manifest("clients = 5\n").unwrap_err();
@@ -679,10 +823,26 @@ mod tests {
         assert!(err.contains("missing `clients`"), "{err}");
         let err = parse_gate_manifest("[[gate]]\nclients = 5\n").unwrap_err();
         assert!(err.contains("missing `name`"), "{err}");
+        let err =
+            parse_gate_manifest("[[gate]]\nname = \"x\"\nclients = 5\nmetric = \"rss\"\n")
+                .unwrap_err();
+        assert!(err.contains("unknown metric `rss`"), "{err}");
+        let err =
+            parse_gate_manifest("[[gate]]\nname = \"x\"\nclients = 5\nvariant = \"all\"\n")
+                .unwrap_err();
+        assert!(err.contains("unknown variant `all`"), "{err}");
         let gates = parse_gate_manifest("[[gate]]\nname = \"a\"\nclients = 256\n").unwrap();
         assert_eq!(gates.len(), 1);
         assert_eq!(gates[0].algorithm, "multiple-bin");
         assert_eq!(gates[0].max_regress, 0.30);
+        assert_eq!(gates[0].metric, GateMetric::Median);
+        assert_eq!(gates[0].variant, GateVariant::Both);
+        let gates = parse_gate_manifest(
+            "[[gate]]\nname = \"a\"\nclients = 256\nmetric = \"peak-alloc\"\nvariant = \"nod\"\n",
+        )
+        .unwrap();
+        assert_eq!(gates[0].metric, GateMetric::PeakAlloc);
+        assert_eq!(gates[0].variant, GateVariant::Nod);
     }
 
     #[test]

@@ -471,7 +471,10 @@ quit
     fn overflow_deltas_are_rejected_like_the_batch_solvers_would() {
         // The overflow_regressions pattern at the protocol layer: a demand
         // pushed past Tree::MAX_REQUESTS must come back as a structured
-        // `err overflow`, and the warm engine must keep serving.
+        // `err overflow`, a delta pushing the *tree-wide* total past the
+        // bound as `err overflow-total`, and the warm engine must keep
+        // serving. Client 3 is emptied first so the per-client maximum fits
+        // the total exactly — then every further request trips one guard.
         let mut b = TreeBuilder::new();
         let root = b.root();
         let n1 = b.add_internal(root, 2);
@@ -480,13 +483,16 @@ quit
         let inst = Instance::new(b.freeze().unwrap(), u64::MAX, None).unwrap();
         let mut engine = ServeEngine::new(&inst).unwrap();
         let max = rp_tree::Tree::MAX_REQUESTS;
-        let script = format!("delta 2 ={max}\ndelta 2 +1\nsolve\nquit\n");
+        let script = format!("delta 3 =0\ndelta 2 ={max}\ndelta 2 +1\ndelta 3 +1\nsolve\nquit\n");
         let (out, summary) = session(&mut engine, &script);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines[0], format!("ok applied=1 node=2 requests={max}"));
-        assert!(lines[1].starts_with("err overflow"), "{out}");
-        assert!(lines[1].contains("exceeds the solver bound"), "{out}");
-        assert!(lines[2].starts_with("solved replicas="), "{out}");
+        assert_eq!(lines[0], "ok applied=1 node=3 requests=0");
+        assert_eq!(lines[1], format!("ok applied=1 node=2 requests={max}"));
+        assert!(lines[2].starts_with("err overflow"), "{out}");
+        assert!(lines[2].contains("exceeds the solver bound"), "{out}");
+        assert!(lines[3].starts_with("err overflow-total"), "{out}");
+        assert!(lines[3].contains("tree-wide volume bound"), "{out}");
+        assert!(lines[4].starts_with("solved replicas="), "{out}");
         summary.unwrap();
     }
 

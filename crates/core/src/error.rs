@@ -24,6 +24,16 @@ pub enum SolveError {
         /// Arity found in the instance.
         arity: usize,
     },
+    /// The instance's *summed* request volume exceeds
+    /// [`rp_tree::Tree::MAX_REQUESTS`]. The Multiple-policy hot paths carry
+    /// demand volumes in `u64` slabs whose safety argument rests on this
+    /// tree-wide bound (see the width-narrowing notes in
+    /// `rp_core::scratch`), so `multiple-bin` refuses instances beyond it;
+    /// the `single_*` solvers, whose accumulators stay 128-bit, do not.
+    TotalRequestsTooLarge {
+        /// The instance's total request volume.
+        total: u128,
+    },
     /// A client cannot be served even with a replica on every node of its
     /// path (only possible under the Multiple policy when `r_i` exceeds the
     /// combined capacity of the whole path).
@@ -64,6 +74,14 @@ impl fmt::Display for SolveError {
             SolveError::NotBinary { arity } => {
                 write!(f, "multiple-bin requires a binary tree, found arity {arity}")
             }
+            SolveError::TotalRequestsTooLarge { total } => {
+                write!(
+                    f,
+                    "instance total of {total} requests exceeds the multiple-bin \
+                     volume bound {}",
+                    rp_tree::Tree::MAX_REQUESTS
+                )
+            }
             SolveError::ClientUnservable { client } => {
                 write!(f, "client {client} cannot be served even by its whole root path")
             }
@@ -95,6 +113,7 @@ mod tests {
         let variants = vec![
             SolveError::ClientExceedsCapacity { client: NodeId(4), requests: 12, capacity: 7 },
             SolveError::NotBinary { arity: 5 },
+            SolveError::TotalRequestsTooLarge { total: u64::MAX as u128 },
             SolveError::ClientUnservable { client: NodeId(1) },
             SolveError::StageRepair { node: NodeId(3) },
             SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 },
@@ -105,6 +124,7 @@ mod tests {
             match v {
                 SolveError::ClientExceedsCapacity { .. }
                 | SolveError::NotBinary { .. }
+                | SolveError::TotalRequestsTooLarge { .. }
                 | SolveError::ClientUnservable { .. }
                 | SolveError::StageRepair { .. }
                 | SolveError::StageDpExhausted { .. } => {}

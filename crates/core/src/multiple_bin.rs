@@ -49,7 +49,10 @@ use rp_tree::{Dist, Instance, NodeId, Requests, Solution};
 ///
 /// * [`SolveError::NotBinary`] if some node has more than two children;
 /// * [`SolveError::ClientExceedsCapacity`] if some client issues more than
-///   `W` requests (the precondition of Theorem 6).
+///   `W` requests (the precondition of Theorem 6);
+/// * [`SolveError::TotalRequestsTooLarge`] if the summed request volume
+///   exceeds [`rp_tree::Tree::MAX_REQUESTS`] (the bound behind the solver's
+///   64-bit volume slabs — see `crate::scratch`).
 pub fn multiple_bin(instance: &Instance) -> Result<Solution, SolveError> {
     let mut scratch = SolverScratch::new();
     multiple_bin_with(instance, &mut scratch)
@@ -111,6 +114,7 @@ fn run_full(
     w: Requests,
     dmax: Option<Dist>,
 ) -> Result<Solution, SolveError> {
+    crate::scratch::check_total_fits(scratch.arena())?;
     scratch.prepare_multiple_bin();
     scratch.prepare_deadlines(dmax);
     mb_sweep(scratch, w, dmax, None, None)?;
@@ -168,7 +172,7 @@ pub(crate) fn mb_sweep(
                 scratch.in_r[ji] = true;
                 scratch.load[ji] = r;
                 scratch.assigned[ji].push((j, r));
-                scratch.load_sums.add(scratch.arena.post_position(j), r as i128);
+                scratch.load_sums.add(scratch.arena.post_position(j), r as i64);
             }
             continue;
         }

@@ -26,6 +26,40 @@
 //! [`crate::single_nod_with`]; the one-shot entry points create a fresh
 //! scratch internally, so results never depend on reuse (a property pinned
 //! by `tests/scratch_reuse.rs`).
+//!
+//! # Width narrowing: why the Multiple-policy volume slabs are 64-bit
+//!
+//! The memory audit of the million-client tier showed the `u128` DP slabs
+//! and the `i128` load Fenwick dominating the 10.8 GB peak of the 2²⁰
+//! `multiple-bin` cell. Every one of those cells holds a *request volume*
+//! (or a signed delta of one), and volumes are globally bounded: the
+//! `multiple-bin` entry points reject instances whose **summed** demand
+//! exceeds [`Tree::MAX_REQUESTS`] (`u64::MAX / 4 ≈ 2⁶²`) via
+//! [`check_total_fits`], and [`crate::serve::ServeEngine`] maintains the
+//! same bound across demand deltas. From that single invariant:
+//!
+//! * any genuine volume (a demand row, a routed load, a DP `m`-value, a
+//!   Fenwick range) is ≤ the instance total ≤ 2⁶² — it fits `u64` with two
+//!   spare bits, and a *signed* delta fits `i64`;
+//! * the sum of two genuine volumes from **disjoint** demand (the only
+//!   sums the solvers form: sibling DP parts, a node's own demand plus its
+//!   children's) is again ≤ the instance total — still ≤ 2⁶², so `u64`
+//!   additions of genuine values can never wrap;
+//! * the stage DP's infeasibility sentinel is `u64::MAX / 2 ≈ 2⁶³`:
+//!   strictly above every genuine value (the feasibility tests cannot
+//!   confuse them), and `genuine + sentinel ≤ 2⁶² + 2⁶³ < u64::MAX`, so
+//!   the min-plus convolution's `saturating_add(..).min(SENTINEL)` clamp
+//!   keeps sentinel-tainted cells exactly at the sentinel without
+//!   overflow (debug builds additionally cross-check each genuine cell
+//!   against 128-bit arithmetic; `tests/proptest_stage_dp.rs` pins the
+//!   narrowed pass against a `u128` reference near the bound).
+//!
+//! The bound is enforced only where the narrowed slabs are: `multiple-bin`
+//! (serial, parallel and serving entry points) and the stage machinery.
+//! The `single_*` solvers keep their 128-bit accumulators (`sg_total`,
+//! `single-nod` group sums) and deliberately accept larger totals — their
+//! per-node state is a few dozen MB even at a million nodes, so narrowing
+//! buys nothing there.
 
 use crate::error::SolveError;
 use crate::stage::router::RouterBufs;
@@ -56,8 +90,11 @@ pub(crate) type CommitEntry = (u32, u32, Requests);
 #[derive(Debug, Default)]
 pub(crate) struct LoadFenwick {
     /// 1-based partial sums; cell deltas are signed (commits clear loads),
-    /// totals are always non-negative.
-    tree: Vec<i128>,
+    /// totals are always non-negative. `i64` is safe: every partial sum is
+    /// a ± combination of committed loads whose positive total is bounded
+    /// by the instance total ≤ [`Tree::MAX_REQUESTS`] ≈ 2⁶² (see the
+    /// width-narrowing module docs).
+    tree: Vec<i64>,
 }
 
 impl LoadFenwick {
@@ -68,7 +105,7 @@ impl LoadFenwick {
     }
 
     /// Adds `delta` to the load recorded at post-order position `pos`.
-    pub(crate) fn add(&mut self, pos: usize, delta: i128) {
+    pub(crate) fn add(&mut self, pos: usize, delta: i64) {
         let mut i = pos + 1;
         while i < self.tree.len() {
             self.tree[i] += delta;
@@ -77,7 +114,7 @@ impl LoadFenwick {
     }
 
     /// Sum of the first `i` positions.
-    fn prefix(&self, mut i: usize) -> i128 {
+    fn prefix(&self, mut i: usize) -> i64 {
         let mut s = 0;
         while i > 0 {
             s += self.tree[i];
@@ -87,9 +124,9 @@ impl LoadFenwick {
     }
 
     /// Total committed load at post-order positions `lo..=hi`.
-    pub(crate) fn range(&self, lo: usize, hi: usize) -> u128 {
+    pub(crate) fn range(&self, lo: usize, hi: usize) -> u64 {
         debug_assert!(lo <= hi && hi + 1 < self.tree.len());
-        (self.prefix(hi + 1) - self.prefix(lo)) as u128
+        (self.prefix(hi + 1) - self.prefix(lo)) as u64
     }
 }
 
@@ -113,11 +150,13 @@ pub(crate) struct Group {
 #[derive(Debug, Default)]
 pub(crate) struct DpSlabs {
     /// Concatenated per-node `m_v(r)` vectors (minimal pass-up volume).
-    pub(crate) m: Vec<u128>,
-    /// Parallel to `m`: whether `r` opens a replica at the node.
-    pub(crate) placed: Vec<bool>,
+    pub(crate) m: Vec<u64>,
     /// Parallel to `m`: the `r` actually used after the monotonicity
-    /// fix-up (it may redirect to a smaller value).
+    /// fix-up (it may redirect to a smaller value), with the
+    /// placed-a-replica flag packed into [`crate::stage::dp::PLACED_BIT`]
+    /// (bit 31; `rmax` is capped far below 2³¹). Packing the flag here
+    /// instead of a parallel `Vec<bool>` saves a byte per DP cell — at
+    /// the 2²⁰-client tier that slab is gigabytes.
     pub(crate) used_r: Vec<u32>,
     /// Start of each node's `m` slice, indexed by order position; entry
     /// `p + 1` is pushed when node `p` completes, so `m_off[p]..m_off[p+1]`
@@ -125,7 +164,7 @@ pub(crate) struct DpSlabs {
     pub(crate) m_off: Vec<u32>,
     /// Concatenated min-plus convolution layers: the running values after
     /// each participating child…
-    pub(crate) layer_m: Vec<u128>,
+    pub(crate) layer_m: Vec<u64>,
     /// …and the argmin split per `r` (replicas given to that child).
     pub(crate) layer_arg: Vec<u32>,
     /// Start of each node's layer block, same offset discipline as
@@ -139,7 +178,6 @@ impl DpSlabs {
     /// sentinels. O(1) amortised — nothing is dropped or allocated.
     pub(crate) fn reset(&mut self) {
         self.m.clear();
-        self.placed.clear();
         self.used_r.clear();
         self.m_off.clear();
         self.m_off.push(0);
@@ -150,7 +188,7 @@ impl DpSlabs {
     }
 
     /// The `m` slice of the node at order position `p`.
-    pub(crate) fn m_slice(&self, p: usize) -> &[u128] {
+    pub(crate) fn m_slice(&self, p: usize) -> &[u64] {
         &self.m[self.m_off[p] as usize..self.m_off[p + 1] as usize]
     }
 
@@ -173,7 +211,7 @@ pub(crate) struct DpPool {
     /// widening; garbage otherwise).
     pub(crate) prev: DpSlabs,
     /// Working values row of the convolution layer under construction.
-    pub(crate) conv_m: Vec<u128>,
+    pub(crate) conv_m: Vec<u64>,
     /// Working argmin row of the convolution layer under construction.
     pub(crate) conv_arg: Vec<u32>,
     /// Participating-children buffer of the backtracking walk.
@@ -216,7 +254,7 @@ pub struct SolverScratch {
     /// During scoped collection the `demand_clients` list doubles as the
     /// closure work queue (clients are appended as replica assignments are
     /// collected and processed by index).
-    pub(crate) demand: Vec<u128>,
+    pub(crate) demand: Vec<u64>,
     /// Clients with non-zero [`SolverScratch::demand`] (cleanup list).
     pub(crate) demand_clients: Vec<u32>,
     /// Replicas in the stage's affected scope (their assignments are
@@ -282,21 +320,21 @@ pub struct SolverScratch {
     /// Per-candidate reach mask over the first 64 travelling clients.
     pub(crate) cand_reach: Vec<u64>,
     /// `(client, volume)` of the travelling clients behind the reach bits.
-    pub(crate) travel_bits: Vec<(u32, u128)>,
+    pub(crate) travel_bits: Vec<(u32, u64)>,
 
     // --- placement scoring state ---
     /// Travelling volume still absorbable, per client.
-    pub(crate) remaining: Vec<u128>,
+    pub(crate) remaining: Vec<u64>,
     /// Clients with travelling volume, sorted tightest deadline first.
     pub(crate) travel_clients: Vec<u32>,
     /// Stage replicas sorted deepest first.
     pub(crate) spare_nodes: Vec<u32>,
     /// `(deadline depth, absorbed)` pairs before aggregation.
-    pub(crate) breakdown: Vec<(u64, u128)>,
+    pub(crate) breakdown: Vec<(u32, u64)>,
 
     // --- stage-DP fallback state ---
     /// Stuck volume per client, the fallback's own demand map.
-    pub(crate) dp_demand: Vec<u128>,
+    pub(crate) dp_demand: Vec<u64>,
     /// Clients with non-zero [`SolverScratch::dp_demand`].
     pub(crate) dp_clients: Vec<u32>,
     /// Pooled slab storage of every stage-DP pass (see [`DpPool`]).
@@ -533,6 +571,29 @@ pub(crate) fn check_clients_fit(arena: &TreeArena, w: Requests) -> Result<(), So
                 });
             }
         }
+    }
+    Ok(())
+}
+
+/// Checks the tree-wide volume bound the 64-bit Multiple-policy slabs rest
+/// on: the instance's *summed* request volume must not exceed
+/// [`Tree::MAX_REQUESTS`] (see the width-narrowing module docs). Deliberately
+/// separate from [`check_clients_fit`]: only the `multiple-bin` entry points
+/// call this — the `single_*` solvers keep 128-bit accumulators and accept
+/// larger totals.
+///
+/// # Errors
+///
+/// [`SolveError::TotalRequestsTooLarge`] with the offending total.
+pub(crate) fn check_total_fits(arena: &TreeArena) -> Result<(), SolveError> {
+    let mut total: u128 = 0;
+    for v in 0..arena.len() as u32 {
+        if arena.is_client(v) {
+            total += arena.requests(v) as u128;
+        }
+    }
+    if total > Tree::MAX_REQUESTS as u128 {
+        return Err(SolveError::TotalRequestsTooLarge { total });
     }
     Ok(())
 }

@@ -48,7 +48,7 @@
 
 use crate::error::SolveError;
 use crate::multiple_bin::{collect_solution, mb_sweep};
-use crate::scratch::{check_binary, check_clients_fit, CommitEntry, SolverScratch};
+use crate::scratch::{check_binary, check_clients_fit, check_total_fits, CommitEntry, SolverScratch};
 use crate::stage::StageStats;
 use rp_tree::arena::{TreeArena, NO_PARENT};
 use rp_tree::{Dist, Instance, NodeId, Requests, Solution, Tree};
@@ -100,6 +100,17 @@ pub enum ServeError {
         /// The (128-bit, pre-clamp) demand the delta asked for.
         requested: u128,
     },
+    /// The delta is fine per client but would push the instance's *summed*
+    /// demand past [`Tree::MAX_REQUESTS`] — the tree-wide bound the
+    /// solver's 64-bit volume slabs rest on (see the width-narrowing notes
+    /// in `rp_core::scratch`). Tracked incrementally across deltas, so the
+    /// check is O(1).
+    TotalRequestsTooLarge {
+        /// The client whose delta crossed the bound.
+        node: NodeId,
+        /// The (128-bit, pre-clamp) instance total the delta asked for.
+        requested: u128,
+    },
     /// The resulting demand would exceed the server capacity `W` —
     /// `multiple-bin`'s optimality precondition `r_i ≤ W` (Theorem 6).
     ExceedsCapacity {
@@ -124,6 +135,7 @@ impl ServeError {
             ServeError::NotAClient { .. } => "not-a-client",
             ServeError::Underflow { .. } => "underflow",
             ServeError::RequestsTooLarge { .. } => "overflow",
+            ServeError::TotalRequestsTooLarge { .. } => "overflow-total",
             ServeError::ExceedsCapacity { .. } => "capacity",
             ServeError::Solve(_) => "solve",
         }
@@ -146,6 +158,14 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "client {node:?} demand {requested} exceeds the solver bound {}",
+                    Tree::MAX_REQUESTS
+                )
+            }
+            ServeError::TotalRequestsTooLarge { node, requested } => {
+                write!(
+                    f,
+                    "delta on client {node:?} would raise the instance total to {requested}, \
+                     beyond the tree-wide volume bound {}",
                     Tree::MAX_REQUESTS
                 )
             }
@@ -425,7 +445,7 @@ pub(crate) fn try_replay(s: &mut SolverScratch, ctx: &mut ServeCtx, j: u32) -> b
         for &u in existing.iter() {
             let ui = u as usize;
             if load[ui] > 0 {
-                load_sums.add(arena.post_position(u), -(load[ui] as i128));
+                load_sums.add(arena.post_position(u), -(load[ui] as i64));
             }
             assigned[ui].clear();
             load[ui] = 0;
@@ -439,7 +459,7 @@ pub(crate) fn try_replay(s: &mut SolverScratch, ctx: &mut ServeCtx, j: u32) -> b
         let ui = u as usize;
         s.assigned[ui].push((c, amount));
         s.load[ui] += amount;
-        s.load_sums.add(s.arena.post_position(u), amount as i128);
+        s.load_sums.add(s.arena.post_position(u), amount as i64);
     }
     {
         let SolverScratch { demand, demand_clients, .. } = &mut *s;
@@ -459,7 +479,16 @@ pub(crate) fn try_replay(s: &mut SolverScratch, ctx: &mut ServeCtx, j: u32) -> b
 /// dirty, so downstream stages whose scopes overlap fall back to the real
 /// search. `pre` is the stats snapshot taken right after the collection
 /// block; the recorded delta therefore covers exactly the search phase.
-pub(crate) fn record_stage(s: &SolverScratch, ctx: &mut ServeCtx, j: u32, pre: &StageStats) {
+/// `stage_peak` is the stage's own carried-peak (a max, not a count — it
+/// cannot be recovered from `post − pre` and is journaled verbatim so
+/// replays reproduce the cold solve's peak exactly).
+pub(crate) fn record_stage(
+    s: &SolverScratch,
+    ctx: &mut ServeCtx,
+    j: u32,
+    pre: &StageStats,
+    stage_peak: u64,
+) {
     let mut touched = Vec::with_capacity(s.existing.len() + s.best_set.len());
     touched.extend_from_slice(&s.existing);
     touched.extend_from_slice(&s.best_set);
@@ -489,12 +518,13 @@ pub(crate) fn record_stage(s: &SolverScratch, ctx: &mut ServeCtx, j: u32, pre: &
             ctx.mark_state(u);
         }
     }
-    let stats = stats_delta(&s.stats, pre);
+    let mut stats = stats_delta(&s.stats, pre);
     debug_assert_eq!(
         (stats.stages, stats.commit_touched, stats.commit_skipped),
         (0, 0, 0),
         "live-recomputed counters precede the search phase"
     );
+    stats.router_carried_peak = stage_peak;
     let rec = StageRecord {
         existing: s.existing.clone(),
         best_set: s.best_set.clone(),
@@ -522,8 +552,10 @@ pub(crate) fn note_no_stage(s: &mut SolverScratch, j: u32) {
     }
 }
 
-/// Field-wise `post - pre` over every [`StageStats`] counter (all are
-/// monotone within a solve).
+/// Field-wise `post - pre` over every count-like [`StageStats`] counter
+/// (all are monotone within a solve). `router_carried_peak` is a max, not
+/// a count — subtraction is meaningless for it, so the delta carries 0 and
+/// [`record_stage`] overwrites it with the stage's own peak.
 fn stats_delta(post: &StageStats, pre: &StageStats) -> StageStats {
     StageStats {
         stages: post.stages - pre.stages,
@@ -538,6 +570,8 @@ fn stats_delta(post: &StageStats, pre: &StageStats) -> StageStats {
         repairs: post.repairs - pre.repairs,
         commit_touched: post.commit_touched - pre.commit_touched,
         commit_skipped: post.commit_skipped - pre.commit_skipped,
+        router_carry_merges: post.router_carry_merges - pre.router_carry_merges,
+        router_carried_peak: 0,
     }
 }
 
@@ -559,6 +593,11 @@ pub struct ServeEngine {
     /// bookkeeping and runs the plain full path.
     threshold: f64,
     clients: u64,
+    /// Running instance total across deltas — keeps the tree-wide
+    /// volume-bound check ([`Tree::MAX_REQUESTS`], the 64-bit slab
+    /// invariant) O(1) per delta. 128-bit so candidate totals can be
+    /// formed before clamping.
+    total_requests: u128,
     /// Clients whose demand changed since the last solve (deduplicated).
     changed: Vec<u32>,
     changed_mark: Vec<bool>,
@@ -574,9 +613,9 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// [`SolveError::NotBinary`] / [`SolveError::ClientExceedsCapacity`] —
-    /// `multiple-bin`'s preconditions, checked once here and then upheld
-    /// per delta.
+    /// [`SolveError::NotBinary`] / [`SolveError::ClientExceedsCapacity`] /
+    /// [`SolveError::TotalRequestsTooLarge`] — `multiple-bin`'s
+    /// preconditions, checked once here and then upheld per delta.
     pub fn new(instance: &Instance) -> Result<ServeEngine, SolveError> {
         let mut scratch = SolverScratch::new();
         scratch.load_arena(instance.tree());
@@ -598,8 +637,13 @@ impl ServeEngine {
     ) -> Result<ServeEngine, SolveError> {
         check_binary(scratch.arena())?;
         check_clients_fit(scratch.arena(), w)?;
+        check_total_fits(scratch.arena())?;
         let n = scratch.arena().len();
         let clients = (0..n as u32).filter(|&v| scratch.arena().is_client(v)).count() as u64;
+        let total_requests = (0..n as u32)
+            .filter(|&v| scratch.arena().is_client(v))
+            .map(|v| scratch.arena().requests(v) as u128)
+            .sum();
         Ok(ServeEngine {
             scratch,
             w,
@@ -608,6 +652,7 @@ impl ServeEngine {
             naive: false,
             threshold: 0.1,
             clients,
+            total_requests,
             changed: Vec::new(),
             changed_mark: vec![false; n],
             journal_valid: false,
@@ -697,6 +742,7 @@ impl ServeEngine {
             Ok(new) => {
                 let cur = self.scratch.arena().requests(node);
                 if new != cur {
+                    self.total_requests = self.total_requests - cur as u128 + new as u128;
                     self.scratch.arena.set_requests(node, new);
                     if !self.changed_mark[node as usize] {
                         self.changed_mark[node as usize] = true;
@@ -741,6 +787,15 @@ impl ServeEngine {
                 node: NodeId(node),
                 requests: new,
                 capacity: self.w,
+            });
+        }
+        // Tree-wide volume bound (the 64-bit slab invariant): tracked
+        // incrementally, so the check stays O(1) per delta.
+        let new_total = self.total_requests - current as u128 + new as u128;
+        if new_total > Tree::MAX_REQUESTS as u128 {
+            return Err(ServeError::TotalRequestsTooLarge {
+                node: NodeId(node),
+                requested: new_total,
             });
         }
         Ok(new)
@@ -882,20 +937,30 @@ mod tests {
 
     #[test]
     fn overflow_guard_matches_the_tree_bound() {
-        // W above MAX_REQUESTS: the summation guard fires before the
+        // W above MAX_REQUESTS: the summation guards fire before the
         // capacity check (the overflow_regressions pattern: demand near
         // u64::MAX / 4 must be rejected structurally, never wrapped).
         let inst = small_instance(u64::MAX, None);
         let mut engine = ServeEngine::new(&inst).unwrap();
+        // Client 3 still holds 5 requests, so maxing out client 2 is fine
+        // per client but crosses the *tree-wide* volume bound.
+        let err = engine.apply_delta(2, DemandDelta::Set(Tree::MAX_REQUESTS)).unwrap_err();
+        assert_eq!(err.code(), "overflow-total");
+        assert!(matches!(err, ServeError::TotalRequestsTooLarge { requested, .. }
+            if requested == Tree::MAX_REQUESTS as u128 + 5));
+        assert_eq!(engine.requests_of(2), Some(4), "rejected deltas change nothing");
+        // Empty client 3 and the same delta fits the total exactly.
+        engine.apply_delta(3, DemandDelta::Set(0)).unwrap();
         assert_eq!(engine.apply_delta(2, DemandDelta::Set(Tree::MAX_REQUESTS)).unwrap(), {
             Tree::MAX_REQUESTS
         });
+        // One more request breaks the per-client bound (checked first).
         let err = engine.apply_delta(2, DemandDelta::Add(1)).unwrap_err();
         assert_eq!(err.code(), "overflow");
         assert!(matches!(err, ServeError::RequestsTooLarge { requested, .. }
             if requested == Tree::MAX_REQUESTS as u128 + 1));
         assert_eq!(engine.requests_of(2), Some(Tree::MAX_REQUESTS));
-        // The engine still solves after the rejection.
+        // The engine still solves after the rejections.
         engine.apply_delta(2, DemandDelta::Set(5)).unwrap();
         let outcome = engine.solve().unwrap();
         assert!(outcome.replicas >= 1);
@@ -976,6 +1041,7 @@ mod tests {
             ServeError::NotAClient { node: NodeId(1) },
             ServeError::Underflow { node: NodeId(2), current: 1, sub: 2 },
             ServeError::RequestsTooLarge { node: NodeId(2), requested: u128::MAX },
+            ServeError::TotalRequestsTooLarge { node: NodeId(2), requested: u128::MAX },
             ServeError::ExceedsCapacity { node: NodeId(2), requests: 11, capacity: 10 },
             ServeError::Solve(SolveError::NotBinary { arity: 3 }),
         ];
@@ -985,6 +1051,7 @@ mod tests {
                 | ServeError::NotAClient { .. }
                 | ServeError::Underflow { .. }
                 | ServeError::RequestsTooLarge { .. }
+                | ServeError::TotalRequestsTooLarge { .. }
                 | ServeError::ExceedsCapacity { .. }
                 | ServeError::Solve(_) => {}
             }

@@ -26,10 +26,13 @@
 //!
 //! All DP state lives in the pooled slabs of
 //! [`DpPool`](crate::scratch::DpPool) inside [`SolverScratch`]: one
-//! contiguous `u128` slab holds every per-node `m` vector, flat `u32`/`bool`
-//! slabs hold the argmin split layers and backtrack flags, all addressed by
-//! per-position offsets and reset by truncation — a steady-state pass
-//! performs **zero heap allocation**. When the fallback has to widen `rmax`
+//! contiguous `u64` slab holds every per-node `m` vector (volumes are
+//! bounded by the tree-wide total — see the width-narrowing notes in
+//! `crate::scratch`), flat `u32` slabs hold the argmin split layers and
+//! the backtrack `used_r` redirects with the placed-a-replica flag packed
+//! into [`PLACED_BIT`], all addressed by per-position offsets and reset by
+//! truncation — a steady-state pass performs **zero heap allocation**.
+//! When the fallback has to widen `rmax`
 //! (existing full replicas can push the optimum past the volume bound), the
 //! slab generations are swapped and the capped vectors are **extended in
 //! place**: cells below the old cap are exact untruncated values, so they
@@ -40,8 +43,18 @@ use crate::scratch::{DpPool, SolverScratch};
 use crate::stage::PendingRequest;
 use rp_tree::{NodeId, Requests};
 
-/// Large-but-safe sentinel for infeasible dynamic-program states.
-const INFEASIBLE: u128 = u128::MAX / 4;
+/// Large-but-safe sentinel for infeasible dynamic-program states: ≈ 2⁶³,
+/// strictly above every genuine volume (≤ the tree-wide total ≤ 2⁶², see
+/// the width-narrowing notes in `crate::scratch`), with enough headroom
+/// that `genuine + INFEASIBLE < u64::MAX` never wraps before the clamp.
+const INFEASIBLE: u64 = u64::MAX / 2;
+
+/// Flag bit packed into the high bit of each [`DpSlabs`](crate::scratch::DpSlabs)
+/// `used_r` cell: set when that `r` opens a replica at the node. Packing the
+/// flag saves a parallel byte-per-cell slab; sound because `rmax` is capped
+/// by the free-node count of the active forest, far below 2³¹ (asserted per
+/// pass).
+pub(crate) const PLACED_BIT: u32 = 1 << 31;
 
 /// Runs the relaxed dynamic program as a lower bound on the enumeration:
 /// the smallest `r ≤ rmax` for which the full stage demand fits `r` new
@@ -53,7 +66,7 @@ const INFEASIBLE: u128 = u128::MAX / 4;
 /// `None` when every `r ≤ rmax` leaves volume unserved.
 pub(crate) fn lower_bound(
     scratch: &mut SolverScratch,
-    cap: u128,
+    cap: u64,
     j: u32,
     rmax: usize,
 ) -> Option<usize> {
@@ -108,7 +121,7 @@ pub(crate) fn fallback_placement(
     j: u32,
     stuck: &[PendingRequest],
 ) -> Result<(), SolveError> {
-    let cap = w as u128;
+    let cap = w;
     {
         let s = &mut *scratch;
         s.dp_clients.clear();
@@ -116,7 +129,7 @@ pub(crate) fn fallback_placement(
             if s.dp_demand[t.client as usize] == 0 {
                 s.dp_clients.push(t.client);
             }
-            s.dp_demand[t.client as usize] += t.w as u128;
+            s.dp_demand[t.client as usize] += t.w;
         }
     }
     // Narrow the forest to the *stuck* clients' paths for the DP passes:
@@ -132,7 +145,7 @@ pub(crate) fn fallback_placement(
     let dp_clients = std::mem::take(&mut scratch.dp_clients);
     scratch.build_active_forest(j, &dp_clients);
     scratch.dp_clients = dp_clients;
-    let total: u128 = scratch.dp_clients.iter().map(|&c| scratch.dp_demand[c as usize]).sum();
+    let total: u64 = scratch.dp_clients.iter().map(|&c| scratch.dp_demand[c as usize]).sum();
     // No `r` beyond the active forest's free-node count can help: the DP's
     // vectors are truncated there (a subtree cannot host more new replicas
     // than it has free nodes), so `m_j` is flat past it.
@@ -178,11 +191,11 @@ pub(crate) fn fallback_placement(
 /// pass's `rmax` when the capped vectors are being extended in place.
 fn run_strict_dp(
     scratch: &mut SolverScratch,
-    cap: u128,
+    cap: u64,
     j: u32,
     rmax: usize,
     widen_from: Option<usize>,
-) -> Result<usize, u128> {
+) -> Result<usize, u64> {
     let SolverScratch {
         arena,
         in_r,
@@ -246,19 +259,20 @@ fn dp_core(
     arena: &rp_tree::arena::TreeArena,
     in_r: &[bool],
     load: &[Requests],
-    demand: &[u128],
+    demand: &[u64],
     best_set: &mut Vec<u32>,
     pool: &mut DpPool,
     order: &[u32],
     j: u32,
     rmax: usize,
-    cap: u128,
+    cap: u64,
     full_cap_existing: bool,
     widen_from: Option<usize>,
     node_visits: &mut u64,
     pos: &impl Fn(u32) -> usize,
     child_ok: &impl Fn(u32) -> bool,
-) -> Result<usize, u128> {
+) -> Result<usize, u64> {
+    assert!(rmax < PLACED_BIT as usize, "replica budgets fit below the packed placed flag");
     if widen_from.is_some() {
         // The previous pass's slabs become the copy source; its buffers are
         // recycled as the new current generation.
@@ -315,7 +329,7 @@ fn dp_core(
             // ascending (the historical pair order — argmin ties keep the
             // largest child share). Cells `< computed_from` are skipped by
             // starting each row at the first `sc` reaching them.
-            let base: &[u128] = if prev_start == usize::MAX {
+            let base: &[u64] = if prev_start == usize::MAX {
                 &own_row
             } else {
                 &cur.layer_m[prev_start..prev_start + prev_len]
@@ -332,10 +346,18 @@ fn dp_core(
                     let r = rp + sc0 + i;
                     // Clamp to the sentinel: a sum with an INFEASIBLE side
                     // must stay exactly INFEASIBLE, never a larger value the
-                    // feasibility tests below would misread. Genuine volumes
-                    // are ≤ n·u64::MAX ≈ 2^96, far below the 2^126 sentinel,
-                    // so the clamp never distorts a feasible cell.
+                    // feasibility tests below would misread. Two genuine
+                    // sides sum over disjoint demand, so their sum is ≤ the
+                    // tree-wide total ≤ 2⁶² — below the 2⁶³ sentinel — and
+                    // the clamp never distorts a feasible cell (debug-checked
+                    // in 128-bit below).
                     let val = vp.saturating_add(vc).min(INFEASIBLE);
+                    debug_assert!(
+                        vp >= INFEASIBLE
+                            || vc >= INFEASIBLE
+                            || (vp as u128 + vc as u128) < INFEASIBLE as u128,
+                        "genuine volumes must stay below the narrowed sentinel"
+                    );
                     if val < conv_m[r] {
                         conv_m[r] = val;
                         conv_arg[r] = (sc0 + i) as u32;
@@ -359,11 +381,10 @@ fn dp_core(
             let copy = old_mlen.min(mlen);
             let o = prev.m_off[p] as usize;
             cur.m.extend_from_slice(&prev.m[o..o + copy]);
-            cur.placed.extend_from_slice(&prev.placed[o..o + copy]);
             cur.used_r.extend_from_slice(&prev.used_r[o..o + copy]);
             computed_from = copy;
         }
-        let base = |r: usize| -> u128 {
+        let base = |r: usize| -> u64 {
             if r >= prev_len {
                 return INFEASIBLE;
             }
@@ -379,7 +400,7 @@ fn dp_core(
             if in_r[vi] {
                 // Existing replica: spare capacity in strict mode, full
                 // capacity in the re-routing relaxation.
-                let spare = if full_cap_existing { cap } else { cap - load[vi] as u128 };
+                let spare = if full_cap_existing { cap } else { cap - load[vi] };
                 if r < prev_len {
                     // An INFEASIBLE base must stay INFEASIBLE: subtracting
                     // the spare from the sentinel would *lower* it below the
@@ -410,8 +431,7 @@ fn dp_core(
                 }
             }
             cur.m.push(slot);
-            cur.placed.push(was_placed);
-            cur.used_r.push(r as u32);
+            cur.used_r.push(r as u32 | if was_placed { PLACED_BIT } else { 0 });
         }
         // Monotonicity: extra replicas never hurt (leave them unused). The
         // copied prefix is already monotone, so the sweep is a no-op there.
@@ -419,7 +439,6 @@ fn dp_core(
             let (i, h) = (m_start + r, m_start + r - 1);
             if cur.m[i] > cur.m[h] {
                 cur.m[i] = cur.m[h];
-                cur.placed[i] = cur.placed[h];
                 cur.used_r[i] = cur.used_r[h];
             }
         }
@@ -443,11 +462,17 @@ fn dp_core(
     while let Some((v, r)) = stack.pop() {
         let p = pos(v);
         let m_start = cur.m_off[p] as usize;
-        let r = cur.used_r[m_start + r] as usize;
-        if cur.placed[m_start + r] {
+        // The monotonicity sweep copies `used_r` cells whole, so the
+        // packed cell already carries the realized `r` *and* its placed
+        // flag (historically read at the redirected index — identical, as
+        // the copy propagates both together).
+        let packed = cur.used_r[m_start + r];
+        let r = (packed & !PLACED_BIT) as usize;
+        let placed = packed & PLACED_BIT != 0;
+        if placed {
             best_set.push(v);
         }
-        let mut rest = r - usize::from(cur.placed[m_start + r]);
+        let mut rest = r - usize::from(placed);
         kids.clear();
         kids.extend(arena.children(v).iter().copied().filter(|&c| child_ok(c)));
         layer_lens.clear();
@@ -489,7 +514,7 @@ pub mod testing {
     pub struct StrictDpRun {
         /// The stage root's `m_j(r)` table (size-capped; entries are exact
         /// untruncated values, and the table is flat beyond the cap).
-        pub m_root: Vec<u128>,
+        pub m_root: Vec<u64>,
         /// Smallest `r` with `m_j(r) = 0`, if any reaches zero.
         pub rmin: Option<usize>,
         /// The chosen placement (raw node indices) when `rmin` exists.
@@ -512,6 +537,11 @@ pub mod testing {
         rmax_steps: &[usize],
     ) -> StrictDpRun {
         assert!(!rmax_steps.is_empty(), "at least one rmax step is required");
+        let injected: u128 = demand.iter().map(|&(_, w)| w as u128).sum();
+        assert!(
+            injected <= Tree::MAX_REQUESTS as u128,
+            "harness demand must respect the tree-wide volume bound the u64 slabs rest on"
+        );
         let mut scratch = SolverScratch::new();
         scratch.load_arena(tree);
         scratch.prepare_multiple_bin();
@@ -523,7 +553,7 @@ pub mod testing {
             if scratch.dp_demand[c as usize] == 0 {
                 scratch.dp_clients.push(c);
             }
-            scratch.dp_demand[c as usize] += w as u128;
+            scratch.dp_demand[c as usize] += w;
         }
         // Active forest: the same `SolverScratch::build_active_forest`
         // the stage engine uses, so the harness cannot drift from the
@@ -536,7 +566,7 @@ pub mod testing {
         let mut rmin = None;
         let mut widen_from = None;
         for &rmax in rmax_steps {
-            rmin = run_strict_dp(&mut scratch, cap as u128, j, rmax, widen_from).ok();
+            rmin = run_strict_dp(&mut scratch, cap, j, rmax, widen_from).ok();
             widen_from = Some(rmax);
         }
         let active_len = scratch.active_nodes.len();

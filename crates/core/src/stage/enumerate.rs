@@ -45,17 +45,18 @@ pub(crate) fn best_placement(
     j: u32,
     travelling: &[PendingRequest],
 ) -> bool {
-    let cap = w as u128;
+    let cap = w;
 
     // Candidates arrive sorted by active-forest (post-order) position, so
     // the lexicographic enumeration varies the latest node fastest — the
     // maximal shared prefix for the incremental router. The committed
     // placement does not depend on this order (canonical tie-break in
     // `PlacementScore`).
-    let total: u128 = scratch.demand_clients.iter().map(|&c| scratch.demand[c as usize]).sum();
-    let have = (scratch.existing.len() as u128) * cap;
+    let total: u64 = scratch.demand_clients.iter().map(|&c| scratch.demand[c as usize]).sum();
+    // 128-bit intermediate: `existing · cap` has no volume bound.
+    let have = (scratch.existing.len() as u128) * cap as u128;
     // Volume lower bound on the number of new replicas.
-    let r0 = total.saturating_sub(have).div_ceil(cap) as usize;
+    let r0 = (total as u128).saturating_sub(have).div_ceil(cap as u128) as usize;
 
     // Cost-model enumeration budget, in candidate *sets* the stage may
     // probe. A probe's worst case is one routing sweep over the stage's
@@ -172,12 +173,12 @@ pub(crate) fn best_placement(
     // Travelling volume per client; the first 64 become reach-mask bits,
     // the rest count as always-reachable (a weaker, still sound bound).
     travel_bits.clear();
-    let mut overflow_travel = 0u128;
+    let mut overflow_travel = 0u64;
     for t in travelling {
         if travel_bits.len() < 64 {
-            travel_bits.push((t.client, t.w as u128));
+            travel_bits.push((t.client, t.w));
         } else {
-            overflow_travel += t.w as u128;
+            overflow_travel += t.w;
         }
     }
     let mut exist_reach = 0u64;
@@ -250,7 +251,13 @@ pub(crate) fn best_placement(
             }
             continue;
         }
-        let spare_total = ((existing.len() + r) as u128).saturating_mul(cap).saturating_sub(total);
+        // 128-bit intermediate (`replicas · cap` is unbounded), clamped to
+        // `u64`: the clamp only fires above every genuine absorbable volume
+        // (≤ total ≤ 2⁶²), so the incumbent-bound comparison is unchanged.
+        let spare_total = ((existing.len() + r) as u128)
+            .saturating_mul(cap as u128)
+            .saturating_sub(total as u128)
+            .min(u64::MAX as u128) as u64;
 
         subset_idx.clear();
         subset_idx.extend(0..r);
@@ -437,8 +444,8 @@ fn next_combination(idx: &mut [usize], n: usize) -> bool {
 /// canonical placement order documented in `rp_tree::arena`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct PlacementScore {
-    absorbable: u128,
-    by_deadline: Vec<(u64, u128)>,
+    absorbable: u64,
+    by_deadline: Vec<(u32, u64)>,
     depth_sum: u128,
     canon: Vec<u32>,
 }
@@ -467,16 +474,16 @@ impl Ord for PlacementScore {
 #[allow(clippy::too_many_arguments)]
 fn score_spare(
     arena: &TreeArena,
-    cap: u128,
+    cap: u64,
     deadline_depth: &[u32],
     existing: &[u32],
     new_nodes: &[u32],
     bufs: &super::router::RouterBufs,
     travelling: &[PendingRequest],
-    remaining: &mut [u128],
+    remaining: &mut [u64],
     travel_clients: &mut Vec<u32>,
     spare_nodes: &mut Vec<u32>,
-    breakdown: &mut Vec<(u64, u128)>,
+    breakdown: &mut Vec<(u32, u64)>,
     out: &mut PlacementScore,
 ) {
     // Travelling volume reachable by the spare, deepest spare first
@@ -488,7 +495,7 @@ fn score_spare(
         if remaining[t.client as usize] == 0 {
             travel_clients.push(t.client);
         }
-        remaining[t.client as usize] += t.w as u128;
+        remaining[t.client as usize] += t.w;
     }
     travel_clients.sort_by_key(|&c| std::cmp::Reverse(deadline_depth[c as usize]));
     spare_nodes.clear();
@@ -496,7 +503,7 @@ fn score_spare(
     spare_nodes.extend(new_nodes.iter().copied());
     spare_nodes.sort_by_key(|&u| std::cmp::Reverse(arena.depth(u)));
 
-    let mut absorbable = 0u128;
+    let mut absorbable = 0u64;
     breakdown.clear();
     for &u in spare_nodes.iter() {
         let mut s = cap - bufs.routed_load(u);
@@ -512,7 +519,7 @@ fn score_spare(
             s -= take;
             *rem -= take;
             absorbable += take;
-            breakdown.push((deadline_depth[c as usize] as u64, take));
+            breakdown.push((deadline_depth[c as usize], take));
             if s == 0 {
                 break;
             }

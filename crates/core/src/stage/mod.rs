@@ -83,6 +83,7 @@ pub(crate) mod router;
 
 #[doc(hidden)]
 pub use dp::testing as dp_testing;
+pub use router::testing as router_testing;
 
 use crate::error::SolveError;
 use crate::scratch::SolverScratch;
@@ -141,14 +142,28 @@ pub struct StageStats {
     /// and re-routed. The observability handle on the incremental commit:
     /// stage-dense instances live or die by this staying high.
     pub commit_skipped: u64,
+    /// Carried-list entries physically appended by the router's
+    /// small-to-large merges, summed over all routing sweeps — the
+    /// observability handle on hierarchical carried aggregation: the
+    /// historical flat merge moved every entry at every spine node
+    /// (O(spine × clients) on chains); the aggregated router moves whole
+    /// lists by pointer swap and only pays per entry on genuine merges,
+    /// so deep chains keep this near clients · log(clients).
+    pub router_carry_merges: u64,
+    /// Largest carried list (pending clients riding one node's list)
+    /// materialised by any single routing sweep — a max across stages,
+    /// not a sum (merged with `max`, journaled per stage by the serve
+    /// engine).
+    pub router_carried_peak: u64,
 }
 
 impl StageStats {
     /// Adds every counter of `other` into `self` — the merge step of the
     /// frontier-parallel `multiple-bin` driver (`crate::par`), which sums
     /// the workers' per-subtree counters into the session scratch. All
-    /// fields are plain event counts, so summation is exact and
-    /// order-independent.
+    /// fields but one are plain event counts, so summation is exact and
+    /// order-independent; `router_carried_peak` is a running maximum and
+    /// merges with `max`, which is just as order-independent.
     pub(crate) fn absorb(&mut self, other: &StageStats) {
         let StageStats {
             stages,
@@ -163,6 +178,8 @@ impl StageStats {
             repairs,
             commit_touched,
             commit_skipped,
+            router_carry_merges,
+            router_carried_peak,
         } = other;
         self.stages += stages;
         self.subsets_enumerated += subsets_enumerated;
@@ -176,6 +193,8 @@ impl StageStats {
         self.repairs += repairs;
         self.commit_touched += commit_touched;
         self.commit_skipped += commit_skipped;
+        self.router_carry_merges += router_carry_merges;
+        self.router_carried_peak = self.router_carried_peak.max(*router_carried_peak);
     }
 }
 
@@ -241,8 +260,8 @@ impl<'a> StageEngine<'a> {
             let lo = hi + 1 - s.arena.subtree_size(j);
             let subtree_vol = s.load_sums.range(lo, hi);
             debug_assert!(subtree_vol >= collected, "scope volume is part of the subtree volume");
-            s.stats.commit_touched += collected as u64;
-            s.stats.commit_skipped += (subtree_vol - collected) as u64;
+            s.stats.commit_touched += collected;
+            s.stats.commit_skipped += subtree_vol - collected;
         }
 
         // Serve-mode memo gate (`crate::serve`): with a journal installed,
@@ -264,8 +283,19 @@ impl<'a> StageEngine<'a> {
         let pre_stats = scratch.stats;
         let result = serve_stuck_search(scratch, w, j, stuck, travelling);
         if result.is_ok() {
+            // Fold the stage's router counters into the solve stats. The
+            // fold happens here, per stage, so the serve journal can
+            // record the stage's *own* peak (a max is not recoverable
+            // from a post − pre delta) — replayed stages then reproduce
+            // the cold solve's peak exactly, whichever stage dominates.
+            let stage_merges = std::mem::take(&mut scratch.router.carry_merges);
+            let stage_peak = std::mem::take(&mut scratch.router.carried_peak);
+            scratch.stats.router_carry_merges += stage_merges;
+            if stage_peak > scratch.stats.router_carried_peak {
+                scratch.stats.router_carried_peak = stage_peak;
+            }
             if let Some(ctx) = serve_ctx.as_deref_mut() {
-                crate::serve::record_stage(scratch, ctx, j, &pre_stats);
+                crate::serve::record_stage(scratch, ctx, j, &pre_stats, stage_peak);
             }
         }
         scratch.serve = serve_ctx;
@@ -343,7 +373,7 @@ fn serve_stuck_search(
             let u = s.existing[i];
             let ui = u as usize;
             if s.load[ui] > 0 {
-                s.load_sums.add(s.arena.post_position(u), -(s.load[ui] as i128));
+                s.load_sums.add(s.arena.post_position(u), -(s.load[ui] as i64));
             }
             s.assigned[ui].clear();
             s.load[ui] = 0;
@@ -380,7 +410,7 @@ fn serve_stuck_search(
         let ui = u as usize;
         assigned[ui].push((c, amount));
         load[ui] += amount;
-        load_sums.add(arena.post_position(u), amount as i128);
+        load_sums.add(arena.post_position(u), amount as i64);
     }
     // The flushed log is deliberately left in place: the serve-mode
     // journal clones it right after this returns, and the next route
@@ -405,7 +435,7 @@ fn serve_stuck_search(
 /// already-marked nodes, so the whole closure is O(|scope forest|). Fills
 /// `demand` / `demand_clients`, `existing` and the sealed active forest;
 /// returns the collected (previously-assigned) volume.
-fn collect_scope(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u128 {
+fn collect_scope(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u64 {
     debug_assert!(s.demand_clients.is_empty());
     let stamp = s.stage_id;
     s.existing.clear();
@@ -414,13 +444,13 @@ fn collect_scope(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u12
         if s.demand[t.client as usize] == 0 {
             s.demand_clients.push(t.client);
         }
-        s.demand[t.client as usize] += t.w as u128;
+        s.demand[t.client as usize] += t.w;
         debug_assert_eq!(
             s.deadline[t.client as usize], j,
             "a stuck fragment travelled legally to j but cannot leave it"
         );
     }
-    let mut collected = 0u128;
+    let mut collected = 0u64;
     let mut next = 0;
     while next < s.demand_clients.len() {
         let c = s.demand_clients[next];
@@ -441,8 +471,8 @@ fn collect_scope(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u12
                     if s.demand[x as usize] == 0 {
                         s.demand_clients.push(x);
                     }
-                    s.demand[x as usize] += amount as u128;
-                    collected += amount as u128;
+                    s.demand[x as usize] += amount;
+                    collected += amount;
                 }
             }
             if at == j || at == dl {
@@ -473,16 +503,16 @@ fn canonicalize_scope(s: &mut SolverScratch) {
 /// O(|subtree|²) per stage, but obviously correct.
 /// `tests/proptest_stage_commit.rs` pins the two paths to identical
 /// results.
-fn collect_scope_naive(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u128 {
+fn collect_scope_naive(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) -> u64 {
     debug_assert!(s.demand_clients.is_empty());
     s.existing.clear();
     for t in stuck {
         if s.demand[t.client as usize] == 0 {
             s.demand_clients.push(t.client);
         }
-        s.demand[t.client as usize] += t.w as u128;
+        s.demand[t.client as usize] += t.w;
     }
-    let mut collected = 0u128;
+    let mut collected = 0u64;
     let mut changed = true;
     while changed {
         changed = false;
@@ -512,8 +542,8 @@ fn collect_scope_naive(s: &mut SolverScratch, j: u32, stuck: &[PendingRequest]) 
                 if s.demand[c as usize] == 0 {
                     s.demand_clients.push(c);
                 }
-                s.demand[c as usize] += amount as u128;
-                collected += amount as u128;
+                s.demand[c as usize] += amount;
+                collected += amount;
             }
             changed = true;
         }
@@ -561,7 +591,7 @@ fn route_on_committed(
     w: Requests,
     j: u32,
     commit: bool,
-) -> Option<u128> {
+) -> Option<u64> {
     let SolverScratch {
         arena,
         deadline,
@@ -574,10 +604,10 @@ fn route_on_committed(
         commit_log,
         ..
     } = scratch;
-    let total_demand: u128 = demand_clients.iter().map(|&c| demand[c as usize]).sum();
+    let total_demand: u64 = demand_clients.iter().map(|&c| demand[c as usize]).sum();
     let env = RouteEnv {
         arena,
-        cap: w as u128,
+        cap: w,
         deadline,
         deadline_depth,
         order: active_nodes,

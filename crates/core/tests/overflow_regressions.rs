@@ -3,15 +3,15 @@
 //! exact integer arithmetic over the paper's integral instances, so these
 //! pin that (a) accumulated distances saturate instead of wrapping, (b) the
 //! `single-nod` packing sum cannot overflow `u64`, and (c) the stage DP's
-//! min-plus tables stay exact at magnitudes within spitting distance of its
-//! `u128::MAX / 4` infeasibility sentinel.
+//! narrowed 64-bit min-plus tables stay exact at magnitudes within spitting
+//! distance of its `u64::MAX / 2` infeasibility sentinel.
 
 use rp_core::stage::dp_testing::strict_dp;
 use rp_core::{multiple_bin, single_nod};
 use rp_tree::{validate, Instance, Policy, Tree, TreeBuilder};
 
 /// Mirrors the DP's infeasibility sentinel (`stage/dp.rs`).
-const INFEASIBLE: u128 = u128::MAX / 4;
+const INFEASIBLE: u64 = u64::MAX / 2;
 
 #[test]
 fn multiple_bin_saturates_accumulated_distances() {
@@ -77,33 +77,31 @@ fn single_nod_packing_sum_cannot_overflow() {
 
 #[test]
 fn stage_dp_is_exact_near_the_sentinel_scale() {
-    // Stage demand of u64::MAX per client: the DP's min-plus sums reach
-    // ~2^65..2^66 — far below the 2^126 sentinel, and the guards must keep
-    // every stored cell either an exact volume or exactly INFEASIBLE. The
-    // expected table is computable by hand: with `r` replicas of capacity
-    // u64::MAX placed, the leftover is total - r·W.
-    // The *tree* caps per-client requests at `Tree::MAX_REQUESTS`, but the
-    // stage demand rows are independent of the materialised requests — the
-    // engine accumulates re-routed volume there — so the harness can drive
-    // full u64::MAX demand through ordinary clients.
-    let big = u64::MAX;
+    // Stage demand of Tree::MAX_REQUESTS / 2 per client — the largest pair
+    // the tree-wide volume bound (and the narrowed harness) admits. The
+    // DP's min-plus sums reach ~2^61..2^62 — the genuine ceiling, just
+    // below the 2^63 sentinel — and the guards must keep every stored cell
+    // either an exact volume or exactly INFEASIBLE. The expected table is
+    // computable by hand: with `r` replicas of capacity `big` placed, the
+    // leftover is total - r·W.
+    let big = Tree::MAX_REQUESTS / 2;
     let mut b = TreeBuilder::new();
     let root = b.root();
     let n1 = b.add_internal(root, 1);
     let c1 = b.add_client(n1, 1, 1);
     let c2 = b.add_client(n1, 1, 1);
     let tree = b.freeze().unwrap();
-    let total = 2 * (big as u128);
+    let total = 2 * big;
 
     // One pass, then the same table reached by widening — both must agree
     // entry for entry with the closed form.
     for steps in [&[3usize][..], &[1usize, 3][..]] {
         let run = strict_dp(&tree, root.0, big, &[], &[(c1.0, big), (c2.0, big)], steps);
-        assert_eq!(run.rmin, Some(2), "two full-capacity replicas serve 2·u64::MAX exactly");
+        assert_eq!(run.rmin, Some(2), "two full-capacity replicas serve 2·big exactly");
         assert_eq!(run.chosen.len(), 2);
         for (r, &m) in run.m_root.iter().enumerate() {
-            let expect = total.saturating_sub(r as u128 * big as u128);
-            assert_eq!(m, expect, "m_root[{r}] must be exact at near-u64::MAX magnitudes");
+            let expect = total.saturating_sub(r as u64 * big);
+            assert_eq!(m, expect, "m_root[{r}] must be exact at near-bound magnitudes");
             assert!(m < INFEASIBLE);
         }
     }
@@ -113,7 +111,7 @@ fn stage_dp_is_exact_near_the_sentinel_scale() {
     let run = strict_dp(&tree, root.0, big, &[(n1.0, big)], &[(c1.0, big), (c2.0, big)], &[3]);
     assert_eq!(run.rmin, Some(2), "the full existing replica cannot absorb anything");
     for (r, &m) in run.m_root.iter().enumerate() {
-        let expect = total.saturating_sub(r as u128 * big as u128);
+        let expect = total.saturating_sub(r as u64 * big);
         assert_eq!(m, expect, "a zero-spare replica must leave the table unchanged at r={r}");
     }
 }

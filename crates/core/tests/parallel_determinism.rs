@@ -85,6 +85,45 @@ fn random_binary_parallel_matches_serial() {
 }
 
 #[test]
+fn broom_upper_region_exercises_the_parallel_finish_pass() {
+    // A "double broom": two clean 600-node chains hang off the root, each
+    // ending in a fork of two complete depth-10 binary brushes (clients at
+    // the leaves). The frontier builder turns the four brushes into worker
+    // chunks and leaves the ~1200-node branching chain structure as the
+    // upper region — wide and deep enough that the multiple-bin finish
+    // pass carves parallel region cuts (two ≥256-region-node subtrees)
+    // instead of draining everything serially. dmax = 25% of the tree
+    // height pins client deadlines mid-chain, so real stages commit and
+    // re-route volume *inside* the region, across the cut boundaries.
+    fn grow_brush(b: &mut TreeBuilder, parent: rp_tree::NodeId, depth: usize, salt: &mut u64) {
+        if depth == 0 {
+            *salt += 1;
+            b.add_client(parent, *salt % 3 + 1, *salt % 9 + 1);
+            return;
+        }
+        let l = b.add_internal(parent, 1);
+        let r = b.add_internal(parent, 2);
+        grow_brush(b, l, depth - 1, salt);
+        grow_brush(b, r, depth - 1, salt);
+    }
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    let mut salt = 0u64;
+    for _ in 0..2 {
+        let mut spine = b.add_internal(root, 1);
+        for _ in 0..600 {
+            spine = b.add_internal(spine, 1);
+        }
+        grow_brush(&mut b, spine, 10, &mut salt);
+    }
+    let tree = b.freeze().unwrap();
+    assert!(tree.len() > 7000, "tree has {} nodes", tree.len());
+    let inst = wrap_instance(tree, 2.0, Some(0.25));
+    assert!(inst.all_requests_fit_locally());
+    assert_parallel_matches_serial(&inst, "double-broom");
+}
+
+#[test]
 fn parallel_solutions_validate() {
     // The determinism tests compare against serial results; this one
     // re-checks a parallel solution against the instance from scratch.

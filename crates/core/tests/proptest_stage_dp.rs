@@ -7,7 +7,13 @@
 //! * exactly the `m_j(r)` table of a naive, unpooled, **full-subtree**
 //!   reference DP (allocating `Vec`s per node, no size caps, no forest
 //!   restriction — the shape the pre-PR 4 fallback had), entry for entry
-//!   below the pooled pass's size cap and flat beyond it;
+//!   below the pooled pass's size cap and flat beyond it. The reference
+//!   deliberately stays **128-bit wide** — it doubles as the width
+//!   cross-check for the narrowed 64-bit production slabs. Genuine cells
+//!   (≤ the stage's total demand) must agree exactly; infeasible cells
+//!   carry sentinel-relative values whose magnitudes differ between the
+//!   64- and 128-bit recurrences, so both sides normalise everything
+//!   above the genuine ceiling to one canonical "infeasible";
 //! * the same minimal replica count `rmin`, with a chosen placement of
 //!   exactly that size on free nodes that the reference confirms serves
 //!   the whole volume;
@@ -166,22 +172,28 @@ proptest! {
         let run = strict_dp(&s.tree, s.j, s.cap, &s.replicas, &s.demand, &[s.rmax]);
         let naive = naive_tables(&s, &[]);
 
+        // Genuine pass-up volumes never exceed the stage's total demand;
+        // anything above it is an infeasible cell whose exact value is
+        // sentinel arithmetic (different between u64 and u128 widths).
+        let total: u128 = s.demand.iter().map(|&(_, w)| w as u128).sum();
+        let norm = |v: u128| if v > total { u128::MAX } else { v };
+
         // Entry-for-entry agreement below the pooled pass's size cap…
         prop_assert!(!run.m_root.is_empty());
         prop_assert!(run.m_root.len() <= s.rmax + 1);
         for (r, &m) in run.m_root.iter().enumerate() {
             let reference = naive.get(r).copied().unwrap_or(*naive.last().unwrap());
-            prop_assert_eq!(m, reference, "m_j({}) diverged", r);
+            prop_assert_eq!(norm(m as u128), norm(reference), "m_j({}) diverged", r);
         }
         // …and flatness beyond it: a pooled table shorter than `rmax + 1`
         // was truncated at the active forest's free-node count, and extra
         // replicas beyond that (necessarily off-forest in the reference)
         // never reduce the pass-up volume.
-        let tail = *run.m_root.last().unwrap();
+        let tail = norm(*run.m_root.last().unwrap() as u128);
         if run.m_root.len() < s.rmax + 1 {
             let upto = naive.len().min(s.rmax + 1);
             for (r, &value) in naive.iter().enumerate().take(upto).skip(run.m_root.len()) {
-                prop_assert_eq!(value, tail, "the truncated tail was not flat at r={}", r);
+                prop_assert_eq!(norm(value), tail, "the truncated tail was not flat at r={}", r);
             }
         }
 

@@ -38,11 +38,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rp_bench::serve::{ServeBenchCell, ServeReport, SCHEMA};
 use rp_bench::{binary_instance, long_spine_instance};
+use rp_core::serve::persist::PersistConfig;
 use rp_core::{multiple_bin_arena, DemandDelta, LatencyHistogram, ServeEngine, SolverScratch};
 use rp_tree::{Instance, StreamNode};
 use std::time::Instant;
 
 const CLIENTS: usize = 16384;
+
+/// Ceiling on the cold-start recovery of each family's persisted stream,
+/// in milliseconds. Override with `RP_RECOVERY_GATE_MS` (0 disables).
+const RECOVERY_GATE_MS: u64 = 2000;
 
 fn families(quick: bool) -> Vec<(&'static str, Instance)> {
     // Seeds mirror the scaling grid's convention.
@@ -107,9 +112,22 @@ fn main() {
     let rounds: u64 = if quick { 200 } else { 1000 };
     let cold_samples = if quick { 3 } else { 5 };
 
+    let recovery_gate_ms: u64 = std::env::var("RP_RECOVERY_GATE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(RECOVERY_GATE_MS);
+
     let mut cells = Vec::new();
     for (family, instance) in families(quick) {
         let mut engine = ServeEngine::new(&instance).expect("soak instances are binary");
+        // The soak runs with persistence attached — the warm-path gate
+        // holds with the WAL on the write path, not just in a dry run.
+        let state_dir =
+            std::env::temp_dir().join(format!("rp-bench-serve-{family}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        engine
+            .attach_persist(&state_dir, PersistConfig::default())
+            .expect("fresh state dir attaches cold");
         let tree = instance.tree();
         let clients: Vec<u32> =
             tree.node_ids().filter(|&id| tree.is_client(id)).map(|id| id.0).collect();
@@ -145,6 +163,32 @@ fn main() {
         }
         let elapsed = session.elapsed();
         cold_ns.sort_unstable();
+
+        // Recovery cost: a fresh engine replays the persisted stream
+        // (snapshot + WAL tail) the soak just wrote. The recovered demand
+        // must match the warm engine client for client, and the replay
+        // must beat the gate — a restarted daemon is back in business in
+        // bounded time.
+        let mut revived = ServeEngine::new(&instance).expect("soak instances are binary");
+        let recovery_start = Instant::now();
+        revived
+            .attach_persist(&state_dir, PersistConfig::default())
+            .expect("the soak's own state recovers");
+        let recovery_ms = recovery_start.elapsed().as_millis().min(u64::MAX as u128) as u64;
+        for &c in &clients {
+            assert_eq!(
+                revived.requests_of(c),
+                engine.requests_of(c),
+                "{family}: recovered demand diverged at client {c}"
+            );
+        }
+        drop(revived);
+        let _ = std::fs::remove_dir_all(&state_dir);
+        assert!(
+            recovery_gate_ms == 0 || recovery_ms <= recovery_gate_ms,
+            "{family}: recovery took {recovery_ms} ms, gate is {recovery_gate_ms} ms"
+        );
+
         let stats = engine.stats();
         let cell = ServeBenchCell {
             family: family.to_string(),
@@ -161,10 +205,13 @@ fn main() {
             inc_mean_ns: hist.mean_ns(),
             deltas_per_sec: (stats.deltas_applied as u128 * 1_000_000_000
                 / elapsed.as_nanos().max(1)) as u64,
+            recovery_ms,
+            stale_served: stats.stale_served,
         };
         println!(
             "{SCHEMA} {family}: {} deltas, {} solves ({} full), cold median {} us, \
-             warm p50 {} us / p99 {} us ({:.1}x median speedup), reuse {}/{}",
+             warm p50 {} us / p99 {} us ({:.1}x median speedup), reuse {}/{}, \
+             recovery {} ms, stale {}",
             cell.deltas,
             cell.solves,
             cell.full_solves,
@@ -174,6 +221,8 @@ fn main() {
             cell.cold_median_ns as f64 / cell.inc_p50_ns.max(1) as f64,
             cell.stages_reused,
             cell.stages_recomputed,
+            cell.recovery_ms,
+            cell.stale_served,
         );
         cells.push(cell);
     }

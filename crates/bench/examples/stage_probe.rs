@@ -17,9 +17,8 @@ fn main() {
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| panic!("{name} expects a value")).clone()
-        };
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} expects a value")).clone();
         match arg.as_str() {
             "--clients" => clients = value("--clients").parse().expect("numeric --clients"),
             "--family" => family = value("--family"),

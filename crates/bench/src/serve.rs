@@ -45,6 +45,13 @@ pub struct ServeBenchCell {
     pub inc_mean_ns: u64,
     /// Session throughput: deltas applied per wall-clock second.
     pub deltas_per_sec: u64,
+    /// Wall-clock cost of recovering this family's full delta stream from
+    /// its WAL + snapshot on a cold start, in milliseconds (0 when the
+    /// bench ran without persistence).
+    pub recovery_ms: u64,
+    /// Solves answered with the last-known-good solution because the
+    /// deadline budget blew (0 when the bench ran without a budget).
+    pub stale_served: u64,
 }
 
 /// A full serve report: the soaked cells plus the mode they were run in.
@@ -70,7 +77,8 @@ impl ServeReport {
                 "    {{\"family\": \"{}\", \"clients\": {}, \"nodes\": {}, \"deltas\": {}, \
                  \"solves\": {}, \"full_solves\": {}, \"stages_reused\": {}, \
                  \"stages_recomputed\": {}, \"cold_median_ns\": {}, \"inc_p50_ns\": {}, \
-                 \"inc_p99_ns\": {}, \"inc_mean_ns\": {}, \"deltas_per_sec\": {}}}{comma}\n",
+                 \"inc_p99_ns\": {}, \"inc_mean_ns\": {}, \"deltas_per_sec\": {}, \
+                 \"recovery_ms\": {}, \"stale_served\": {}}}{comma}\n",
                 c.family,
                 c.clients,
                 c.nodes,
@@ -84,6 +92,8 @@ impl ServeReport {
                 c.inc_p99_ns,
                 c.inc_mean_ns,
                 c.deltas_per_sec,
+                c.recovery_ms,
+                c.stale_served,
             ));
         }
         out.push_str("  ]\n}\n");
@@ -124,6 +134,11 @@ impl ServeReport {
                 inc_p99_ns: num_field(line, "inc_p99_ns")?,
                 inc_mean_ns: num_field(line, "inc_mean_ns")?,
                 deltas_per_sec: num_field(line, "deltas_per_sec")?,
+                // Reliability columns arrived after the first recorded
+                // baselines; absent fields read as zero so old reports
+                // stay comparable.
+                recovery_ms: num_field(line, "recovery_ms").unwrap_or(0),
+                stale_served: num_field(line, "stale_served").unwrap_or(0),
             });
         }
         if cells.is_empty() {
@@ -160,6 +175,8 @@ mod tests {
                     inc_p99_ns: 6_000_000,
                     inc_mean_ns: 2_400_000,
                     deltas_per_sec: 410,
+                    recovery_ms: 850,
+                    stale_served: 0,
                 },
                 ServeBenchCell {
                     family: "spine".into(),
@@ -175,6 +192,8 @@ mod tests {
                     inc_p99_ns: 12_000_000,
                     inc_mean_ns: 5_000_000,
                     deltas_per_sec: 190,
+                    recovery_ms: 0,
+                    stale_served: 3,
                 },
             ],
         }
@@ -197,5 +216,18 @@ mod tests {
         assert!(ServeReport::parse("{}").is_err());
         let broken = sample().to_json().replace("\"deltas\": 200", "\"deltas\": x");
         assert!(ServeReport::parse(&broken).is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_reports_without_reliability_columns() {
+        // A report recorded before recovery_ms / stale_served existed
+        // still parses; the missing columns read as zero.
+        let mut text = sample().to_json();
+        text = text.replace(", \"recovery_ms\": 850, \"stale_served\": 0", "");
+        text = text.replace(", \"recovery_ms\": 0, \"stale_served\": 3", "");
+        assert!(!text.contains("recovery_ms"), "{text}");
+        let parsed = ServeReport::parse(&text).expect("pre-reliability reports parse");
+        assert_eq!(parsed.cell_of("binary-dmax", 16384).map(|c| c.recovery_ms), Some(0));
+        assert_eq!(parsed.cell_of("spine", 16384).map(|c| c.stale_served), Some(0));
     }
 }

@@ -38,10 +38,12 @@ commands:
   serve       long-lived placement daemon on stdin/stdout (see README \"Serving\")
               --instance FILE | --stream-binary N [--seed S] [--capacity-factor F]
               [--dmax-fraction F] [--edge-max E] [--requests-max R]
-              [--threshold F] [--naive] [--assert-p99-us N]
+              [--threshold F] [--naive] [--assert-p99-us N] [--threads N]
+              [--solve-budget-ms N] [--state-dir DIR] [--fsync always|never]
+              [--snapshot-every N]
   serve-script  generate a deterministic delta stream for `rp serve`
               --instance FILE  [--deltas N] [--batch K] [--stats-every M]
-              [--seed S] [--out FILE]
+              [--seed S] [--crash-after N] [--pause-ms M] [--out FILE]
 ";
 
 /// Dispatches a parsed command line and returns the output to print.
@@ -823,13 +825,11 @@ mod tests {
         assert!(err.contains("missing `clients`"), "{err}");
         let err = parse_gate_manifest("[[gate]]\nclients = 5\n").unwrap_err();
         assert!(err.contains("missing `name`"), "{err}");
-        let err =
-            parse_gate_manifest("[[gate]]\nname = \"x\"\nclients = 5\nmetric = \"rss\"\n")
-                .unwrap_err();
+        let err = parse_gate_manifest("[[gate]]\nname = \"x\"\nclients = 5\nmetric = \"rss\"\n")
+            .unwrap_err();
         assert!(err.contains("unknown metric `rss`"), "{err}");
-        let err =
-            parse_gate_manifest("[[gate]]\nname = \"x\"\nclients = 5\nvariant = \"all\"\n")
-                .unwrap_err();
+        let err = parse_gate_manifest("[[gate]]\nname = \"x\"\nclients = 5\nvariant = \"all\"\n")
+            .unwrap_err();
         assert!(err.contains("unknown variant `all`"), "{err}");
         let gates = parse_gate_manifest("[[gate]]\nname = \"a\"\nclients = 256\n").unwrap();
         assert_eq!(gates.len(), 1);

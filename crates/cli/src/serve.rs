@@ -11,8 +11,10 @@
 //! leave <node>                                  shorthand for `delta <node> =0`
 //! solve                                         re-solve under current demand
 //! stats                                         lifetime counters + latency quantiles
-//! health                                        instance shape + pending state
+//! health                                        instance shape + pending + recovery state
 //! solution <path>                               write the last solution to a file
+//! pause <ms>                                    sleep, then ack (soak pacing)
+//! crash-after <n>                               abort after n further responses
 //! quit                                          end the session
 //! ```
 //!
@@ -20,17 +22,26 @@
 //! one-line `err <code> <message>` response and the session continues —
 //! rejected requests never poison the warm engine (pinned by the tests
 //! below and `rp-core`'s serve tests).
+//!
+//! With `--state-dir DIR` the daemon write-ahead-logs every applied delta
+//! and snapshots demand state there (see `rp_core::serve::persist`), and
+//! recovers it on startup — `health` reports the provenance. `crash-after`
+//! exists so crash/recovery soaks are reproducible from a script file: the
+//! abort is deliberately unclean (`std::process::abort`), exactly like a
+//! SIGKILL mid-stream.
 
 use crate::args::Args;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rp_core::serve::persist::{FsyncPolicy, PersistConfig, Recovery};
 use rp_core::serve::{DemandDelta, LatencyHistogram, ServeEngine};
 use rp_core::SolverScratch;
 use rp_instances::stream::{binary_tree_len, instance_params_from_arena, stream_binary_tree};
 use rp_instances::{EdgeDist, RequestDist};
 use rp_tree::io as tree_io;
 use std::io::{BufRead, Write};
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// `rp serve`: builds the engine from the flags, then runs the protocol
 /// loop over stdin/stdout. The returned summary (printed after EOF /
@@ -44,6 +55,39 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     if let Some(raw) = args.get("threshold") {
         let f: f64 = raw.parse().map_err(|_| format!("invalid --threshold `{raw}`"))?;
         engine.set_full_solve_threshold(f);
+    }
+    if let Some(raw) = args.get("threads") {
+        let t: usize = raw.parse().map_err(|_| format!("invalid --threads `{raw}`"))?;
+        if t == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        engine.set_threads(t);
+    }
+    if let Some(raw) = args.get("solve-budget-ms") {
+        let ms: u64 = raw.parse().map_err(|_| format!("invalid --solve-budget-ms `{raw}`"))?;
+        if ms == 0 {
+            return Err("--solve-budget-ms must be at least 1".into());
+        }
+        engine.set_solve_budget(Some(Duration::from_millis(ms)));
+    }
+    if let Some(dir) = args.get("state-dir") {
+        let fsync = match args.get("fsync") {
+            None => FsyncPolicy::Always,
+            Some(raw) => match raw {
+                "always" => FsyncPolicy::Always,
+                "never" => FsyncPolicy::Never,
+                other => return Err(format!("invalid --fsync `{other}` (use always or never)")),
+            },
+        };
+        let snapshot_every: u64 = args.get_or("snapshot-every", 1024)?;
+        if snapshot_every == 0 {
+            return Err("--snapshot-every must be at least 1".into());
+        }
+        engine
+            .attach_persist(Path::new(&dir), PersistConfig { fsync, snapshot_every })
+            .map_err(|e| format!("--state-dir {dir}: {e}"))?;
+    } else if args.get("fsync").is_some() || args.get("snapshot-every").is_some() {
+        return Err("--fsync / --snapshot-every need --state-dir".into());
     }
     let assert_p99_us: Option<u64> = match args.get("assert-p99-us") {
         Some(raw) => Some(raw.parse().map_err(|_| format!("invalid --assert-p99-us `{raw}`"))?),
@@ -112,6 +156,10 @@ fn serve_loop<R: BufRead, W: Write>(
 ) -> Result<String, String> {
     let mut hist = LatencyHistogram::new();
     let mut commands: u64 = 0;
+    // `crash-after n` arms this fuse at n + 1 so the uniform end-of-loop
+    // decrement (which also covers the directive's own ack) leaves exactly
+    // n further responses before the abort.
+    let mut crash_fuse: Option<u64> = None;
     let respond = |writer: &mut W, line: &str| -> Result<(), String> {
         writeln!(writer, "{line}").and_then(|()| writer.flush()).map_err(|e| format!("write: {e}"))
     };
@@ -123,7 +171,7 @@ fn serve_loop<R: BufRead, W: Write>(
         }
         commands += 1;
         let mut tokens = line.split_whitespace();
-        let cmd = tokens.next().expect("non-empty after trim");
+        let Some(cmd) = tokens.next() else { continue };
         let reply = match cmd {
             "delta" => apply_deltas(engine, tokens),
             "leave" => match parse_node(tokens.next()) {
@@ -142,7 +190,13 @@ fn serve_loop<R: BufRead, W: Write>(
                         Ok(format!(
                             "solved replicas={} mode={} dirty={} reused={} recomputed={} elapsed_us={}",
                             outcome.replicas,
-                            if outcome.incremental { "incremental" } else { "full" },
+                            if outcome.stale {
+                                "stale"
+                            } else if outcome.incremental {
+                                "incremental"
+                            } else {
+                                "full"
+                            },
                             outcome.dirty_clients,
                             outcome.stages_reused,
                             outcome.stages_recomputed,
@@ -153,18 +207,7 @@ fn serve_loop<R: BufRead, W: Write>(
                 }
             }
             "stats" => Ok(stats_line(engine, &hist)),
-            "health" => {
-                let s = engine.stats();
-                Ok(format!(
-                    "health nodes={} clients={} capacity={} dmax={} pending={} solves={}",
-                    engine.arena().len(),
-                    engine.client_count(),
-                    engine.capacity(),
-                    engine.dmax().map_or_else(|| "none".to_string(), |d| d.to_string()),
-                    engine.pending_dirty(),
-                    s.solves,
-                ))
-            }
+            "health" => Ok(health_line(engine)),
             "solution" => match tokens.next() {
                 Some(path) => {
                     match std::fs::write(path, tree_io::write_solution(&engine.solution())) {
@@ -173,6 +216,20 @@ fn serve_loop<R: BufRead, W: Write>(
                     }
                 }
                 None => Err("err malformed solution needs a path".to_string()),
+            },
+            "pause" => match tokens.next().map(str::parse::<u64>) {
+                Some(Ok(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    Ok(format!("ok paused={ms}"))
+                }
+                _ => Err("err malformed pause needs a millisecond count".to_string()),
+            },
+            "crash-after" => match tokens.next().map(str::parse::<u64>) {
+                Some(Ok(n)) => {
+                    crash_fuse = Some(n + 1);
+                    Ok(format!("ok crash-after={n}"))
+                }
+                _ => Err("err malformed crash-after needs a response count".to_string()),
             },
             "quit" => {
                 respond(&mut writer, "bye")?;
@@ -183,6 +240,16 @@ fn serve_loop<R: BufRead, W: Write>(
         match reply {
             Ok(line) => respond(&mut writer, &line)?,
             Err(line) => respond(&mut writer, &line)?,
+        }
+        if let Some(fuse) = crash_fuse.as_mut() {
+            *fuse -= 1;
+            if *fuse == 0 {
+                // Deliberately unclean — no destructors, no buffer flushing
+                // beyond the per-line flush that already happened. This is
+                // the scripted stand-in for a SIGKILL mid-stream; recovery
+                // must come entirely from the WAL + snapshot on disk.
+                std::process::abort();
+            }
         }
     }
 
@@ -269,7 +336,7 @@ fn stats_line(engine: &ServeEngine, hist: &LatencyHistogram) -> String {
     let s = engine.stats();
     format!(
         "stats solves={} full={} incremental={} deltas={} rejected={} reused={} recomputed={} \
-         last_dirty={} last_reused={} last_recomputed={} {}",
+         last_dirty={} last_reused={} last_recomputed={} stale_served={} worker_panics={} {}",
         s.solves,
         s.full_solves,
         s.incremental_solves,
@@ -280,8 +347,49 @@ fn stats_line(engine: &ServeEngine, hist: &LatencyHistogram) -> String {
         s.last_dirty_clients,
         s.last_reused,
         s.last_recomputed,
+        s.stale_served,
+        s.worker_panics,
         latency_fields(hist),
     )
+}
+
+/// `health` response: instance shape, pending state, and — when
+/// persistence is attached — where the demand state came from on startup
+/// plus the current on-disk footprint.
+fn health_line(engine: &ServeEngine) -> String {
+    let s = engine.stats();
+    let mut line = format!(
+        "health nodes={} clients={} capacity={} dmax={} pending={} solves={}",
+        engine.arena().len(),
+        engine.client_count(),
+        engine.capacity(),
+        engine.dmax().map_or_else(|| "none".to_string(), |d| d.to_string()),
+        engine.pending_dirty(),
+        s.solves,
+    );
+    line.push_str(&format!(" recovery={}", recovery_label(engine.recovery())));
+    if let Some(counters) = engine.persist_counters() {
+        line.push_str(&format!(
+            " wal_bytes={} snapshot_bytes={}",
+            counters.wal_bytes, counters.snapshot_bytes
+        ));
+    }
+    line
+}
+
+/// The recovery-provenance vocabulary `health` speaks: `none` (no
+/// `--state-dir`), `cold` (state dir was empty), `wal(<records>)`,
+/// `snapshot` or `snapshot+wal(<records>)`.
+fn recovery_label(recovery: Option<Recovery>) -> String {
+    match recovery {
+        None => "none".to_string(),
+        Some(Recovery::Cold) => "cold".to_string(),
+        Some(Recovery::Replayed { snapshot: false, wal_records }) => format!("wal({wal_records})"),
+        Some(Recovery::Replayed { snapshot: true, wal_records: 0 }) => "snapshot".to_string(),
+        Some(Recovery::Replayed { snapshot: true, wal_records }) => {
+            format!("snapshot+wal({wal_records})")
+        }
+    }
 }
 
 fn latency_fields(hist: &LatencyHistogram) -> String {
@@ -301,6 +409,12 @@ fn latency_fields(hist: &LatencyHistogram) -> String {
 /// and subs never underflow; emits a `solve` after every `--batch` deltas,
 /// a `stats` probe every `--stats-every` solves, and ends with
 /// `stats` + `quit`.
+///
+/// For crash/recovery soaks, `--crash-after N` emits a `crash-after N`
+/// directive right after the warm-up (the daemon aborts after N further
+/// responses — re-feed the same script to a restarted daemon with the
+/// same `--state-dir`), and `--pause-ms M` paces the stream by emitting
+/// a `pause M` after every stats probe.
 pub fn cmd_serve_script(args: &Args) -> Result<String, String> {
     let path: String = args.require("instance")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -310,6 +424,14 @@ pub fn cmd_serve_script(args: &Args) -> Result<String, String> {
     let batch: u64 = args.get_or("batch", 16)?;
     let stats_every: u64 = args.get_or("stats-every", 100)?;
     let seed: u64 = args.get_or("seed", 1)?;
+    let crash_after: Option<u64> = match args.get("crash-after") {
+        Some(raw) => Some(raw.parse().map_err(|_| format!("invalid --crash-after `{raw}`"))?),
+        None => None,
+    };
+    let pause_ms: Option<u64> = match args.get("pause-ms") {
+        Some(raw) => Some(raw.parse().map_err(|_| format!("invalid --pause-ms `{raw}`"))?),
+        None => None,
+    };
     if batch == 0 {
         return Err("--batch must be at least 1".into());
     }
@@ -333,6 +455,9 @@ pub fn cmd_serve_script(args: &Args) -> Result<String, String> {
         "# rp serve-script: instance={path} deltas={deltas} batch={batch} seed={seed}\n"
     ));
     out.push_str("health\nsolve\n");
+    if let Some(n) = crash_after {
+        out.push_str(&format!("crash-after {n}\n"));
+    }
     let mut solves: u64 = 0;
     let mut emitted: u64 = 0;
     while emitted < deltas {
@@ -362,6 +487,9 @@ pub fn cmd_serve_script(args: &Args) -> Result<String, String> {
         solves += 1;
         if solves.is_multiple_of(stats_every) {
             out.push_str("stats\n");
+            if let Some(ms) = pause_ms {
+                out.push_str(&format!("pause {ms}\n"));
+            }
         }
     }
     out.push_str("stats\nquit\n");
@@ -571,6 +699,115 @@ quit
         let summary = summary.unwrap();
         assert!(summary.contains("rejected=0"), "{summary}");
         assert!(summary.contains(&format!("solves={solves}")), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pause_and_crash_after_directives_acknowledge() {
+        let mut engine = demo_engine();
+        // An armed fuse of 100 never fires in this short session — the
+        // actual abort is pinned by the crash_recovery integration test
+        // (it would take the test harness down with it here).
+        let script = "\
+pause 1
+crash-after 100
+pause
+crash-after x
+health
+quit
+";
+        let (out, summary) = session(&mut engine, script);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "ok paused=1");
+        assert_eq!(lines[1], "ok crash-after=100");
+        assert!(lines[2].starts_with("err malformed pause needs"), "{out}");
+        assert!(lines[3].starts_with("err malformed crash-after needs"), "{out}");
+        assert!(lines[4].contains("recovery=none"), "no --state-dir: {out}");
+        assert!(!lines[4].contains("wal_bytes="), "no counters without persistence: {out}");
+        assert_eq!(*lines.last().unwrap(), "bye");
+        summary.unwrap();
+    }
+
+    #[test]
+    fn a_blown_solve_budget_reports_mode_stale() {
+        let mut engine = demo_engine();
+        let (out, _) = session(&mut engine, "solve\n");
+        assert!(out.contains("mode=full"), "{out}");
+        // A zero budget blows at the sweep's first probe; the last good
+        // solution answers, tagged stale on the wire.
+        engine.set_solve_budget(Some(std::time::Duration::ZERO));
+        let (out, summary) = session(&mut engine, "delta 2 +1\nsolve\nstats\nquit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].contains("mode=stale"), "{out}");
+        assert!(lines[2].contains("stale_served=1"), "{out}");
+        assert!(lines[2].contains("worker_panics=0"), "{out}");
+        summary.unwrap();
+    }
+
+    #[test]
+    fn state_dir_sessions_recover_and_report_provenance() {
+        let dir = std::env::temp_dir().join(format!("rp-serve-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = demo_engine();
+        engine.attach_persist(&dir, PersistConfig::default()).unwrap();
+        let (out, _) = session(&mut engine, "health\ndelta 2 +3 3 -1\nsolve\nquit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("recovery=cold wal_bytes=0 snapshot_bytes=0"), "{out}");
+        let placed = engine.solution();
+        drop(engine);
+
+        // A fresh daemon over the same state dir picks the demand back up
+        // and says where it came from.
+        let mut revived = demo_engine();
+        revived.attach_persist(&dir, PersistConfig::default()).unwrap();
+        let (out, summary) = session(&mut revived, "health\nsolve\nquit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("recovery=wal(2)"), "{out}");
+        assert!(!lines[0].contains("wal_bytes=0 "), "the WAL is non-empty: {out}");
+        assert!(lines[1].starts_with("solved replicas="), "{out}");
+        assert_eq!(revived.solution(), placed, "recovered placement is bit-identical");
+        summary.unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_script_places_crash_and_pause_directives() {
+        let dir = std::env::temp_dir().join(format!("rp-serve-script-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.txt");
+        let inst_s = inst.to_str().unwrap().to_string();
+        let run = |argv: &[&str]| {
+            crate::commands::dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        run(&["gen", "--kind", "binary", "--clients", "8", "--seed", "3", "--out", &inst_s])
+            .unwrap();
+        let script = run(&[
+            "serve-script",
+            "--instance",
+            &inst_s,
+            "--deltas",
+            "16",
+            "--batch",
+            "4",
+            "--stats-every",
+            "2",
+            "--crash-after",
+            "7",
+            "--pause-ms",
+            "5",
+        ])
+        .unwrap();
+        // The crash directive lands right after the warm-up, so a killed
+        // and restarted daemon replaying the same script makes progress
+        // past the warm-up before the fuse arms again.
+        assert!(script.contains("solve\ncrash-after 7\n"), "{script}");
+        assert_eq!(script.matches("crash-after ").count(), 1, "{script}");
+        // Every stats probe is followed by the pacing pause.
+        assert_eq!(
+            script.matches("stats\npause 5\n").count() + 1, // final stats has no pause
+            script.matches("stats\n").count(),
+            "{script}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

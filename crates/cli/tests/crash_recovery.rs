@@ -1,0 +1,259 @@
+//! Kill-and-restart differential: a daemon driven with `--state-dir` is
+//! SIGKILLed at acknowledgement boundaries scattered through a scripted
+//! delta stream, restarted over the same state dir each time, and must
+//! end with a solution byte-identical to an uninterrupted daemon that was
+//! fed the same stream.
+//!
+//! Killing only *after* an acknowledgement arrives keeps the differential
+//! deterministic: the WAL append precedes both the in-memory mutation and
+//! the `ok` response, so every acked delta is on disk (page cache at
+//! worst — a SIGKILL does not drop it) when the process dies. Unacked
+//! lines are simply re-fed to the restarted daemon.
+//!
+//! The quick variant runs in the normal suite; the heavyweight soak
+//! (16384 clients, a 10k-delta stream, ten kills) is `#[ignore]`d and
+//! driven by CI's chaos-soak job with `--release`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn rp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rp"))
+}
+
+/// Runs a one-shot `rp` subcommand (gen / serve-script) to completion.
+fn run_tool(args: &[&str]) {
+    let out = rp().args(args).output().expect("spawn rp");
+    assert!(out.status.success(), "rp {args:?} failed: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = rp()
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn rp serve");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Daemon { child, stdin, stdout }
+    }
+
+    /// One request line in, one response line out — the ack boundary the
+    /// kill schedule keys on.
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut response = String::new();
+        self.stdout.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "daemon died mid-session (after `{line}`)");
+        response.trim_end().to_string()
+    }
+
+    /// SIGKILL, no notice — the crash the persistence layer exists for.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    fn quit(mut self) {
+        assert_eq!(self.send("quit"), "bye");
+        drop(self.stdin);
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("rp-crash-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The request lines of a `serve-script` stream, minus its trailing
+/// `quit` (the drivers below manage session lifetime themselves).
+fn script_lines(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("read script");
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && *l != "quit")
+        .map(str::to_string)
+        .collect()
+}
+
+/// Feeds the whole stream to a single uninterrupted daemon and returns
+/// the bytes of its final solution file.
+fn reference_run(args: &[&str], lines: &[String], sol: &Path) -> Vec<u8> {
+    let mut daemon = Daemon::spawn(args);
+    for line in lines {
+        let response = daemon.send(line);
+        assert!(!response.starts_with("err "), "`{line}` -> {response}");
+    }
+    daemon.send("solve");
+    assert!(daemon.send(&format!("solution {}", sol.display())).starts_with("wrote"));
+    daemon.quit();
+    std::fs::read(sol).expect("read reference solution")
+}
+
+/// Feeds the stream to a persistent daemon, SIGKILLing it right after
+/// the ack at each index in `kills` and restarting over the same state
+/// dir. Returns the final solution bytes.
+fn crash_run(args: &[&str], lines: &[String], kills: &[usize], sol: &Path) -> Vec<u8> {
+    let mut daemon = Daemon::spawn(args);
+    let mut restarts = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let response = daemon.send(line);
+        assert!(!response.starts_with("err "), "`{line}` -> {response}");
+        if kills.contains(&i) {
+            daemon.kill();
+            daemon = Daemon::spawn(args);
+            restarts += 1;
+            // Every restart after the first acked delta must report a
+            // recovered provenance, never a cold start.
+            let health = daemon.send("health");
+            assert!(
+                health.contains("recovery=wal(") || health.contains("recovery=snapshot"),
+                "restart {restarts} started cold: {health}"
+            );
+        }
+    }
+    daemon.send("solve");
+    assert!(daemon.send(&format!("solution {}", sol.display())).starts_with("wrote"));
+    daemon.quit();
+    std::fs::read(sol).expect("read crashed-run solution")
+}
+
+/// Shared harness: generate an instance + delta stream, run the
+/// uninterrupted reference and the kill-riddled run, compare solutions.
+fn differential(tag: &str, clients: &str, deltas: &str, batch: &str, kills: usize) {
+    let tmp = TempDir::new(tag);
+    let inst = tmp.path().join("inst.txt");
+    let script = tmp.path().join("script.txt");
+    let state = tmp.path().join("state");
+    let ref_sol = tmp.path().join("ref-sol.txt");
+    let got_sol = tmp.path().join("got-sol.txt");
+    run_tool(&[
+        "gen",
+        "--kind",
+        "binary",
+        "--clients",
+        clients,
+        "--seed",
+        "42",
+        "--dmax-fraction",
+        "0.7",
+        "--out",
+        inst.to_str().unwrap(),
+    ]);
+    run_tool(&[
+        "serve-script",
+        "--instance",
+        inst.to_str().unwrap(),
+        "--deltas",
+        deltas,
+        "--batch",
+        batch,
+        "--stats-every",
+        "10",
+        "--seed",
+        "7",
+        "--out",
+        script.to_str().unwrap(),
+    ]);
+    let lines = script_lines(&script);
+    assert!(lines.len() > kills * 2, "stream too short for the kill schedule");
+    // Kills spread evenly over the stream, skewed off batch boundaries so
+    // they land after delta acks and solve acks alike.
+    let stride = lines.len() / (kills + 1);
+    let kill_at: Vec<usize> = (1..=kills).map(|k| k * stride).collect();
+
+    let inst_s = inst.to_str().unwrap().to_string();
+    let state_s = state.to_str().unwrap().to_string();
+    let plain = ["serve", "--instance", inst_s.as_str()];
+    let persisted = [
+        "serve",
+        "--instance",
+        inst_s.as_str(),
+        "--state-dir",
+        state_s.as_str(),
+        "--snapshot-every",
+        "64",
+    ];
+
+    let expected = reference_run(&plain, &lines, &ref_sol);
+    let got = crash_run(&persisted, &lines, &kill_at, &got_sol);
+    assert_eq!(got, expected, "[{tag}] recovered state diverged from the uninterrupted run");
+}
+
+#[test]
+fn killed_and_restarted_daemon_matches_uninterrupted_run() {
+    differential("quick", "24", "160", "4", 4);
+}
+
+/// The chaos soak CI runs with `--release -- --ignored`: a 16384-client
+/// instance, a 10k-delta stream and ten SIGKILLs.
+#[test]
+#[ignore = "heavyweight: CI chaos-soak job runs this in release mode"]
+fn chaos_soak_large_stream_survives_ten_kills() {
+    differential("soak", "16384", "10000", "32", 10);
+}
+
+#[test]
+fn crash_after_directive_aborts_the_daemon_uncleanly() {
+    let tmp = TempDir::new("directive");
+    let inst = tmp.path().join("inst.txt");
+    let state = tmp.path().join("state");
+    run_tool(&[
+        "gen",
+        "--kind",
+        "binary",
+        "--clients",
+        "8",
+        "--seed",
+        "5",
+        "--out",
+        inst.to_str().unwrap(),
+    ]);
+    let inst_s = inst.to_str().unwrap().to_string();
+    let state_s = state.to_str().unwrap().to_string();
+    let args = ["serve", "--instance", inst_s.as_str(), "--state-dir", state_s.as_str()];
+
+    let mut daemon = Daemon::spawn(&args);
+    assert_eq!(daemon.send("pause 0"), "ok paused=0");
+    assert_eq!(daemon.send("crash-after 2"), "ok crash-after=2");
+    assert!(daemon.send("health").contains("recovery=cold"));
+    // The second response after arming is the last one: the process
+    // aborts right after writing it, so the pipe closes without a `bye`.
+    writeln!(daemon.stdin, "health").unwrap();
+    daemon.stdin.flush().unwrap();
+    let mut response = String::new();
+    daemon.stdout.read_line(&mut response).unwrap();
+    assert!(response.starts_with("health"), "{response}");
+    let status = daemon.child.wait().expect("reap aborted daemon");
+    assert!(!status.success(), "crash-after must not exit cleanly: {status}");
+    let mut eof = String::new();
+    assert_eq!(daemon.stdout.read_line(&mut eof).unwrap(), 0, "no summary after an abort");
+}

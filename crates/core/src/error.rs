@@ -62,6 +62,18 @@ pub enum SolveError {
         /// The widest replica budget the dynamic program tried.
         rmax: u64,
     },
+    /// The solve ran past its per-solve deadline budget and was abandoned
+    /// mid-sweep (the serving tier's graceful-degradation path: the engine
+    /// answers with its last-known-good solution instead — see
+    /// `rp_core::serve`). The slab state is unspecified after this error;
+    /// the next solve must re-prepare from scratch, which every entry
+    /// point does. Checked between nodes and before each stage, so one
+    /// in-flight stage always completes — the budget bounds sweep
+    /// progress, not a single stage's search.
+    DeadlineExceeded {
+        /// The budget that was blown, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -95,6 +107,9 @@ impl fmt::Display for SolveError {
                      with stuck volume unserved (solver invariant violation)"
                 )
             }
+            SolveError::DeadlineExceeded { budget_ms } => {
+                write!(f, "solve abandoned after blowing its {budget_ms} ms deadline budget")
+            }
         }
     }
 }
@@ -117,6 +132,7 @@ mod tests {
             SolveError::ClientUnservable { client: NodeId(1) },
             SolveError::StageRepair { node: NodeId(3) },
             SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 },
+            SolveError::DeadlineExceeded { budget_ms: 250 },
         ];
         for v in &variants {
             // Exhaustiveness guard: extend `variants` above when this
@@ -127,7 +143,8 @@ mod tests {
                 | SolveError::TotalRequestsTooLarge { .. }
                 | SolveError::ClientUnservable { .. }
                 | SolveError::StageRepair { .. }
-                | SolveError::StageDpExhausted { .. } => {}
+                | SolveError::StageDpExhausted { .. }
+                | SolveError::DeadlineExceeded { .. } => {}
             }
         }
         variants
@@ -144,6 +161,8 @@ mod tests {
         assert!(s.contains("n3") && s.contains("failed to route"));
         let s = SolveError::StageDpExhausted { node: NodeId(6), rmax: 17 }.to_string();
         assert!(s.contains("n6") && s.contains("17") && s.contains("unserved"));
+        let s = SolveError::DeadlineExceeded { budget_ms: 250 }.to_string();
+        assert!(s.contains("250") && s.contains("deadline"));
     }
 
     #[test]

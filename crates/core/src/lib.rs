@@ -42,6 +42,7 @@
 pub mod baselines;
 pub mod bounds;
 pub mod error;
+pub mod fault;
 pub mod improve;
 pub mod multiple_bin;
 pub mod par;

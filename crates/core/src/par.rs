@@ -356,6 +356,11 @@ fn mb_worker(
     dmax: Option<Dist>,
     f: u32,
 ) -> Result<SolverScratch, SolveError> {
+    // Chaos-gauntlet seam: a planned `Panic` here exercises the serve
+    // engine's worker-isolation path (the panic rides rp-parallel's
+    // propagation machinery to the collecting thread, where the engine
+    // catches it and falls back to a serial re-solve). Inert otherwise.
+    let _ = crate::fault::point("par.worker");
     let mut ls = SolverScratch::new();
     ls.arena.rebuild_subtree(gs.arena(), f);
     ls.prepare_multiple_bin();
@@ -557,9 +562,8 @@ fn finish_worker(
     {
         let SolverScratch { arena, in_r, load, assigned, req, load_sums, .. } = &mut ls;
         let origin = arena.origin();
-        let local = |gid: u32| {
-            origin.binary_search(&gid).expect("referenced node is in subtree(g)") as u32
-        };
+        let local =
+            |gid: u32| origin.binary_search(&gid).expect("referenced node is in subtree(g)") as u32;
         for (v, &gnode) in origin.iter().enumerate() {
             let gi = gnode as usize;
             if gs.in_r[gi] {

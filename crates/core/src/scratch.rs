@@ -307,6 +307,14 @@ pub struct SolverScratch {
     /// [`SolverScratch::prepare_multiple_bin`] by construction (the engine
     /// re-installs it per solve).
     pub(crate) serve: Option<Box<crate::serve::ServeCtx>>,
+    /// Per-solve deadline: `(must finish by, budget in ms)`, checked by the
+    /// sweep between nodes and before each stage; blown budgets surface as
+    /// [`crate::SolveError::DeadlineExceeded`]. Installed by
+    /// [`crate::serve::ServeEngine`] around its own solves and `None` for
+    /// every other entry point. Like [`SolverScratch::serve`], survives
+    /// [`SolverScratch::prepare_multiple_bin`] by construction (the engine
+    /// sets and clears it around each solve).
+    pub(crate) solve_deadline: Option<(std::time::Instant, u64)>,
 
     // --- EDF router state (see `stage::router`) ---
     /// Live rows and checkpoints of the stage router.

@@ -45,15 +45,44 @@
 //! counters are recomputed live on replay (the skipped share prices
 //! off-scope subtree load through the Fenwick summary, which journaling
 //! would falsify); only the search counters are journaled.
+//!
+//! # Reliability
+//!
+//! Three coupled defences keep a long-lived engine serving through
+//! faults. **Durability** ([`ServeEngine::attach_persist`], module
+//! [`persist`]): every applied delta is write-ahead-logged before it
+//! mutates the arena and the demand state is periodically snapshotted, so
+//! a restarted engine recovers to the exact demand state of the killed
+//! one — and, demand being the only mutable input, re-solves to a
+//! bit-identical solution. **Graceful degradation**
+//! ([`ServeEngine::set_solve_budget`]): a solve that blows its deadline
+//! budget is abandoned mid-sweep and the engine answers with its
+//! last-known-good solution, tagged [`ServeOutcome::stale`], rather than
+//! stalling the protocol loop; a panicking parallel worker
+//! ([`ServeEngine::set_threads`]) is caught and the solve falls back to
+//! the serial path, so one poisoned thread never takes the daemon down.
+//! **Fault injection** ([`crate::fault`]): the persist and solve paths
+//! thread named fault points, and the chaos gauntlet
+//! (`tests/fault_gauntlet.rs`) proves every injected failure surfaces as
+//! a structured [`ServeError`] or a stale response — never a lost delta
+//! or a poisoned warm scratch.
+
+pub mod persist;
 
 use crate::error::SolveError;
 use crate::multiple_bin::{collect_solution, mb_sweep};
-use crate::scratch::{check_binary, check_clients_fit, check_total_fits, CommitEntry, SolverScratch};
+use crate::scratch::{
+    check_binary, check_clients_fit, check_total_fits, CommitEntry, SolverScratch,
+};
 use crate::stage::StageStats;
+use persist::{PersistConfig, PersistCounters, PersistState, Recovery};
 use rp_tree::arena::{TreeArena, NO_PARENT};
 use rp_tree::{Dist, Instance, NodeId, Requests, Solution, Tree};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// One demand mutation of [`ServeEngine::apply_delta`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +153,24 @@ pub enum ServeError {
     /// A solve failed ([`SolveError`]); the journal is invalidated and the
     /// next solve runs cold.
     Solve(SolveError),
+    /// A durability operation failed (WAL append, fault point). For an
+    /// append this means the delta was **not** applied — acknowledged
+    /// deltas are always durable first. The warm state is untouched;
+    /// callers can keep streaming. Stringified (not an `io::Error`) so
+    /// the error type stays `Clone`/`Eq` for the differential suites.
+    Persist {
+        /// Which operation failed (`"append"`, `"apply"`…).
+        op: &'static str,
+        /// The underlying failure, rendered.
+        message: String,
+    },
+    /// Recovering a state directory failed: corrupt on-disk state or an
+    /// I/O error during the scan. The engine refuses to start over state
+    /// it cannot trust rather than silently dropping deltas.
+    Recovery {
+        /// The underlying [`persist::PersistError`], rendered.
+        message: String,
+    },
 }
 
 impl ServeError {
@@ -138,6 +185,8 @@ impl ServeError {
             ServeError::TotalRequestsTooLarge { .. } => "overflow-total",
             ServeError::ExceedsCapacity { .. } => "capacity",
             ServeError::Solve(_) => "solve",
+            ServeError::Persist { .. } => "persist",
+            ServeError::Recovery { .. } => "recovery",
         }
     }
 }
@@ -177,6 +226,12 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServeError::Persist { op, message } => {
+                write!(f, "persist {op} failed (delta not applied): {message}")
+            }
+            ServeError::Recovery { message } => {
+                write!(f, "state recovery failed: {message}")
+            }
         }
     }
 }
@@ -215,6 +270,11 @@ pub struct ServeStats {
     pub last_reused: u64,
     /// Stages re-searched by the most recent solve.
     pub last_recomputed: u64,
+    /// Solves that blew their deadline budget and answered with the
+    /// last-known-good solution instead (the `stale` degradation path).
+    pub stale_served: u64,
+    /// Parallel solves whose worker panicked and were re-run serially.
+    pub worker_panics: u64,
 }
 
 /// What one [`ServeEngine::solve`] call did.
@@ -224,6 +284,12 @@ pub struct ServeOutcome {
     pub replicas: u64,
     /// Whether the stage journal was consulted (`false`: plain full solve).
     pub incremental: bool,
+    /// `true` when the solve blew its deadline budget and this outcome
+    /// describes the *last-known-good* solution, not one reflecting the
+    /// latest deltas — the graceful-degradation path
+    /// ([`ServeEngine::set_solve_budget`]). The next solve runs cold and
+    /// catches the state up.
+    pub stale: bool,
     /// Clients whose demand changed since the previous solve.
     pub dirty_clients: u64,
     /// Stages replayed from the journal.
@@ -605,6 +671,21 @@ pub struct ServeEngine {
     /// the first journaled solve, and after any solve error).
     journal_valid: bool,
     stats: ServeStats,
+    /// Durability layer; `None` runs fully in-memory (the default).
+    persist: Option<PersistState>,
+    /// How the current demand state was (re)built, for `health` reporting.
+    /// `None` until [`ServeEngine::attach_persist`] runs.
+    recovery: Option<Recovery>,
+    /// The committed solution of the last successful solve — what
+    /// [`ServeEngine::solution`] returns, and what a blown-budget solve
+    /// degrades to.
+    last_good: Option<Solution>,
+    /// Per-solve deadline budget; `None` lets solves run unbounded.
+    budget: Option<Duration>,
+    /// Worker threads for full solves (`<= 1`: serial). Parallel solves
+    /// skip the stage journal — the journal hooks are serial-only — so
+    /// every solve with threads is a full solve.
+    threads: usize,
 }
 
 impl ServeEngine {
@@ -657,7 +738,98 @@ impl ServeEngine {
             changed_mark: vec![false; n],
             journal_valid: false,
             stats: ServeStats::default(),
+            persist: None,
+            recovery: None,
+            last_good: None,
+            budget: None,
+            threads: 1,
         })
+    }
+
+    /// Attaches a state directory: recovers any persisted demand state
+    /// (latest valid snapshot + WAL tail, tolerating a torn final record)
+    /// into the engine, then write-ahead-logs every subsequently applied
+    /// delta there. Call before streaming deltas; the returned
+    /// [`Recovery`] says whether the state came back cold or replayed.
+    ///
+    /// Recovered demand replaces the arena's seed values wholesale for
+    /// the recovered clients (records carry resulting-value semantics),
+    /// so a recovered engine's demand state — and hence its solutions —
+    /// is bit-identical to the killed session's.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Recovery`] when the on-disk state is corrupt or
+    /// unreadable — refusing to serve beats silently dropping deltas —
+    /// and [`ServeError::UnknownNode`] / [`ServeError::NotAClient`] /
+    /// [`ServeError::ExceedsCapacity`] etc. when recovered demand does
+    /// not fit the loaded instance (wrong `--state-dir` for this tree).
+    /// Unlike delta rejection, a mid-recovery error leaves the engine
+    /// partially loaded: this runs at startup, and callers must discard
+    /// the engine on `Err` rather than serve from it.
+    pub fn attach_persist(
+        &mut self,
+        dir: &Path,
+        config: PersistConfig,
+    ) -> Result<Recovery, ServeError> {
+        let (state, recovered) = PersistState::open(dir, config)
+            .map_err(|e| ServeError::Recovery { message: e.to_string() })?;
+        for &(node, requests) in &recovered.demands {
+            // Validate against the live instance (a recovered file can
+            // name a different tree), then write through the normal set
+            // path *without* stats or WAL traffic: recovery is not new
+            // deltas.
+            let new = self.validate_delta(node, DemandDelta::Set(requests))?;
+            let cur = self.scratch.arena().requests(node);
+            if new != cur {
+                self.total_requests = self.total_requests - cur as u128 + new as u128;
+                self.scratch.arena.set_requests(node, new);
+                if !self.changed_mark[node as usize] {
+                    self.changed_mark[node as usize] = true;
+                    self.changed.push(node);
+                }
+            }
+        }
+        self.persist = Some(state);
+        self.recovery = Some(recovered.recovery);
+        Ok(recovered.recovery)
+    }
+
+    /// How the demand state was built, when a state directory is
+    /// attached (`None` before [`ServeEngine::attach_persist`]).
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.recovery
+    }
+
+    /// Live durability counters (`None` without a state directory).
+    pub fn persist_counters(&self) -> Option<PersistCounters> {
+        self.persist.as_ref().map(PersistState::counters)
+    }
+
+    /// Sets the per-solve deadline budget: a solve still running after
+    /// `budget` is abandoned and answered with the last-known-good
+    /// solution tagged [`ServeOutcome::stale`] (an error if no solve ever
+    /// succeeded). `None` removes the bound. The budget is enforced
+    /// between sweep nodes and before each stage, so overrun is bounded
+    /// by one in-flight stage; with worker threads it binds the serial
+    /// portions (merge + finish pass), not the workers themselves.
+    pub fn set_solve_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+    }
+
+    /// Uses up to `threads` worker threads for full solves (default 1:
+    /// serial). Parallel solves bypass the stage journal (its hooks are
+    /// serial-only), and a panicking worker is caught and the solve
+    /// re-run serially ([`ServeStats::worker_panics`]) — degraded
+    /// latency, never a lost engine.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        if self.threads > 1 {
+            // The journal describes serial sweeps; entering parallel mode
+            // invalidates it (re-entering serial rebuilds it cold).
+            self.ctx.invalidate();
+            self.journal_valid = false;
+        }
     }
 
     /// Test-only differential switch, mirroring
@@ -731,25 +903,43 @@ impl ServeEngine {
     /// Applies one demand delta and returns the client's new request
     /// count. Validation happens before any write: a rejected delta
     /// leaves the arena, the journal and the warm scratch untouched.
+    /// With a state directory attached, the delta is write-ahead-logged
+    /// *before* it mutates anything — an append failure rejects the
+    /// delta, so acknowledged always implies durable.
     ///
     /// # Errors
     ///
     /// See [`ServeError`] — unknown node, non-client target, underflow,
-    /// demand beyond [`Tree::MAX_REQUESTS`] or beyond the capacity `W`.
+    /// demand beyond [`Tree::MAX_REQUESTS`] or beyond the capacity `W`,
+    /// or a failed WAL append ([`ServeError::Persist`]).
     pub fn apply_delta(&mut self, node: u32, delta: DemandDelta) -> Result<Requests, ServeError> {
-        let result = self.validate_delta(node, delta);
+        let result = self.validate_delta(node, delta).and_then(|new| {
+            // Chaos seam for the application step itself; inert without
+            // the `fault-inject` feature.
+            crate::fault::point("serve.apply")
+                .map_err(|e| ServeError::Persist { op: "apply", message: e.to_string() })?;
+            let cur = self.scratch.arena().requests(node);
+            if new != cur {
+                if let Some(persist) = self.persist.as_mut() {
+                    // WAL first: only a durable record may mutate state.
+                    persist.append(node, new).map_err(|e| ServeError::Persist {
+                        op: "append",
+                        message: e.to_string(),
+                    })?;
+                }
+                self.total_requests = self.total_requests - cur as u128 + new as u128;
+                self.scratch.arena.set_requests(node, new);
+                if !self.changed_mark[node as usize] {
+                    self.changed_mark[node as usize] = true;
+                    self.changed.push(node);
+                }
+            }
+            Ok(new)
+        });
         match result {
             Ok(new) => {
-                let cur = self.scratch.arena().requests(node);
-                if new != cur {
-                    self.total_requests = self.total_requests - cur as u128 + new as u128;
-                    self.scratch.arena.set_requests(node, new);
-                    if !self.changed_mark[node as usize] {
-                        self.changed_mark[node as usize] = true;
-                        self.changed.push(node);
-                    }
-                }
                 self.stats.deltas_applied += 1;
+                self.maybe_snapshot();
                 Ok(new)
             }
             Err(e) => {
@@ -757,6 +947,23 @@ impl ServeEngine {
                 Err(e)
             }
         }
+    }
+
+    /// Writes a demand snapshot when the WAL has grown past the
+    /// configured interval. Failure is non-fatal — the WAL still covers
+    /// the state — and tallied in
+    /// [`PersistCounters::snapshot_failures`].
+    fn maybe_snapshot(&mut self) {
+        let Some(persist) = self.persist.as_mut() else { return };
+        if !persist.wants_snapshot() {
+            return;
+        }
+        let arena = self.scratch.arena();
+        let demands: Vec<(u32, u64)> = (0..arena.len() as u32)
+            .filter(|&v| arena.is_client(v))
+            .map(|v| (v, arena.requests(v)))
+            .collect();
+        let _ = persist.write_snapshot(&demands);
     }
 
     /// The read-only half of [`ServeEngine::apply_delta`].
@@ -807,19 +1014,107 @@ impl ServeEngine {
     /// slab state — and hence [`ServeEngine::solution`] — is bit-identical
     /// to a cold solve of the same demands.
     ///
+    /// A solve that blows the configured deadline budget
+    /// ([`ServeEngine::set_solve_budget`]) is abandoned and answered with
+    /// the last-known-good solution, `stale`-tagged — see
+    /// [`ServeOutcome::stale`]. A panicking parallel worker
+    /// ([`ServeEngine::set_threads`]) is caught and the solve re-run
+    /// serially.
+    ///
     /// # Errors
     ///
-    /// [`ServeError::Solve`] wrapping the stage-engine errors; the journal
-    /// is invalidated and the next solve runs cold.
+    /// [`ServeError::Solve`] wrapping the stage-engine errors (including
+    /// a blown deadline with no previous solution to degrade to); the
+    /// journal is invalidated and the next solve runs cold.
     pub fn solve(&mut self) -> Result<ServeOutcome, ServeError> {
         let dirty = self.changed.len() as u64;
-        let budget = self.threshold * self.clients.max(1) as f64;
-        let incremental = !self.naive && self.journal_valid && (dirty as f64) <= budget;
+        let journal_budget = self.threshold * self.clients.max(1) as f64;
+        let journal = !self.naive && self.threads <= 1;
+        let incremental = journal && self.journal_valid && (dirty as f64) <= journal_budget;
 
+        // Deadline for the serial sweeps. Parallel workers solve private
+        // scratches and are not themselves bounded; the serial portions
+        // of a parallel solve (fallback sweep, finish pass) are.
+        self.scratch.solve_deadline =
+            self.budget.map(|b| (Instant::now() + b, b.as_millis() as u64));
+        let result = if self.threads > 1 {
+            self.solve_parallel()
+        } else {
+            self.solve_serial(journal, incremental)
+        };
+        self.scratch.solve_deadline = None;
+
+        for &c in &self.changed {
+            self.changed_mark[c as usize] = false;
+        }
+        self.changed.clear();
+
+        match result {
+            Ok(solution) => {
+                self.journal_valid = journal;
+                let (reused, recomputed) =
+                    if journal { (self.ctx.reused, self.ctx.recomputed) } else { (0, 0) };
+                let replicas = solution.replica_count() as u64;
+                self.last_good = Some(solution);
+                self.stats.solves += 1;
+                if incremental {
+                    self.stats.incremental_solves += 1;
+                } else {
+                    self.stats.full_solves += 1;
+                }
+                self.stats.stages_reused += reused;
+                self.stats.stages_recomputed += recomputed;
+                self.stats.last_dirty_clients = dirty;
+                self.stats.last_reused = reused;
+                self.stats.last_recomputed = recomputed;
+                Ok(ServeOutcome {
+                    replicas,
+                    incremental,
+                    stale: false,
+                    dirty_clients: dirty,
+                    stages_reused: reused,
+                    stages_recomputed: recomputed,
+                })
+            }
+            Err(SolveError::DeadlineExceeded { .. }) if self.last_good.is_some() => {
+                // Graceful degradation: the slabs are mid-sweep garbage
+                // (the next solve re-prepares), but the demand state and
+                // the cached solution are intact — answer stale rather
+                // than stall the protocol loop.
+                self.ctx.invalidate();
+                self.journal_valid = false;
+                self.stats.solves += 1;
+                self.stats.full_solves += 1;
+                self.stats.stale_served += 1;
+                self.stats.last_dirty_clients = dirty;
+                self.stats.last_reused = 0;
+                self.stats.last_recomputed = 0;
+                let replicas = self.last_good.as_ref().map_or(0, |s| s.replica_count() as u64);
+                Ok(ServeOutcome {
+                    replicas,
+                    incremental: false,
+                    stale: true,
+                    dirty_clients: dirty,
+                    stages_reused: 0,
+                    stages_recomputed: 0,
+                })
+            }
+            Err(e) => {
+                self.ctx.invalidate();
+                self.journal_valid = false;
+                self.stats.solves += 1;
+                self.stats.full_solves += 1;
+                Err(ServeError::Solve(e))
+            }
+        }
+    }
+
+    /// The serial sweep, with the stage journal installed when `journal`
+    /// (and consulted when `incremental`).
+    fn solve_serial(&mut self, journal: bool, incremental: bool) -> Result<Solution, SolveError> {
         self.scratch.prepare_multiple_bin();
         self.scratch.prepare_deadlines(self.dmax);
 
-        let journal = !self.naive;
         if journal {
             let n = self.scratch.arena().len();
             self.ctx.begin_solve(incremental, n);
@@ -848,49 +1143,41 @@ impl ServeEngine {
         if journal {
             self.ctx = self.scratch.serve.take().unwrap_or_default();
         }
-        for &c in &self.changed {
-            self.changed_mark[c as usize] = false;
+        result?;
+        if journal {
+            self.ctx.finish_solve();
         }
-        self.changed.clear();
+        Ok(collect_solution(&self.scratch))
+    }
 
-        match result {
-            Ok(()) => {
-                self.ctx.finish_solve();
-                self.journal_valid = journal;
-                let replicas = self.scratch.in_r.iter().filter(|&&r| r).count() as u64;
-                self.stats.solves += 1;
-                if incremental {
-                    self.stats.incremental_solves += 1;
-                } else {
-                    self.stats.full_solves += 1;
-                }
-                self.stats.stages_reused += self.ctx.reused;
-                self.stats.stages_recomputed += self.ctx.recomputed;
-                self.stats.last_dirty_clients = dirty;
-                self.stats.last_reused = self.ctx.reused;
-                self.stats.last_recomputed = self.ctx.recomputed;
-                Ok(ServeOutcome {
-                    replicas,
-                    incremental,
-                    dirty_clients: dirty,
-                    stages_reused: self.ctx.reused,
-                    stages_recomputed: self.ctx.recomputed,
-                })
-            }
-            Err(e) => {
-                self.ctx.invalidate();
-                self.journal_valid = false;
-                self.stats.solves += 1;
-                self.stats.full_solves += 1;
-                Err(ServeError::Solve(e))
+    /// The parallel solve: frontier workers + finish pass behind a panic
+    /// guard. A worker panic (re-raised on this thread by `rp-parallel`'s
+    /// propagation machinery) is counted and the solve re-run serially —
+    /// the prepare calls reset every slab the aborted run touched, so the
+    /// fallback starts clean, and it still honours the solve deadline.
+    fn solve_parallel(&mut self) -> Result<Solution, SolveError> {
+        let (w, dmax, threads) = (self.w, self.dmax, self.threads);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            crate::par::multiple_bin_par(&mut self.scratch, w, dmax, threads)
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(_panic) => {
+                self.stats.worker_panics += 1;
+                self.scratch.prepare_multiple_bin();
+                self.scratch.prepare_deadlines(dmax);
+                mb_sweep(&mut self.scratch, w, dmax, None, None)?;
+                Ok(collect_solution(&self.scratch))
             }
         }
     }
 
     /// The committed solution of the last successful [`ServeEngine::solve`]
-    /// (empty before the first solve), collected in canonical node order.
+    /// (empty before the first solve), in canonical node order. After a
+    /// `stale` outcome this is the last-known-good solution — exactly what
+    /// the degraded answer described.
     pub fn solution(&self) -> Solution {
-        collect_solution(&self.scratch)
+        self.last_good.clone().unwrap_or_default()
     }
 }
 
@@ -1013,6 +1300,47 @@ mod tests {
     }
 
     #[test]
+    fn blown_budget_degrades_to_stale() {
+        let inst = small_instance(10, Some(4));
+        let mut engine = ServeEngine::new(&inst).unwrap();
+        // A zero budget blows deterministically at the sweep's first
+        // deadline probe.
+        engine.set_solve_budget(Some(Duration::ZERO));
+        // No last-known-good yet: a blown budget is a hard error.
+        let err = engine.solve().unwrap_err();
+        assert!(matches!(err, ServeError::Solve(SolveError::DeadlineExceeded { .. })), "{err:?}");
+        engine.set_solve_budget(None);
+        let good = engine.solve().unwrap();
+        assert!(!good.stale);
+        let reference = engine.solution();
+        engine.set_solve_budget(Some(Duration::ZERO));
+        engine.apply_delta(2, DemandDelta::Add(1)).unwrap();
+        let outcome = engine.solve().unwrap();
+        assert!(outcome.stale && !outcome.incremental);
+        assert_eq!(outcome.replicas, good.replicas);
+        assert_eq!(engine.solution(), reference, "stale answer is the last good solution");
+        assert_eq!(engine.stats().stale_served, 1);
+        // Lifting the budget catches the state back up (cold: the stale
+        // solve invalidated the journal).
+        engine.set_solve_budget(None);
+        let caught_up = engine.solve().unwrap();
+        assert!(!caught_up.stale && !caught_up.incremental);
+    }
+
+    #[test]
+    fn parallel_solves_match_serial() {
+        let inst = small_instance(10, Some(4));
+        let mut serial = ServeEngine::new(&inst).unwrap();
+        let mut par = ServeEngine::new(&inst).unwrap();
+        par.set_threads(2);
+        serial.solve().unwrap();
+        let outcome = par.solve().unwrap();
+        assert!(!outcome.incremental, "parallel solves bypass the journal");
+        assert_eq!(par.solution(), serial.solution());
+        assert_eq!(par.stats().worker_panics, 0);
+    }
+
+    #[test]
     fn histogram_quantiles_are_conservative() {
         let mut h = LatencyHistogram::new();
         assert_eq!(h.quantile_ns(0.5), 0);
@@ -1044,7 +1372,10 @@ mod tests {
             ServeError::TotalRequestsTooLarge { node: NodeId(2), requested: u128::MAX },
             ServeError::ExceedsCapacity { node: NodeId(2), requests: 11, capacity: 10 },
             ServeError::Solve(SolveError::NotBinary { arity: 3 }),
+            ServeError::Persist { op: "append", message: "disk full".into() },
+            ServeError::Recovery { message: "WAL record damaged".into() },
         ];
+        let mut codes = Vec::new();
         for e in all {
             match e {
                 ServeError::UnknownNode { .. }
@@ -1053,11 +1384,18 @@ mod tests {
                 | ServeError::RequestsTooLarge { .. }
                 | ServeError::TotalRequestsTooLarge { .. }
                 | ServeError::ExceedsCapacity { .. }
-                | ServeError::Solve(_) => {}
+                | ServeError::Solve(_)
+                | ServeError::Persist { .. }
+                | ServeError::Recovery { .. } => {}
             }
             assert!(!e.to_string().is_empty());
             assert!(!e.code().is_empty());
+            codes.push(e.code());
         }
+        let mut deduped = codes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), codes.len(), "protocol codes must be distinct");
         use std::error::Error;
         assert!(ServeError::Solve(SolveError::NotBinary { arity: 3 }).source().is_some());
         assert!(ServeError::UnknownNode { node: 0 }.source().is_none());

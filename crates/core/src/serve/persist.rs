@@ -1,0 +1,558 @@
+//! Durability for the serving tier: an append-only write-ahead log of
+//! applied demand deltas plus periodic demand-state snapshots.
+//!
+//! # On-disk layout
+//!
+//! A state directory holds at most three files:
+//!
+//! * `wal.log` — a sequence of length-prefixed records, each
+//!   `[u32 len][payload][u32 crc]` (little-endian, CRC-32/IEEE over the
+//!   payload). The payload is `[u8 kind=1][u64 seq][u32 node][u64 value]`:
+//!   *resulting-value* semantics ("client `node` now demands `value`"), so
+//!   replay is idempotent and order-insensitive within a seq chain.
+//! * `snapshot.snap` — the full demand state at some sequence number:
+//!   `b"RPSNAP1\n"`, then `[u64 seq][u64 count]`, then `count` entries of
+//!   `[u32 node][u64 requests]`, then a `u32` CRC-32 over everything
+//!   before it.
+//! * `snapshot.tmp` — a snapshot mid-write; never read, deleted on open.
+//!
+//! # Crash-safety argument
+//!
+//! Appends go straight to the file descriptor (`write_all`, no user-space
+//! buffering) *before* the delta is acknowledged, so acknowledged records
+//! survive a process kill via the page cache regardless of fsync policy;
+//! [`FsyncPolicy::Always`] additionally `sync_data`s each append so they
+//! survive an OS crash or power loss too. Snapshots are written to
+//! `snapshot.tmp` and renamed over `snapshot.snap` (atomic on POSIX), and
+//! only then is the WAL truncated; a crash between the rename and the
+//! truncate is benign because replay skips WAL records whose `seq` is
+//! already covered by the snapshot.
+//!
+//! Recovery accepts the longest valid prefix of the WAL: a final record cut
+//! short by a crash — any truncation offset, including a complete record
+//! with a damaged trailing CRC — is silently dropped (and the file
+//! truncated back so the next append continues the chain), while a damaged
+//! record with *more* records after it is a hard [`PersistError::Corrupt`]
+//! refusal: replaying past a mid-log hole could resurrect stale demand.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a state directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name inside a state directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.snap";
+/// In-progress snapshot name; never read back, deleted on open.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Magic prefix of a snapshot file (8 bytes, version-bearing).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"RPSNAP1\n";
+/// Record payload: kind byte + seq + node + value.
+const PAYLOAD_LEN: usize = 1 + 8 + 4 + 8;
+/// The only record kind so far: a demand delta with resulting-value
+/// semantics.
+const KIND_DELTA: u8 = 1;
+
+/// When WAL appends reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `sync_data` after every append: acknowledged deltas survive OS
+    /// crashes and power loss, at a per-delta latency cost.
+    Always,
+    /// No explicit syncs: acknowledged deltas still survive *process*
+    /// crashes (the bytes are in the page cache), but an OS crash may lose
+    /// a recent suffix of the chain — never its middle.
+    Never,
+}
+
+/// Tuning for a [`PersistState`].
+#[derive(Debug, Clone, Copy)]
+pub struct PersistConfig {
+    /// When appends are synced; see [`FsyncPolicy`].
+    pub fsync: FsyncPolicy,
+    /// Write a snapshot (and reset the WAL) after this many appended
+    /// records. `u64::MAX` effectively disables snapshotting.
+    pub snapshot_every: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig { fsync: FsyncPolicy::Always, snapshot_every: 1024 }
+    }
+}
+
+/// Why persistence failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An I/O operation failed (append, snapshot write, recovery read).
+    Io(io::Error),
+    /// The on-disk state is structurally damaged in a way recovery must
+    /// refuse to paper over (mid-log CRC damage, a broken sequence chain,
+    /// a malformed snapshot). The message names the offending structure.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "persisted state corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Where a recovered engine's state came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Nothing on disk: the engine starts from the instance's own demands.
+    Cold,
+    /// State was rebuilt from disk.
+    Replayed {
+        /// Whether a snapshot seeded the state.
+        snapshot: bool,
+        /// WAL records replayed on top (0 is possible: snapshot only).
+        wal_records: u64,
+    },
+}
+
+/// The outcome of scanning a state directory.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Resulting demand per client (`node`, `requests`), ascending by node:
+    /// the snapshot's entries with the WAL chain replayed over them.
+    pub demands: Vec<(u32, u64)>,
+    /// Highest sequence number on disk; appends continue at `seq + 1`.
+    pub seq: u64,
+    /// Provenance, for `health` reporting.
+    pub recovery: Recovery,
+    /// Length of the valid WAL prefix — a torn tail ends before the file
+    /// does, and [`PersistState::open`] truncates back to this.
+    pub wal_bytes: u64,
+    /// Size of the snapshot file (0 when absent).
+    pub snapshot_bytes: u64,
+}
+
+/// Monotonic counters a live [`PersistState`] exposes for `health`/`stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistCounters {
+    /// Bytes currently in the WAL's valid chain.
+    pub wal_bytes: u64,
+    /// Bytes in the latest snapshot (0 before the first one).
+    pub snapshot_bytes: u64,
+    /// Snapshots successfully written this session.
+    pub snapshots_written: u64,
+    /// Snapshot attempts that failed this session (the WAL keeps the state
+    /// recoverable, so failures are counted, not fatal).
+    pub snapshot_failures: u64,
+}
+
+/// An open state directory: the WAL file handle plus the counters needed
+/// to extend its chain and to decide when to snapshot.
+#[derive(Debug)]
+pub struct PersistState {
+    dir: PathBuf,
+    wal: File,
+    config: PersistConfig,
+    seq: u64,
+    wal_bytes: u64,
+    snapshot_bytes: u64,
+    since_snapshot: u64,
+    snapshots_written: u64,
+    snapshot_failures: u64,
+}
+
+impl PersistState {
+    /// Recovers `dir` (creating it if absent) and opens the WAL for
+    /// appending, truncating any torn tail so the chain continues cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] per [`recover`]'s refusal rules, or any
+    /// I/O error from creating/opening/truncating the files.
+    pub fn open(
+        dir: &Path,
+        config: PersistConfig,
+    ) -> Result<(PersistState, Recovered), PersistError> {
+        fs::create_dir_all(dir)?;
+        let recovered = recover(dir)?;
+        // A leftover tmp is a snapshot that never finished; drop it.
+        let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
+        let mut wal = OpenOptions::new().create(true).append(true).open(dir.join(WAL_FILE))?;
+        if wal.metadata()?.len() != recovered.wal_bytes {
+            wal.set_len(recovered.wal_bytes)?;
+        }
+        wal.seek(SeekFrom::End(0))?;
+        let state = PersistState {
+            dir: dir.to_path_buf(),
+            wal,
+            config,
+            seq: recovered.seq,
+            wal_bytes: recovered.wal_bytes,
+            snapshot_bytes: recovered.snapshot_bytes,
+            since_snapshot: 0,
+            snapshots_written: 0,
+            snapshot_failures: 0,
+        };
+        Ok((state, recovered))
+    }
+
+    /// Appends one delta record ("client `node` now demands `value`") and,
+    /// under [`FsyncPolicy::Always`], syncs it. Must be called *before*
+    /// the in-memory state mutates: an `Err` means the delta is not
+    /// durable and the caller must reject it unapplied.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write/sync failure. A partial write is rolled back
+    /// (best effort) so the live file stays parseable; the in-memory chain
+    /// position is unchanged either way, so a later retry re-uses the same
+    /// sequence number.
+    pub fn append(&mut self, node: u32, value: u64) -> Result<(), PersistError> {
+        crate::fault::point("persist.append")?;
+        let rec = encode_record(self.seq + 1, node, value);
+        match self.write_record(&rec) {
+            Ok(()) => {
+                self.seq += 1;
+                self.wal_bytes += rec.len() as u64;
+                self.since_snapshot += 1;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.wal.set_len(self.wal_bytes);
+                let _ = self.wal.seek(SeekFrom::End(0));
+                Err(PersistError::Io(e))
+            }
+        }
+    }
+
+    fn write_record(&mut self, rec: &[u8]) -> io::Result<()> {
+        self.wal.write_all(rec)?;
+        if self.config.fsync == FsyncPolicy::Always {
+            self.wal.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Whether enough records have accumulated since the last snapshot
+    /// that the caller should offer one (see
+    /// [`PersistConfig::snapshot_every`]).
+    pub fn wants_snapshot(&self) -> bool {
+        self.since_snapshot >= self.config.snapshot_every
+    }
+
+    /// Writes a full-state snapshot at the current sequence number and
+    /// resets the WAL. `demands` must be the *complete* demand state
+    /// (every client), ascending by node.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write/rename failure. Failure is not fatal to
+    /// serving — the WAL still covers the state — and is tallied in
+    /// [`PersistCounters::snapshot_failures`]; the WAL is only reset after
+    /// the rename succeeded, so a failed attempt loses nothing.
+    pub fn write_snapshot(&mut self, demands: &[(u32, u64)]) -> Result<(), PersistError> {
+        match self.try_write_snapshot(demands) {
+            Ok(bytes) => {
+                self.snapshot_bytes = bytes;
+                self.snapshots_written += 1;
+                self.since_snapshot = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.snapshot_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_write_snapshot(&mut self, demands: &[(u32, u64)]) -> Result<u64, PersistError> {
+        crate::fault::point("persist.snapshot")?;
+        let buf = encode_snapshot(self.seq, demands);
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            if self.config.fsync == FsyncPolicy::Always {
+                f.sync_data()?;
+            }
+        }
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // The snapshot now covers every record in the WAL; a crash before
+        // this truncate is benign (replay skips seq ≤ snapshot seq).
+        self.wal.set_len(0)?;
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal_bytes = 0;
+        Ok(buf.len() as u64)
+    }
+
+    /// Live counters for `health`/`stats` reporting.
+    pub fn counters(&self) -> PersistCounters {
+        PersistCounters {
+            wal_bytes: self.wal_bytes,
+            snapshot_bytes: self.snapshot_bytes,
+            snapshots_written: self.snapshots_written,
+            snapshot_failures: self.snapshot_failures,
+        }
+    }
+}
+
+/// Encodes one WAL record (length prefix + payload + CRC). Public so
+/// integration tests can compose edge-case log files byte-by-byte.
+pub fn encode_record(seq: u64, node: u32, value: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(PAYLOAD_LEN);
+    payload.push(KIND_DELTA);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&node.to_le_bytes());
+    payload.extend_from_slice(&value.to_le_bytes());
+    let mut rec = Vec::with_capacity(4 + PAYLOAD_LEN + 4);
+    rec.extend_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+    rec
+}
+
+/// Encodes a snapshot file image at sequence number `seq`. Public for the
+/// same reason as [`encode_record`].
+pub fn encode_snapshot(seq: u64, demands: &[(u32, u64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 16 + demands.len() * 12 + 4);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(demands.len() as u64).to_le_bytes());
+    for &(node, requests) in demands {
+        buf.extend_from_slice(&node.to_le_bytes());
+        buf.extend_from_slice(&requests.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Scans a state directory without modifying it: loads the snapshot (if
+/// any), replays the WAL's valid prefix over it, and reports what a live
+/// engine should adopt. [`PersistState::open`] wraps this; tests call it
+/// directly to probe edge cases.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] when the snapshot is malformed (bad magic,
+/// size, or CRC — it cannot be ignored, because the WAL may already have
+/// been truncated against it), when a damaged WAL record has further
+/// records behind it, or when the sequence chain breaks mid-log. Plain
+/// [`PersistError::Io`] for read failures.
+pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
+    crate::fault::point("persist.recover")?;
+    let snapshot = match fs::read(dir.join(SNAPSHOT_FILE)) {
+        Ok(data) => Some(data),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    let snapshot_bytes = snapshot.as_ref().map_or(0, |d| d.len() as u64);
+    let mut demands = std::collections::BTreeMap::new();
+    let mut seq = 0u64;
+    let have_snapshot = snapshot.is_some();
+    if let Some(data) = snapshot {
+        let (snap_seq, entries) = parse_snapshot(&data)?;
+        seq = snap_seq;
+        for (node, requests) in entries {
+            demands.insert(node, requests);
+        }
+    }
+
+    let wal = match fs::read(dir.join(WAL_FILE)) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    let (records, wal_bytes) = parse_wal(&wal)?;
+    let mut wal_records = 0u64;
+    let mut chain: Option<u64> = None;
+    for &(rec_seq, node, value) in &records {
+        if let Some(prev) = chain {
+            if rec_seq != prev + 1 {
+                return Err(PersistError::Corrupt(format!(
+                    "WAL sequence chain breaks: record {rec_seq} follows {prev}"
+                )));
+            }
+        }
+        chain = Some(rec_seq);
+        if rec_seq <= seq {
+            // Already covered by the snapshot: the crash landed between
+            // the snapshot rename and the WAL truncate. Skip, idempotent.
+            continue;
+        }
+        demands.insert(node, value);
+        wal_records += 1;
+    }
+    if let Some(last) = chain {
+        seq = seq.max(last);
+    }
+
+    let recovery = if !have_snapshot && wal_records == 0 {
+        Recovery::Cold
+    } else {
+        Recovery::Replayed { snapshot: have_snapshot, wal_records }
+    };
+    Ok(Recovered {
+        demands: demands.into_iter().collect(),
+        seq,
+        recovery,
+        wal_bytes,
+        snapshot_bytes,
+    })
+}
+
+/// Parses a snapshot image; returns `(seq, entries)`.
+fn parse_snapshot(data: &[u8]) -> Result<(u64, Vec<(u32, u64)>), PersistError> {
+    let corrupt = |msg: &str| PersistError::Corrupt(format!("snapshot {msg}"));
+    if data.len() < 8 + 8 + 8 + 4 {
+        return Err(corrupt("shorter than its fixed header"));
+    }
+    if &data[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("has a bad magic prefix"));
+    }
+    let body = &data[..data.len() - 4];
+    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(corrupt("fails its CRC"));
+    }
+    let seq = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+    let expect = 24u64 + count.saturating_mul(12) + 4;
+    if expect != data.len() as u64 {
+        return Err(corrupt("length disagrees with its entry count"));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut off = 24usize;
+    for _ in 0..count {
+        let node = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"));
+        let requests = u64::from_le_bytes(data[off + 4..off + 12].try_into().expect("8 bytes"));
+        entries.push((node, requests));
+        off += 12;
+    }
+    Ok((seq, entries))
+}
+
+/// A decoded WAL record: `(seq, node, resulting value)`.
+type WalRecord = (u64, u32, u64);
+
+/// Parses the WAL's valid prefix; returns the decoded records and the byte
+/// length of that prefix (everything past it is a tolerated torn tail).
+fn parse_wal(data: &[u8]) -> Result<(Vec<WalRecord>, u64), PersistError> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < data.len() {
+        // Anything that fails from here on is either a torn tail (the
+        // damage extends to EOF: tolerate, stop) or mid-log corruption
+        // (valid bytes continue past it: refuse).
+        let Some(rec) = try_record(data, off) else {
+            let claimed_extent = if data.len() - off >= 4 {
+                let len = u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"));
+                off.saturating_add(4).saturating_add(len as usize).saturating_add(4)
+            } else {
+                data.len()
+            };
+            if claimed_extent >= data.len() {
+                break; // torn tail: drop it, keep the prefix
+            }
+            return Err(PersistError::Corrupt(format!(
+                "WAL record at byte {off} is damaged but {} bytes follow it",
+                data.len() - claimed_extent
+            )));
+        };
+        records.push(rec);
+        off += 4 + PAYLOAD_LEN + 4;
+    }
+    Ok((records, off as u64))
+}
+
+/// Decodes the record at `off` if it is completely present and intact.
+fn try_record(data: &[u8], off: usize) -> Option<WalRecord> {
+    let len = u32::from_le_bytes(data.get(off..off + 4)?.try_into().ok()?) as usize;
+    if len != PAYLOAD_LEN {
+        return None;
+    }
+    let payload = data.get(off + 4..off + 4 + len)?;
+    let stored = u32::from_le_bytes(data.get(off + 4 + len..off + 4 + len + 4)?.try_into().ok()?);
+    if crc32(payload) != stored || payload[0] != KIND_DELTA {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[1..9].try_into().ok()?);
+    let node = u32::from_le_bytes(payload[9..13].try_into().ok()?);
+    let value = u64::from_le_bytes(payload[13..21].try_into().ok()?);
+    Some((seq, node, value))
+}
+
+/// CRC-32/IEEE (the zlib polynomial), table-driven. Hand-rolled because the
+/// workspace is offline by design — no `crc32fast` — and 8 bits/step is
+/// plenty for 21-byte payloads.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The classic IEEE check value: CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = encode_record(7, 42, 1000);
+        assert_eq!(rec.len(), 4 + PAYLOAD_LEN + 4);
+        let (records, bytes) = parse_wal(&rec).expect("valid record");
+        assert_eq!(records, vec![(7, 42, 1000)]);
+        assert_eq!(bytes, rec.len() as u64);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let demands = vec![(3u32, 10u64), (5, 0), (9, 77)];
+        let img = encode_snapshot(12, &demands);
+        let (seq, entries) = parse_snapshot(&img).expect("valid snapshot");
+        assert_eq!(seq, 12);
+        assert_eq!(entries, demands);
+    }
+}

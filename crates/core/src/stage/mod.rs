@@ -605,15 +605,8 @@ fn route_on_committed(
         ..
     } = scratch;
     let total_demand: u64 = demand_clients.iter().map(|&c| demand[c as usize]).sum();
-    let env = RouteEnv {
-        arena,
-        cap: w,
-        deadline,
-        deadline_depth,
-        order: active_nodes,
-        j,
-        total_demand,
-    };
+    let env =
+        RouteEnv { arena, cap: w, deadline, deadline_depth, order: active_nodes, j, total_demand };
     commit_log.clear();
     router::route_full(
         &env,

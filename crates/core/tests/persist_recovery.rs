@@ -1,0 +1,278 @@
+//! WAL + snapshot recovery edge cases (`rp_core::serve::persist`): empty
+//! state, torn tails at every truncation offset, mid-log corruption
+//! (structured refusal, never garbage replay), snapshots racing the WAL
+//! truncate, and double-recovery idempotence. The byte-level cases are
+//! composed with the module's own `encode_record` / `encode_snapshot`
+//! helpers, so the tests pin the on-disk format too: a format change that
+//! breaks replay compatibility fails here, not in production recovery.
+
+use proptest::prelude::*;
+use rp_core::serve::persist::{
+    self, encode_record, encode_snapshot, PersistConfig, PersistError, PersistState, Recovery,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+use rp_core::serve::{DemandDelta, ServeEngine};
+use rp_tree::{Instance, TreeBuilder};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A unique temp dir removed on drop (the workspace is offline by design:
+/// no `tempfile` crate).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        // Unique per (test, process): tags are distinct per call site and
+        // tests sharing a process run under different tags.
+        let dir = std::env::temp_dir().join(format!("rp-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_instance() -> Instance {
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    let n1 = b.add_internal(root, 2);
+    b.add_client(n1, 1, 4); // node 2
+    b.add_client(n1, 2, 5); // node 3
+    Instance::new(b.freeze().unwrap(), 10, Some(4)).unwrap()
+}
+
+fn write_wal(dir: &Path, records: &[(u64, u32, u64)]) {
+    let mut bytes = Vec::new();
+    for &(seq, node, value) in records {
+        bytes.extend_from_slice(&encode_record(seq, node, value));
+    }
+    fs::write(dir.join(WAL_FILE), bytes).expect("write wal");
+}
+
+#[test]
+fn cold_start_on_missing_and_empty_state() {
+    let tmp = TempDir::new("cold");
+    // Missing dir contents entirely.
+    let rec = persist::recover(tmp.path()).expect("empty dir recovers");
+    assert_eq!(rec.recovery, Recovery::Cold);
+    assert!(rec.demands.is_empty());
+    assert_eq!((rec.seq, rec.wal_bytes, rec.snapshot_bytes), (0, 0, 0));
+    // A zero-byte WAL is equally cold.
+    fs::write(tmp.path().join(WAL_FILE), b"").unwrap();
+    let rec = persist::recover(tmp.path()).expect("empty wal recovers");
+    assert_eq!(rec.recovery, Recovery::Cold);
+    assert!(rec.demands.is_empty());
+}
+
+#[test]
+fn engine_roundtrip_recovers_bit_identical_state() {
+    let tmp = TempDir::new("roundtrip");
+    let inst = small_instance();
+    let mut engine = ServeEngine::new(&inst).unwrap();
+    assert_eq!(engine.attach_persist(tmp.path(), PersistConfig::default()).unwrap(), {
+        Recovery::Cold
+    });
+    engine.apply_delta(2, DemandDelta::Add(3)).unwrap();
+    engine.apply_delta(3, DemandDelta::Set(8)).unwrap();
+    engine.apply_delta(2, DemandDelta::Sub(7)).unwrap();
+    engine.solve().unwrap();
+    let expected = engine.solution();
+    let counters = engine.persist_counters().unwrap();
+    assert!(counters.wal_bytes > 0, "appends hit the WAL");
+    drop(engine); // simulated crash: nothing flushed beyond the appends
+
+    let mut revived = ServeEngine::new(&inst).unwrap();
+    let recovery = revived.attach_persist(tmp.path(), PersistConfig::default()).unwrap();
+    assert_eq!(recovery, Recovery::Replayed { snapshot: false, wal_records: 3 });
+    assert_eq!(revived.recovery(), Some(recovery));
+    assert_eq!(revived.requests_of(2), Some(0));
+    assert_eq!(revived.requests_of(3), Some(8));
+    revived.solve().unwrap();
+    assert_eq!(revived.solution(), expected, "recovered solves are bit-identical");
+}
+
+#[test]
+fn double_recovery_is_idempotent() {
+    let tmp = TempDir::new("idem");
+    write_wal(tmp.path(), &[(1, 2, 7), (2, 3, 1), (3, 2, 0)]);
+    let first = persist::recover(tmp.path()).expect("valid chain");
+    let second = persist::recover(tmp.path()).expect("recovery reads, never writes");
+    assert_eq!(first.demands, second.demands);
+    assert_eq!(first.seq, second.seq);
+    assert_eq!(first.wal_bytes, second.wal_bytes);
+    assert_eq!(first.demands, vec![(2, 0), (3, 1)]);
+    assert_eq!(first.seq, 3);
+    // Opening (which truncates the torn tail — here there is none) and
+    // recovering again still agrees.
+    let (_state, third) = PersistState::open(tmp.path(), PersistConfig::default()).unwrap();
+    assert_eq!(third.demands, first.demands);
+    assert_eq!(third.seq, first.seq);
+}
+
+#[test]
+fn torn_final_record_is_dropped_at_every_truncation_offset() {
+    let records = [(1u64, 2u32, 7u64), (2, 3, 1), (3, 2, 9)];
+    let mut full = Vec::new();
+    for &(seq, node, value) in &records {
+        full.extend_from_slice(&encode_record(seq, node, value));
+    }
+    let record_len = encode_record(1, 2, 7).len();
+    let keep = full.len() - record_len; // bytes of the first two records
+    let tmp = TempDir::new("torn");
+    for cut in keep..full.len() {
+        fs::write(tmp.path().join(WAL_FILE), &full[..cut]).unwrap();
+        let rec = persist::recover(tmp.path())
+            .unwrap_or_else(|e| panic!("cut at {cut} must be tolerated, got {e}"));
+        assert_eq!(rec.demands, vec![(2, 7), (3, 1)], "cut at {cut}");
+        assert_eq!(rec.seq, 2);
+        assert_eq!(rec.wal_bytes, keep as u64, "torn tail excluded from the valid prefix");
+    }
+    // A complete final record with a damaged trailing CRC is equally a
+    // tolerated tear (nothing follows it).
+    let mut damaged = full.clone();
+    let last = damaged.len() - 1;
+    damaged[last] ^= 0xff;
+    fs::write(tmp.path().join(WAL_FILE), &damaged).unwrap();
+    let rec = persist::recover(tmp.path()).expect("damaged final CRC is a tear");
+    assert_eq!(rec.seq, 2);
+
+    // Opening for append truncates the tear away on disk.
+    fs::write(tmp.path().join(WAL_FILE), &full[..full.len() - 3]).unwrap();
+    let (_state, _rec) = PersistState::open(tmp.path(), PersistConfig::default()).unwrap();
+    assert_eq!(fs::metadata(tmp.path().join(WAL_FILE)).unwrap().len(), keep as u64);
+}
+
+#[test]
+fn mid_log_corruption_is_a_structured_refusal() {
+    let tmp = TempDir::new("corrupt");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&encode_record(1, 2, 7));
+    bytes.extend_from_slice(&encode_record(2, 3, 1));
+    bytes.extend_from_slice(&encode_record(3, 2, 9));
+    // Damage a payload byte of the *first* record: valid records follow,
+    // so replaying past the hole could resurrect stale demand — refuse.
+    bytes[6] ^= 0xff;
+    fs::write(tmp.path().join(WAL_FILE), &bytes).unwrap();
+    let err = persist::recover(tmp.path()).expect_err("mid-log damage must refuse");
+    assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+    // And the engine surfaces it as a structured recovery error.
+    let inst = small_instance();
+    let mut engine = ServeEngine::new(&inst).unwrap();
+    let serve_err = engine.attach_persist(tmp.path(), PersistConfig::default()).unwrap_err();
+    assert_eq!(serve_err.code(), "recovery");
+}
+
+#[test]
+fn broken_sequence_chain_is_a_structured_refusal() {
+    let tmp = TempDir::new("chain");
+    write_wal(tmp.path(), &[(1, 2, 7), (3, 3, 1), (4, 2, 9)]);
+    let err = persist::recover(tmp.path()).expect_err("gap 1 → 3 must refuse");
+    assert!(matches!(err, PersistError::Corrupt(ref m) if m.contains("chain")), "{err:?}");
+}
+
+#[test]
+fn snapshot_newer_than_wal_wins() {
+    let tmp = TempDir::new("snapnew");
+    // The snapshot at seq 5 already covers every WAL record (1..=3): the
+    // crash-between-rename-and-truncate window. Replay must skip them.
+    fs::write(tmp.path().join(SNAPSHOT_FILE), encode_snapshot(5, &[(2, 42), (3, 0)])).unwrap();
+    write_wal(tmp.path(), &[(1, 2, 7), (2, 3, 1), (3, 2, 9)]);
+    let rec = persist::recover(tmp.path()).expect("covered records are skipped");
+    assert_eq!(rec.demands, vec![(2, 42), (3, 0)]);
+    assert_eq!(rec.seq, 5);
+    assert_eq!(rec.recovery, Recovery::Replayed { snapshot: true, wal_records: 0 });
+}
+
+#[test]
+fn wal_tail_replays_over_a_partially_covering_snapshot() {
+    let tmp = TempDir::new("snaptail");
+    fs::write(tmp.path().join(SNAPSHOT_FILE), encode_snapshot(2, &[(2, 10), (3, 20)])).unwrap();
+    write_wal(tmp.path(), &[(1, 2, 7), (2, 3, 20), (3, 2, 9), (4, 3, 0)]);
+    let rec = persist::recover(tmp.path()).expect("tail past the snapshot replays");
+    assert_eq!(rec.demands, vec![(2, 9), (3, 0)]);
+    assert_eq!(rec.seq, 4);
+    assert_eq!(rec.recovery, Recovery::Replayed { snapshot: true, wal_records: 2 });
+}
+
+#[test]
+fn corrupt_snapshot_refuses() {
+    let tmp = TempDir::new("snapbad");
+    let mut img = encode_snapshot(3, &[(2, 10)]);
+    let mid = img.len() / 2;
+    img[mid] ^= 0xff;
+    fs::write(tmp.path().join(SNAPSHOT_FILE), &img).unwrap();
+    let err = persist::recover(tmp.path()).expect_err("damaged snapshot must refuse");
+    assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+    // Bad magic refuses too (a foreign file dropped into the state dir).
+    fs::write(tmp.path().join(SNAPSHOT_FILE), b"not a snapshot at all........").unwrap();
+    let err = persist::recover(tmp.path()).expect_err("foreign file must refuse");
+    assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+}
+
+#[test]
+fn snapshot_interval_resets_the_wal() {
+    let tmp = TempDir::new("interval");
+    let inst = small_instance();
+    let mut engine = ServeEngine::new(&inst).unwrap();
+    let config = PersistConfig { snapshot_every: 2, ..PersistConfig::default() };
+    engine.attach_persist(tmp.path(), config).unwrap();
+    engine.apply_delta(2, DemandDelta::Set(1)).unwrap();
+    engine.apply_delta(3, DemandDelta::Set(2)).unwrap(); // triggers a snapshot
+    engine.apply_delta(2, DemandDelta::Set(3)).unwrap(); // lands in the fresh WAL
+    let counters = engine.persist_counters().unwrap();
+    assert_eq!(counters.snapshots_written, 1);
+    assert_eq!(counters.snapshot_failures, 0);
+    assert!(counters.snapshot_bytes > 0);
+    drop(engine);
+
+    let rec = persist::recover(tmp.path()).expect("snapshot + tail");
+    assert_eq!(rec.recovery, Recovery::Replayed { snapshot: true, wal_records: 1 });
+    assert_eq!(rec.demands, vec![(2, 3), (3, 2)]);
+    let mut revived = ServeEngine::new(&inst).unwrap();
+    revived.attach_persist(tmp.path(), config).unwrap();
+    assert_eq!(revived.requests_of(2), Some(3));
+    assert_eq!(revived.requests_of(3), Some(2));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cutting a valid WAL *anywhere* recovers exactly the longest record
+    /// prefix — never garbage, never an error (a cut log is always a torn
+    /// tail, by construction of the length-prefixed format).
+    #[test]
+    fn any_truncation_recovers_the_longest_valid_prefix(
+        values in proptest::collection::vec((0u32..2, 0u64..10), 1..8),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let tmp = TempDir::new("prop");
+        let mut full = Vec::new();
+        let mut prefixes = vec![0usize];
+        for (i, &(client_pick, value)) in values.iter().enumerate() {
+            full.extend_from_slice(&encode_record(i as u64 + 1, 2 + client_pick, value));
+            prefixes.push(full.len());
+        }
+        let cut = ((full.len() as f64) * cut_fraction) as usize;
+        fs::write(tmp.path().join(WAL_FILE), &full[..cut]).unwrap();
+        let rec = persist::recover(tmp.path()).expect("a cut log is a torn tail");
+        let whole = prefixes.iter().filter(|&&p| p <= cut).count() - 1;
+        prop_assert_eq!(rec.seq, whole as u64);
+        prop_assert_eq!(rec.wal_bytes, prefixes[whole] as u64);
+        // The surviving demand state is the replay of exactly `whole`
+        // records.
+        let mut expect = std::collections::BTreeMap::new();
+        for &(client_pick, value) in values.iter().take(whole) {
+            expect.insert(2 + client_pick, value);
+        }
+        prop_assert_eq!(rec.demands, expect.into_iter().collect::<Vec<_>>());
+    }
+}

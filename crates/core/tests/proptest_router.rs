@@ -199,11 +199,11 @@ fn random_scenario() -> impl Strategy<Value = Scenario> {
 /// moves plus one small append per join).
 fn spine_scenario() -> impl Strategy<Value = Scenario> {
     (
-        2usize..120,                               // spine length
-        5u64..40,                                  // capacity
-        prop::collection::vec(any::<u16>(), 0..10), // replica picks (spine nodes)
+        2usize..120,                                           // spine length
+        5u64..40,                                              // capacity
+        prop::collection::vec(any::<u16>(), 0..10),            // replica picks (spine nodes)
         prop::collection::vec((any::<u16>(), 1u64..9), 1..24), // demand picks
-        prop::option::of(1u64..60),                // dmax
+        prop::option::of(1u64..60),                            // dmax
     )
         .prop_map(|(len, cap, replicas, demand, dmax)| {
             let mut b = TreeBuilder::new();

@@ -197,6 +197,27 @@ mod tests {
     }
 
     #[test]
+    fn caught_panics_leave_the_machinery_reusable() {
+        // The serve engine's worker-isolation contract (`rp_core::serve`):
+        // a propagated worker panic is caught on the collecting thread and
+        // the process keeps dispatching parallel work — repeatedly, with
+        // no poisoned global state left behind.
+        for round in 0..3 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par_map_with_threads(32, 4, |i| {
+                    if i == 7 {
+                        panic!("injected worker failure (round {round})");
+                    }
+                    i * 2
+                })
+            }));
+            assert!(result.is_err(), "round {round} must propagate the panic");
+            let out = par_map_with_threads(32, 4, |i| i * 2);
+            assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>(), "round {round}");
+        }
+    }
+
+    #[test]
     fn serial_path_propagates_panics_too() {
         let result = catch_unwind(|| {
             par_map_with_threads(4, 1, |i| {

@@ -174,6 +174,17 @@ pub(crate) struct DpSlabs {
 }
 
 impl DpSlabs {
+    /// Releases every slab's backing storage (capacity included) — the
+    /// bulk-memory half of [`SolverScratch::shrink_to_fit_slabs`].
+    pub(crate) fn release(&mut self) {
+        self.m = Vec::new();
+        self.used_r = Vec::new();
+        self.m_off = Vec::new();
+        self.layer_m = Vec::new();
+        self.layer_arg = Vec::new();
+        self.layer_off = Vec::new();
+    }
+
     /// Empties every slab while keeping its capacity, and seeds the offset
     /// sentinels. O(1) amortised — nothing is dropped or allocated.
     pub(crate) fn reset(&mut self) {
@@ -222,6 +233,43 @@ pub(crate) struct DpPool {
     pub(crate) stack: Vec<(u32, usize)>,
     /// Per-child split buffer of the backtracking walk.
     pub(crate) splits: Vec<usize>,
+}
+
+/// Summary of the most recently committed stage's collected scope — the
+/// shared-scope-collection cache of `crate::stage` (see the "warm-started
+/// stages" notes in that module's docs). When the *next* stage's closure
+/// walk first touches any node of the cached forest, and the strict
+/// validity guards hold (consecutive stage stamp, no cached client's
+/// deadline escaping above the cached root, assignment graph spanning the
+/// whole scope), the walk absorbs the entire summary in one linear replay
+/// instead of re-crossing every replica and re-walking every client path.
+/// Invalidation is stamp-based: any intervening stage bumps
+/// [`SolverScratch::stage_id`], so the consecutive-stamp guard fails and
+/// the entry is dead — no explicit clearing needed beyond the per-solve
+/// reset.
+#[derive(Debug, Default)]
+pub(crate) struct ScopeCache {
+    /// Root of the cached stage (`u32::MAX` = empty slot).
+    pub(crate) root: u32,
+    /// [`SolverScratch::stage_id`] under which the cached forest was last
+    /// sealed — both the consecutive-stage validity guard (`stamp + 1 ==`
+    /// the collecting stage's id) and the membership test (a node belongs
+    /// to the cached forest iff its `active_mark` still equals `stamp`).
+    pub(crate) stamp: u32,
+    /// The cached pool: every client the stage's commit routed, with its
+    /// total committed volume (what a re-collection would absorb).
+    pub(crate) clients: Vec<(u32, u64)>,
+    /// Every replica of the cached scope — the stage's collected
+    /// `existing` plus the placements it committed — sorted by node id
+    /// (the collection's membership test is a binary search).
+    pub(crate) replicas: Vec<u32>,
+    /// Total committed volume (Σ over `clients`) — the collected-volume
+    /// contribution of a replay, priced against the commit counters.
+    pub(crate) collected: u64,
+    /// Build-time work buffer: the commit log sorted by client.
+    pub(crate) log_buf: Vec<CommitEntry>,
+    /// Build-time work buffer: DSU parents for the spanning check.
+    pub(crate) dsu: Vec<u32>,
 }
 
 /// Reusable state for all three algorithms (see the module docs).
@@ -347,6 +395,34 @@ pub struct SolverScratch {
     pub(crate) dp_clients: Vec<u32>,
     /// Pooled slab storage of every stage-DP pass (see [`DpPool`]).
     pub(crate) dp_pool: DpPool,
+    /// Pooled storage of the sparse (chain-specialised) stage-DP pass
+    /// (see [`crate::stage::chain_dp`]).
+    pub(crate) sdp: crate::stage::chain_dp::SparseDp,
+
+    // --- warm-started stage search (see `crate::stage`) ---
+    /// Root of the most recently committed stage (`u32::MAX` when none) —
+    /// the warm slot consulted by the next stage's search.
+    pub(crate) warm_root: u32,
+    /// New replicas the warm slot's stage committed — the seed for the DP
+    /// fallback's widening schedule when the scopes overlap.
+    pub(crate) warm_rmax: u32,
+    /// Whether the *current* stage's scope absorbed the warm slot's root
+    /// (computed once per stage, right after scope collection).
+    pub(crate) warm_hit: bool,
+    /// Test-only switch: the warm-overlap predicate is recomputed by a
+    /// linear membership scan of the active forest instead of the O(1)
+    /// stamp test. Same value by construction (pinned by
+    /// `tests/proptest_warm_start.rs`); survives
+    /// [`SolverScratch::prepare_multiple_bin`] like
+    /// [`SolverScratch::naive_stage_commit`].
+    pub(crate) naive_warm_start: bool,
+    /// Test-only switch: drop the warm slot after every stage, so warm
+    /// seeding never fires (the reference trajectory the warm-start
+    /// differential proptests compare against).
+    pub(crate) warm_start_disabled: bool,
+    /// Shared scope collection: the last committed stage's scope summary
+    /// (see [`ScopeCache`]).
+    pub(crate) scope_cache: ScopeCache,
 
     // --- single-gen state ---
     /// Pending `(client, requests)` fragments per node.
@@ -384,6 +460,55 @@ impl SolverScratch {
     #[doc(hidden)]
     pub fn set_naive_stage_commit(&mut self, naive: bool) {
         self.naive_stage_commit = naive;
+    }
+
+    /// Test-only window on the warm-started stage search: with `naive` set,
+    /// the warm-overlap predicate is recomputed by a linear membership scan
+    /// of the active forest instead of the O(1) stamp test, and the two are
+    /// asserted equal in debug builds. The search trajectory — and hence
+    /// every placement, assignment and [`StageStats`] counter — is
+    /// identical by construction; `tests/proptest_warm_start.rs` pins that
+    /// equivalence. Hidden: not part of the crate's API surface.
+    #[doc(hidden)]
+    pub fn set_naive_warm_start(&mut self, naive: bool) {
+        self.naive_warm_start = naive;
+    }
+
+    /// Test-only window: drops the warm slot after every stage, so warm
+    /// seeding never fires. Solutions are unchanged (the widening schedule
+    /// is result-independent — see the cap-independence notes in
+    /// `stage/dp.rs`); only the pass counters move. The warm-start
+    /// differential proptests compare against this reference. Hidden: not
+    /// part of the crate's API surface.
+    #[doc(hidden)]
+    pub fn set_warm_start_disabled(&mut self, disabled: bool) {
+        self.warm_start_disabled = disabled;
+    }
+
+    /// Releases the bulk pooled slabs a solve can leave behind — the dense
+    /// stage-DP generations, the sparse-DP segment slabs and the scope
+    /// cache — returning their memory to the allocator. The per-node sweep
+    /// slabs (pending lists, assignment rows, router rows) are kept: they
+    /// are sized by the loaded arena and the next solve needs them at full
+    /// size anyway. Callers that solve instances of wildly different sizes
+    /// through one scratch (the scaling bench walks 2⁶..2²⁰ clients) call
+    /// this between cells so a small cell is not billed for the peak
+    /// footprint of a huge one.
+    pub fn shrink_to_fit_slabs(&mut self) {
+        self.dp_pool.cur.release();
+        self.dp_pool.prev.release();
+        self.dp_pool.conv_m = Vec::new();
+        self.dp_pool.conv_arg = Vec::new();
+        self.dp_pool.kids = Vec::new();
+        self.dp_pool.layer_lens = Vec::new();
+        self.dp_pool.stack = Vec::new();
+        self.dp_pool.splits = Vec::new();
+        self.sdp.shrink_to_fit();
+        self.scope_cache.clients = Vec::new();
+        self.scope_cache.replicas = Vec::new();
+        self.scope_cache.log_buf = Vec::new();
+        self.scope_cache.dsu = Vec::new();
+        self.scope_cache.root = u32::MAX;
     }
 
     /// Read-only view of the instance arena currently loaded in this
@@ -478,6 +603,10 @@ impl SolverScratch {
         self.spare_nodes.clear();
         self.breakdown.clear();
         self.dp_clients.clear();
+        self.warm_root = u32::MAX;
+        self.warm_rmax = 0;
+        self.warm_hit = false;
+        self.scope_cache.root = u32::MAX;
     }
 
     /// Builds the stage's *active forest* — the union of the `sources`

@@ -81,10 +81,34 @@ pub(crate) fn lower_bound(
         active_mark,
         stage_id,
         dp_pool,
+        sdp,
         stats,
         ..
     } = scratch;
     let stamp = *stage_id;
+    let pos = |v: u32| active_pos[v as usize] as usize;
+    let child_ok = |c: u32| active_mark[c as usize] == stamp;
+    // The sparse convex pass computes the same table (and the same seed
+    // placement when `rmin ≤ rmax`) in O(|active| · segments); it declines
+    // only when a segment list outgrows `chain_dp::SEG_CAP`.
+    if let Some(res) = super::chain_dp::sparse_dp(
+        arena,
+        in_r,
+        load,
+        demand,
+        best_set,
+        sdp,
+        active_nodes,
+        j,
+        cap,
+        true,
+        rmax,
+        &mut stats.dp_node_visits,
+        &pos,
+        &child_ok,
+    ) {
+        return res.ok();
+    }
     dp_core(
         arena,
         in_r,
@@ -99,8 +123,8 @@ pub(crate) fn lower_bound(
         true,
         None,
         &mut stats.dp_node_visits,
-        &|v| active_pos[v as usize] as usize,
-        &|c| active_mark[c as usize] == stamp,
+        &pos,
+        &child_ok,
     )
     .ok()
 }
@@ -150,26 +174,85 @@ pub(crate) fn fallback_placement(
     // vectors are truncated there (a subtree cannot host more new replicas
     // than it has free nodes), so `m_j` is flat past it.
     let free_active = scratch.active_nodes.iter().filter(|&&u| !scratch.in_r[u as usize]).count();
-    // ⌈V/W⌉ is usually enough; obstructions by existing full replicas can
-    // push the optimum higher, so widen on demand.
-    let mut rmax = ((total.div_ceil(cap) as usize) + 2).min(free_active);
-    let mut widen_from = None;
-    let found = loop {
-        match run_strict_dp(scratch, cap, j, rmax, widen_from) {
-            Ok(_) => break true,
-            Err(leftover) => {
-                if rmax >= free_active {
-                    break false;
+    // The sparse convex pass needs no size cap (its per-node storage is a
+    // few segments, not `rmax` cells), so it runs uncapped once — no
+    // widening schedule, no slab growth — and is exact whenever it
+    // completes. It declines (`None`) only when a segment list outgrows
+    // `chain_dp::SEG_CAP`; the dense capped-and-widened loop below is then
+    // the fallback's fallback.
+    let sparse = {
+        let SolverScratch {
+            arena,
+            in_r,
+            load,
+            dp_demand,
+            best_set,
+            active_nodes,
+            active_pos,
+            active_mark,
+            stage_id,
+            sdp,
+            stats,
+            ..
+        } = &mut *scratch;
+        let stamp = *stage_id;
+        super::chain_dp::sparse_dp(
+            arena,
+            in_r,
+            load,
+            dp_demand,
+            best_set,
+            sdp,
+            active_nodes,
+            j,
+            cap,
+            false,
+            free_active,
+            &mut stats.dp_node_visits,
+            &|v| active_pos[v as usize] as usize,
+            &|c| active_mark[c as usize] == stamp,
+        )
+    };
+    let mut rmax = free_active;
+    let found = if let Some(res) = sparse {
+        res.is_ok()
+    } else {
+        // ⌈V/W⌉ is usually enough; obstructions by existing full replicas
+        // can push the optimum higher, so widen on demand.
+        rmax = ((total.div_ceil(cap) as usize) + 2).min(free_active);
+        // Warm start (see the module docs of `stage`): when the previous
+        // committed stage's root sits inside this stage's scope, its
+        // committed size is an informed guess at the capacity obstruction
+        // the volume bound cannot see — seed the schedule there and skip
+        // the widening rounds that would rediscover it. Result-safe by
+        // cap-independence: the initial `rmax` only shapes the widening
+        // schedule, never the surviving placement.
+        if scratch.warm_hit {
+            let warm = (scratch.warm_rmax as usize).min(free_active);
+            if warm > rmax {
+                rmax = warm;
+                scratch.stats.warm_seeds_used += 1;
+            }
+        }
+        let mut widen_from = None;
+        loop {
+            match run_strict_dp(scratch, cap, j, rmax, widen_from) {
+                Ok(_) => break true,
+                Err(leftover) => {
+                    if rmax >= free_active {
+                        break false;
+                    }
+                    // Informed widening: one extra replica absorbs at most
+                    // `W` of the leftover, so `rmin ≥ rmax + ⌈leftover/W⌉`
+                    // — jump straight there instead of doubling (the jump
+                    // is usually exact, and overshooting is what makes
+                    // widening passes expensive). A 9/8 geometric floor
+                    // guarantees progress towards `free_active` when the
+                    // bound increments slowly.
+                    let informed = rmax + (leftover.div_ceil(cap) as usize).max(1);
+                    widen_from = Some(rmax);
+                    rmax = informed.max(rmax + rmax / 8).min(free_active);
                 }
-                // Informed widening: one extra replica absorbs at most `W`
-                // of the leftover, so `rmin ≥ rmax + ⌈leftover/W⌉` — jump
-                // straight there instead of doubling (the jump is usually
-                // exact, and overshooting is what makes widening passes
-                // expensive). A 9/8 geometric floor guarantees progress
-                // towards `free_active` when the bound increments slowly.
-                let informed = rmax + (leftover.div_ceil(cap) as usize).max(1);
-                widen_from = Some(rmax);
-                rmax = informed.max(rmax + rmax / 8).min(free_active);
             }
         }
     };
@@ -576,5 +659,86 @@ pub mod testing {
             chosen: if rmin.is_some() { scratch.best_set.clone() } else { Vec::new() },
             active_len,
         }
+    }
+
+    /// Runs the *sparse* (chain-specialised) strict stage DP over the same
+    /// harness as [`strict_dp`], uncapped (`rmax` = the forest's free-node
+    /// count). `None` when the pass declines (a segment list outgrew
+    /// `chain_dp::SEG_CAP` and production would run the dense slabs);
+    /// otherwise the same [`StrictDpRun`] shape with `m_root` the full
+    /// `free + 1`-entry table reconstructed from the root's segments.
+    pub fn sparse_strict_dp(
+        tree: &Tree,
+        j: u32,
+        cap: u64,
+        replicas: &[(u32, u64)],
+        demand: &[(u32, u64)],
+    ) -> Option<StrictDpRun> {
+        let injected: u128 = demand.iter().map(|&(_, w)| w as u128).sum();
+        assert!(
+            injected <= Tree::MAX_REQUESTS as u128,
+            "harness demand must respect the tree-wide volume bound the u64 slabs rest on"
+        );
+        let mut scratch = SolverScratch::new();
+        scratch.load_arena(tree);
+        scratch.prepare_multiple_bin();
+        for &(u, l) in replicas {
+            scratch.in_r[u as usize] = true;
+            scratch.load[u as usize] = l;
+        }
+        for &(c, w) in demand {
+            if scratch.dp_demand[c as usize] == 0 {
+                scratch.dp_clients.push(c);
+            }
+            scratch.dp_demand[c as usize] += w;
+        }
+        scratch.stage_id = 1;
+        let dp_clients = std::mem::take(&mut scratch.dp_clients);
+        scratch.build_active_forest(j, &dp_clients);
+        scratch.dp_clients = dp_clients;
+        let free_active =
+            scratch.active_nodes.iter().filter(|&&u| !scratch.in_r[u as usize]).count();
+
+        let result = {
+            let SolverScratch {
+                arena,
+                in_r,
+                load,
+                dp_demand,
+                best_set,
+                active_nodes,
+                active_pos,
+                active_mark,
+                stage_id,
+                sdp,
+                stats,
+                ..
+            } = &mut scratch;
+            let stamp = *stage_id;
+            super::super::chain_dp::sparse_dp(
+                arena,
+                in_r,
+                load,
+                dp_demand,
+                best_set,
+                sdp,
+                active_nodes,
+                j,
+                cap,
+                false,
+                free_active,
+                &mut stats.dp_node_visits,
+                &|v| active_pos[v as usize] as usize,
+                &|c| active_mark[c as usize] == stamp,
+            )?
+        };
+        let active_len = scratch.active_nodes.len();
+        let rmin = result.ok();
+        Some(StrictDpRun {
+            m_root: super::super::chain_dp::root_table(&scratch.sdp, active_len - 1),
+            rmin,
+            chosen: if rmin.is_some() { scratch.best_set.clone() } else { Vec::new() },
+            active_len,
+        })
     }
 }

@@ -21,7 +21,7 @@
 //!   widening a smaller pass in place (the slab-generation copy path).
 
 use proptest::prelude::*;
-use rp_core::stage::dp_testing::strict_dp;
+use rp_core::stage::dp_testing::{sparse_strict_dp, strict_dp};
 use rp_tree::{Tree, TreeBuilder};
 
 /// Mirrors the DP's infeasibility sentinel (`stage/dp.rs`).
@@ -234,5 +234,46 @@ proptest! {
         let run = strict_dp(&s.tree, s.j, s.cap, &s.replicas, &s.demand, &[a, a + 2, a + 5]);
         let fresh = strict_dp(&s.tree, s.j, s.cap, &s.replicas, &s.demand, &[a + 5]);
         prop_assert_eq!(run, fresh);
+    }
+
+    #[test]
+    fn sparse_chain_dp_matches_dense_exact_table(s in scenario()) {
+        // The chain-specialised sparse pass must be interchangeable with
+        // the dense slabs wherever it accepts a forest: production swaps
+        // one engine for the other per stage, and the pinned bench
+        // trajectories rely on *exact* agreement — full table, rmin and
+        // the chosen placement, tie-breaks included.
+        let Some(sparse) = sparse_strict_dp(&s.tree, s.j, s.cap, &s.replicas, &s.demand) else {
+            // Declined (a segment list outgrew the cap): production runs
+            // the dense slabs alone, so there is nothing to compare.
+            return;
+        };
+        // The sparse table is uncapped (`free + 1` entries); ask the dense
+        // pass for the same horizon. `max(2)` keeps the degenerate
+        // zero-free-node forest (single-entry table) a valid dense rmax.
+        let rmax = sparse.m_root.len().max(2) - 1;
+        let dense = strict_dp(&s.tree, s.j, s.cap, &s.replicas, &s.demand, &[rmax]);
+
+        // Infeasible cells carry sentinel-relative magnitudes that differ
+        // between the segment rep and the dense recurrence; genuine cells
+        // (≤ the stage's total demand) must agree exactly.
+        let total: u128 = s.demand.iter().map(|&(_, w)| w as u128).sum();
+        let norm = |v: u64| if v as u128 > total { u64::MAX } else { v };
+
+        prop_assert_eq!(sparse.active_len, dense.active_len);
+        prop_assert_eq!(sparse.m_root.len(), dense.m_root.len(), "table horizons diverged");
+        for (r, (&sv, &dv)) in sparse.m_root.iter().zip(&dense.m_root).enumerate() {
+            prop_assert_eq!(norm(sv), norm(dv), "m_j({}) diverged between engines", r);
+        }
+        prop_assert_eq!(sparse.rmin, dense.rmin);
+        // The engines walk their backtracks in opposite directions, so the
+        // emission order differs; the *set* of opened nodes must match
+        // (downstream consumers — commit, cache, warm slot — are
+        // order-insensitive over the stage's placement).
+        let mut sparse_chosen = sparse.chosen.clone();
+        let mut dense_chosen = dense.chosen.clone();
+        sparse_chosen.sort_unstable();
+        dense_chosen.sort_unstable();
+        prop_assert_eq!(sparse_chosen, dense_chosen, "chosen placements must match as sets");
     }
 }

@@ -4,7 +4,7 @@
 use crate::tree::NodeId;
 use crate::Requests;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One assignment fragment: `amount` requests of `client` processed by
 /// `server` (`r_{i,s}` in the paper).
@@ -31,8 +31,12 @@ pub struct Fragment {
 pub struct Solution {
     /// Assignment fragments keyed by `(client, server)`.
     fragments: BTreeMap<(NodeId, NodeId), Requests>,
-    /// Replicas placed without any assigned request (still counted).
-    forced: Vec<NodeId>,
+    /// Replicas placed without any assigned request (still counted). A set,
+    /// not a `Vec`: solvers emit hundreds of thousands of replicas and the
+    /// historical linear dedup scan made building the solution quadratic —
+    /// it dominated the million-client profiles once the solver itself got
+    /// fast. (Serde shape is unchanged: both serialize as a sequence.)
+    forced: BTreeSet<NodeId>,
 }
 
 impl Solution {
@@ -56,9 +60,7 @@ impl Solution {
     /// solutions in which a placed replica ends up unused (it still counts in
     /// the objective `|R|`).
     pub fn force_replica(&mut self, node: NodeId) {
-        if !self.forced.contains(&node) {
-            self.forced.push(node);
-        }
+        self.forced.insert(node);
     }
 
     /// All fragments, ordered by `(client, server)`.

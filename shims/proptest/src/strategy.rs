@@ -126,4 +126,6 @@ impl_tuple_strategy! {
     (A, B, C, D, E, G);
     (A, B, C, D, E, G, H);
     (A, B, C, D, E, G, H, I);
+    (A, B, C, D, E, G, H, I, J);
+    (A, B, C, D, E, G, H, I, J, K);
 }
